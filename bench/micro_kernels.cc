@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Supporting microbenchmarks (google-benchmark): the BLAS kernels the
+ * engines are built on, and the engines themselves at small scale.
+ * Not a paper figure — these guard against kernel-level regressions
+ * that would invalidate the Fig. 9 measurements.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/kernels.hh"
+#include "core/baseline_engine.hh"
+#include "core/column_engine.hh"
+#include "core/knowledge_base.hh"
+#include "util/rng.hh"
+
+using namespace mnnfast;
+
+namespace {
+
+std::vector<float>
+randomVec(size_t n, uint64_t seed)
+{
+    XorShiftRng rng(seed);
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = rng.uniformRange(-1.f, 1.f);
+    return v;
+}
+
+void
+BM_Dot(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    const auto x = randomVec(n, 1), y = randomVec(n, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(blas::dot(x.data(), y.data(), n));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dot)->Arg(48)->Arg(256)->Arg(4096);
+
+void
+BM_Axpy(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    const auto x = randomVec(n, 3);
+    auto y = randomVec(n, 4);
+    for (auto _ : state) {
+        blas::axpy(1.1f, x.data(), y.data(), n);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Axpy)->Arg(48)->Arg(4096);
+
+void
+BM_Gemv(benchmark::State &state)
+{
+    const size_t rows = state.range(0), cols = 48;
+    const auto a = randomVec(rows * cols, 5);
+    const auto x = randomVec(cols, 6);
+    std::vector<float> y(rows);
+    for (auto _ : state) {
+        blas::gemv(a.data(), rows, cols, x.data(), y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_Gemv)->Arg(1000)->Arg(10000);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const size_t m = state.range(0), k = 48, n = 48;
+    const auto a = randomVec(m * k, 7);
+    const auto b = randomVec(k * n, 8);
+    std::vector<float> c(m * n);
+    for (auto _ : state) {
+        blas::gemm(a.data(), b.data(), c.data(), m, k, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(512);
+
+void
+BM_Softmax(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    const auto x = randomVec(n, 9);
+    std::vector<float> work(n);
+    for (auto _ : state) {
+        blas::copy(x.data(), work.data(), n);
+        blas::softmax(work.data(), n);
+        benchmark::DoNotOptimize(work.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Softmax)->Arg(1000)->Arg(100000);
+
+core::KnowledgeBase &
+sharedKb()
+{
+    static core::KnowledgeBase kb = [] {
+        core::KnowledgeBase k(48);
+        XorShiftRng rng(10);
+        std::vector<float> a(48), b(48);
+        for (size_t i = 0; i < 65536; ++i) {
+            for (size_t e = 0; e < 48; ++e) {
+                a[e] = rng.uniformRange(-0.3f, 0.3f);
+                b[e] = rng.uniformRange(-0.3f, 0.3f);
+            }
+            k.addSentence(a.data(), b.data());
+        }
+        return k;
+    }();
+    return kb;
+}
+
+void
+BM_BaselineEngine(benchmark::State &state)
+{
+    core::EngineConfig cfg;
+    core::BaselineEngine engine(sharedKb(), cfg);
+    const auto u = randomVec(48, 11);
+    std::vector<float> o(48);
+    for (auto _ : state) {
+        engine.infer(u.data(), o.data());
+        benchmark::DoNotOptimize(o.data());
+    }
+    state.SetItemsProcessed(state.iterations() * sharedKb().size());
+}
+BENCHMARK(BM_BaselineEngine);
+
+void
+BM_ColumnEngine(benchmark::State &state)
+{
+    core::EngineConfig cfg;
+    cfg.chunkSize = state.range(0);
+    cfg.streaming = state.range(1) != 0;
+    core::ColumnEngine engine(sharedKb(), cfg);
+    const auto u = randomVec(48, 12);
+    std::vector<float> o(48);
+    for (auto _ : state) {
+        engine.infer(u.data(), o.data());
+        benchmark::DoNotOptimize(o.data());
+    }
+    state.SetItemsProcessed(state.iterations() * sharedKb().size());
+}
+BENCHMARK(BM_ColumnEngine)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({100, 1})
+    ->Args({10000, 1});
+
+void
+BM_MnnFastEngine(benchmark::State &state)
+{
+    core::EngineConfig cfg;
+    cfg.chunkSize = 1000;
+    cfg.streaming = true;
+    cfg.skipThreshold = 0.1f;
+    core::ColumnEngine engine(sharedKb(), cfg);
+    const auto u = randomVec(48, 13);
+    std::vector<float> o(48);
+    for (auto _ : state) {
+        engine.infer(u.data(), o.data());
+        benchmark::DoNotOptimize(o.data());
+    }
+    state.SetItemsProcessed(state.iterations() * sharedKb().size());
+}
+BENCHMARK(BM_MnnFastEngine);
+
+} // namespace
+
+BENCHMARK_MAIN();

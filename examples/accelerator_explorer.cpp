@@ -1,0 +1,131 @@
+/**
+ * @file
+ * FPGA design-space exploration with the accelerator cycle model:
+ * what a hardware architect would run before synthesis.
+ *
+ * Sweeps MAC lanes, chunk size, and embedding-cache capacity, and
+ * reports per-question latency, the compute/memory balance point, and
+ * the marginal value of each resource.
+ *
+ * Build & run:  ./build/examples/accelerator_explorer
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/knowledge_base.hh"
+#include "data/zipf.hh"
+#include "fpga/accelerator.hh"
+#include "fpga/embedding_cache.hh"
+#include "stats/table.hh"
+#include "util/rng.hh"
+
+using namespace mnnfast;
+
+namespace {
+
+core::KnowledgeBase
+makeKb(size_t ns, size_t ed)
+{
+    core::KnowledgeBase kb(ed);
+    XorShiftRng rng(3);
+    std::vector<float> a(ed), b(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            a[e] = rng.uniformRange(-0.5f, 0.5f);
+            b[e] = rng.uniformRange(-0.5f, 0.5f);
+        }
+        kb.addSentence(a.data(), b.data());
+    }
+    return kb;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("MnnFast FPGA design-space explorer (ZedBoard-class "
+                "cycle model)\n\n");
+
+    const size_t ns = 1000, ed = 25;
+    const core::KnowledgeBase kb = makeKb(ns, ed);
+    XorShiftRng rng(4);
+    std::vector<float> u(ed), o(ed);
+    for (float &x : u)
+        x = rng.uniformRange(-0.4f, 0.4f);
+
+    // ---- 1. MAC lanes ----
+    std::printf("1) MAC lanes (column + streaming, chunk 25):\n\n");
+    stats::Table lanes_table({"lanes", "cycles/question",
+                              "compute-bound?",
+                              "us @100MHz"});
+    for (size_t lanes : {1, 2, 4, 8, 16, 32}) {
+        fpga::FpgaConfig cfg;
+        cfg.macLanes = lanes;
+        cfg.streaming = true;
+        fpga::FpgaAccelerator accel(cfg);
+        const auto s = accel.runInference(u.data(), 1, kb, o.data());
+        lanes_table.addRow(
+            {std::to_string(lanes),
+             stats::Table::num(s.totalCycles),
+             s.memoryCycles == 0 ? "yes" : "no (DDR-bound)",
+             stats::Table::num(double(s.totalCycles) / 100.0, 1)});
+    }
+    lanes_table.print();
+    std::printf("\n(once the pipeline is DDR-bound, more lanes are "
+                "wasted silicon)\n");
+
+    // ---- 2. Chunk size ----
+    std::printf("\n2) chunk size (4 lanes, streaming):\n\n");
+    stats::Table chunk_table({"chunk", "cycles/question",
+                              "BRAM for T_IN (bytes)"});
+    for (size_t chunk : {5ul, 25ul, 100ul, 250ul, 1000ul}) {
+        fpga::FpgaConfig cfg;
+        cfg.chunkSize = chunk;
+        cfg.streaming = true;
+        fpga::FpgaAccelerator accel(cfg);
+        const auto s = accel.runInference(u.data(), 1, kb, o.data());
+        chunk_table.addRow({std::to_string(chunk),
+                            stats::Table::num(s.totalCycles),
+                            stats::Table::num(uint64_t(chunk * 4))});
+    }
+    chunk_table.print();
+    std::printf("\n(bigger chunks amortize DDR burst latency at the "
+                "cost of BRAM)\n");
+
+    // ---- 3. Embedding-cache capacity ----
+    std::printf("\n3) embedding cache (ed=256, Zipf word stream):\n\n");
+    fpga::FpgaConfig ecfg;
+    ecfg.embeddingDim = 256;
+    fpga::FpgaAccelerator embed_accel(ecfg);
+
+    data::ZipfGenerator zipf(10000, 1.15, 5);
+    std::vector<data::Sentence> sentences(2000);
+    for (auto &s : sentences) {
+        s.resize(8);
+        for (auto &w : s)
+            w = static_cast<data::WordId>(zipf.sample());
+    }
+    const auto no_cache = embed_accel.runEmbedding(sentences, nullptr);
+
+    stats::Table cache_table({"capacity", "hit rate",
+                              "embed cycles", "vs no-cache"});
+    cache_table.addRow({"none", "-",
+                        stats::Table::num(no_cache.cycles), "1.000"});
+    for (size_t kb_sz : {16ul, 32ul, 64ul, 128ul, 256ul, 512ul}) {
+        fpga::EmbeddingCacheConfig ccfg;
+        ccfg.sizeBytes = kb_sz << 10;
+        ccfg.embeddingDim = 256;
+        fpga::EmbeddingCache cache(ccfg);
+        const auto r = embed_accel.runEmbedding(sentences, &cache);
+        cache_table.addRow(
+            {std::to_string(kb_sz) + "KB",
+             stats::Table::num(cache.hitRate(), 3),
+             stats::Table::num(r.cycles),
+             stats::Table::num(double(r.cycles)
+                               / double(no_cache.cycles), 3)});
+    }
+    cache_table.print();
+    return 0;
+}

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * mnnfast_cli — a small command-line workflow around the library:
+ *
+ *   generate  write a synthetic task dataset in bAbI text format
+ *   train     train a memory network on a bAbI-format file and save
+ *             the model (plus a sidecar .vocab file)
+ *   eval      load a model and answer a bAbI-format test file with a
+ *             chosen engine
+ *
+ * Example session:
+ *   mnnfast_cli generate --task single-supporting-fact \
+ *       --count 600 --story-len 8 --out /tmp/task1.babi
+ *   mnnfast_cli train --data /tmp/task1.babi --out /tmp/task1.mnnf \
+ *       --ed 24 --hops 2 --epochs 25
+ *   mnnfast_cli eval --model /tmp/task1.mnnf --data /tmp/task1.babi \
+ *       --engine mnnfast --skip 0.05
+ *
+ * Run with no arguments for usage. When invoked with `demo` (or no
+ * args at all), it runs the full generate/train/eval pipeline in a
+ * temporary directory — so the binary is self-exercising in CI.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mnnfast.hh"
+#include "data/babi.hh"
+#include "data/babi_text.hh"
+#include "train/serialize.hh"
+#include "train/trainer.hh"
+#include "util/logging.hh"
+
+using namespace mnnfast;
+
+namespace {
+
+/** Parse "--key value" pairs after the subcommand. */
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int first)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = first; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            fatal("expected a --flag, got '%s'", argv[i]);
+        flags[argv[i] + 2] = argv[i + 1];
+    }
+    return flags;
+}
+
+std::string
+flagOr(const std::map<std::string, std::string> &flags,
+       const std::string &key, const std::string &fallback)
+{
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+data::TaskType
+taskByName(const std::string &name)
+{
+    for (data::TaskType t : data::allTasks())
+        if (name == data::taskName(t))
+            return t;
+    fatal("unknown task '%s' (try single-supporting-fact, "
+          "two-supporting-facts, counting, yes-no, list-objects)",
+          name.c_str());
+}
+
+core::EngineKind
+engineByName(const std::string &name)
+{
+    if (name == "baseline")
+        return core::EngineKind::Baseline;
+    if (name == "column")
+        return core::EngineKind::Column;
+    if (name == "column+streaming")
+        return core::EngineKind::ColumnStreaming;
+    if (name == "mnnfast")
+        return core::EngineKind::MnnFast;
+    fatal("unknown engine '%s'", name.c_str());
+}
+
+void
+saveVocab(const data::Vocabulary &vocab, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("cannot write vocabulary file '%s'", path.c_str());
+    for (data::WordId id = 0; id < vocab.size(); ++id)
+        out << vocab.wordOf(id) << '\n';
+}
+
+data::Vocabulary
+loadVocab(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open vocabulary file '%s'", path.c_str());
+    data::Vocabulary vocab;
+    std::string word;
+    while (std::getline(in, word))
+        if (!word.empty())
+            vocab.add(word);
+    return vocab;
+}
+
+int
+cmdGenerate(const std::map<std::string, std::string> &flags)
+{
+    const auto task = taskByName(
+        flagOr(flags, "task", "single-supporting-fact"));
+    const size_t count = std::stoul(flagOr(flags, "count", "600"));
+    const size_t story = std::stoul(flagOr(flags, "story-len", "8"));
+    const uint64_t seed = std::stoull(flagOr(flags, "seed", "42"));
+    const std::string out = flagOr(flags, "out", "");
+    if (out.empty())
+        fatal("generate requires --out <file>");
+
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(task, vocab, seed);
+    const data::Dataset set = gen.generateSet(count, story);
+    data::writeBabiFile(out, set, vocab);
+    std::printf("wrote %zu examples (%s, story length %zu) to %s\n",
+                set.size(), data::taskName(task), story, out.c_str());
+    return 0;
+}
+
+int
+cmdTrain(const std::map<std::string, std::string> &flags)
+{
+    const std::string data_path = flagOr(flags, "data", "");
+    const std::string out = flagOr(flags, "out", "");
+    if (data_path.empty() || out.empty())
+        fatal("train requires --data <file> and --out <file>");
+
+    data::Vocabulary vocab;
+    const data::Dataset set = data::parseBabiFile(data_path, vocab);
+    if (set.size() == 0)
+        fatal("no examples in '%s'", data_path.c_str());
+
+    size_t max_story = 0;
+    for (const auto &ex : set.examples)
+        max_story = std::max(max_story, ex.story.size());
+
+    train::ModelConfig mc;
+    mc.vocabSize = vocab.size();
+    mc.embeddingDim = std::stoul(flagOr(flags, "ed", "24"));
+    mc.hops = std::stoul(flagOr(flags, "hops", "2"));
+    mc.maxStory = max_story + 1;
+    mc.positionEncoding = flagOr(flags, "pe", "off") == "on";
+    train::MemNnModel model(mc, std::stoull(flagOr(flags, "seed",
+                                                   "1")));
+
+    train::TrainConfig tc;
+    tc.epochs = std::stoul(flagOr(flags, "epochs", "25"));
+    tc.learningRate = std::stof(flagOr(flags, "lr", "0.03"));
+    tc.verbose = flagOr(flags, "verbose", "off") == "on";
+    const auto result = train::trainModel(model, set, tc);
+
+    train::saveModel(model, out);
+    saveVocab(vocab, out + ".vocab");
+    std::printf("trained on %zu examples: loss %.4f, accuracy %.1f%%\n"
+                "model -> %s\nvocab -> %s.vocab\n",
+                set.size(), result.finalLoss,
+                100.0 * result.trainAccuracy, out.c_str(), out.c_str());
+    return 0;
+}
+
+int
+cmdEval(const std::map<std::string, std::string> &flags)
+{
+    const std::string model_path = flagOr(flags, "model", "");
+    const std::string data_path = flagOr(flags, "data", "");
+    if (model_path.empty() || data_path.empty())
+        fatal("eval requires --model <file> and --data <file>");
+
+    train::MemNnModel model = train::loadModel(model_path);
+    data::Vocabulary vocab = loadVocab(model_path + ".vocab");
+
+    // Parse with the model's vocabulary so word ids line up; new
+    // words extend it (their embeddings are untrained).
+    const data::Dataset set = data::parseBabiFile(data_path, vocab);
+    if (vocab.size() > model.config().vocabSize) {
+        warn("test data adds %zu unseen words; they are ignored by "
+             "the trained embeddings",
+             vocab.size() - model.config().vocabSize);
+    }
+
+    core::EngineConfig ecfg;
+    ecfg.chunkSize = std::stoul(flagOr(flags, "chunk", "1000"));
+    ecfg.skipThreshold = std::stof(flagOr(flags, "skip", "0"));
+    auto system = core::MnnFastSystem::fromTrained(
+        model, engineByName(flagOr(flags, "engine", "mnnfast")), ecfg);
+
+    size_t correct = 0, answered = 0;
+    for (const auto &ex : set.examples) {
+        bool in_vocab = ex.answer < model.config().vocabSize;
+        for (const auto &s : ex.story)
+            for (data::WordId w : s)
+                in_vocab = in_vocab && w < model.config().vocabSize;
+        if (!in_vocab)
+            continue;
+        system.clearStory();
+        for (const auto &s : ex.story)
+            system.addStorySentence(s);
+        correct += system.ask(ex.question) == ex.answer;
+        ++answered;
+    }
+    std::printf("engine %s: %zu/%zu correct (%.1f%%)\n",
+                system.engine(0).name(), correct, answered,
+                answered ? 100.0 * correct / answered : 0.0);
+    return 0;
+}
+
+int
+cmdDemo()
+{
+    const std::string dir = "/tmp";
+    const std::string babi = dir + "/mnnfast_demo.babi";
+    const std::string model = dir + "/mnnfast_demo.mnnf";
+
+    std::map<std::string, std::string> gen_flags{
+        {"task", "single-supporting-fact"}, {"count", "600"},
+        {"story-len", "8"}, {"out", babi}};
+    cmdGenerate(gen_flags);
+
+    std::map<std::string, std::string> train_flags{
+        {"data", babi}, {"out", model}, {"epochs", "20"}};
+    cmdTrain(train_flags);
+
+    std::map<std::string, std::string> eval_flags{
+        {"model", model}, {"data", babi}, {"engine", "mnnfast"},
+        {"skip", "0.05"}};
+    return cmdEval(eval_flags);
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: mnnfast_cli <command> [--flag value ...]\n\n"
+        "commands:\n"
+        "  generate --task T --count N --story-len L --out F [--seed S]\n"
+        "  train    --data F --out F [--ed N --hops N --epochs N\n"
+        "           --lr X --pe on|off --verbose on|off]\n"
+        "  eval     --model F --data F [--engine baseline|column|\n"
+        "           column+streaming|mnnfast --skip X --chunk N]\n"
+        "  demo     run the full pipeline on a generated task\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return cmdDemo();
+
+    const std::string cmd = argv[1];
+    const auto flags = parseFlags(argc, argv, 2);
+    if (cmd == "generate")
+        return cmdGenerate(flags);
+    if (cmd == "train")
+        return cmdTrain(flags);
+    if (cmd == "eval")
+        return cmdEval(flags);
+    if (cmd == "demo")
+        return cmdDemo();
+    usage();
+    return cmd == "help" || cmd == "--help" ? 0 : 1;
+}

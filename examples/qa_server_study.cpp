@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Capacity planning for a MnnFast QA service: sweep the arrival rate
+ * against batching policies and read off the latency/throughput
+ * tradeoff. The column algorithm's batch-amortized knowledge-base
+ * streaming (one M_IN/M_OUT pass per *batch*) is what makes large
+ * batches pay.
+ *
+ * Build & run:  ./build/examples/qa_server_study
+ */
+
+#include <cstdio>
+
+#include "serve/qa_server.hh"
+#include "stats/table.hh"
+
+using namespace mnnfast;
+
+int
+main()
+{
+    std::printf("MnnFast QA-server capacity study\n"
+                "service model: t(batch) = 1 ms KB stream + 40 us per "
+                "question, 1 executor\n\n");
+
+    // ---- 1. Load sweep at the default policy ----
+    std::printf("1) load sweep (batch cap 32, 2 ms batching "
+                "timeout):\n\n");
+    stats::Table load_table({"arrival (q/s)", "throughput (q/s)",
+                             "mean batch", "p50 (ms)", "p99 (ms)",
+                             "utilization"});
+    for (double rate : {500.0, 2000.0, 8000.0, 16000.0, 24000.0}) {
+        serve::ServerConfig cfg;
+        cfg.arrivalRate = rate;
+        cfg.simSeconds = 3.0;
+        const auto s = serve::simulateServer(cfg);
+        load_table.addRow(
+            {stats::Table::num(rate, 0),
+             stats::Table::num(s.throughputQps, 0),
+             stats::Table::num(s.meanBatchSize, 1),
+             stats::Table::num(s.p50Latency * 1e3, 2),
+             stats::Table::num(s.p99Latency * 1e3, 2),
+             stats::Table::num(s.utilization, 2)});
+    }
+    load_table.print();
+
+    // ---- 2. Batching policy at a fixed heavy load ----
+    std::printf("\n2) batching policy at 16k q/s:\n\n");
+    stats::Table policy_table({"batch cap", "timeout (ms)",
+                               "throughput (q/s)", "p50 (ms)",
+                               "p99 (ms)"});
+    for (size_t cap : {1ul, 8ul, 32ul, 128ul}) {
+        for (double timeout_ms : {0.5, 2.0}) {
+            serve::ServerConfig cfg;
+            cfg.arrivalRate = 16000.0;
+            cfg.maxBatch = cap;
+            cfg.batchTimeout = timeout_ms * 1e-3;
+            cfg.simSeconds = 3.0;
+            const auto s = serve::simulateServer(cfg);
+            policy_table.addRow(
+                {std::to_string(cap),
+                 stats::Table::num(timeout_ms, 1),
+                 stats::Table::num(s.throughputQps, 0),
+                 stats::Table::num(s.p50Latency * 1e3, 2),
+                 stats::Table::num(s.p99Latency * 1e3, 2)});
+        }
+    }
+    policy_table.print();
+
+    std::printf("\nreading: a 1-question \"batch\" spends the whole "
+                "KB stream on each question and collapses under load; "
+                "raising the cap multiplies capacity (capacity = "
+                "cap / (base + cap x per)), and once capacity exceeds "
+                "the load the queueing delay collapses -- here cap "
+                "128 is the first stable policy at 16k q/s\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dense linear-algebra kernels.
+ *
+ * The paper's baseline MemNN is built on OpenBLAS; this library
+ * provides the equivalent primitives from scratch so the repository is
+ * self-contained and so both dataflows (layer-at-a-time vs. fused
+ * column chunks) run on the *same* kernels — the measured differences
+ * then come from dataflow, not from kernel quality differences.
+ *
+ * Conventions: all matrices are row-major, dimensions are given as
+ * (rows, cols), and vectors are contiguous float arrays. Kernels never
+ * allocate; callers own all buffers.
+ */
+
+#ifndef MNNFAST_BLAS_KERNELS_HH
+#define MNNFAST_BLAS_KERNELS_HH
+
+#include <cstddef>
+
+namespace mnnfast::blas {
+
+/** Dot product of two length-n vectors. */
+float dot(const float *x, const float *y, size_t n);
+
+/** y += alpha * x over length-n vectors. */
+void axpy(float alpha, const float *x, float *y, size_t n);
+
+/** x *= alpha over a length-n vector. */
+void scal(float alpha, float *x, size_t n);
+
+/** Set a length-n vector to zero. */
+void zero(float *x, size_t n);
+
+/** Copy a length-n vector. */
+void copy(const float *src, float *dst, size_t n);
+
+/** Sum of a length-n vector's elements. */
+float sum(const float *x, size_t n);
+
+/** Largest element of a non-empty length-n vector. */
+float maxElement(const float *x, size_t n);
+
+/**
+ * Matrix-vector product: y = A * x.
+ * A is (rows x cols) row-major; x has cols elements; y has rows.
+ */
+void gemv(const float *a, size_t rows, size_t cols,
+          const float *x, float *y);
+
+/**
+ * Transposed matrix-vector product: y = A^T * x.
+ * A is (rows x cols) row-major; x has rows elements; y has cols.
+ * Implemented as accumulating row-scaled adds so A is still walked
+ * sequentially (cache friendly for row-major storage).
+ */
+void gemvT(const float *a, size_t rows, size_t cols,
+           const float *x, float *y);
+
+/**
+ * General matrix multiply: C = A * B (+ C if accumulate).
+ * A is (m x k), B is (k x n), C is (m x n), all row-major.
+ * Uses register blocking and k-panel loops; no allocation.
+ */
+void gemm(const float *a, const float *b, float *c,
+          size_t m, size_t k, size_t n, bool accumulate = false);
+
+/** Elementwise e^x over a length-n vector, in place. */
+void expInplace(float *x, size_t n);
+
+/**
+ * Numerically-stable softmax over a length-n vector, in place:
+ * x_i <- e^{x_i - max(x)} / sum_j e^{x_j - max(x)}.
+ *
+ * This is the paper's three-phase formulation (exp, sum, normalize)
+ * with the standard max-subtraction guard.
+ */
+void softmax(float *x, size_t n);
+
+/**
+ * Unstable "raw" softmax exactly as in the paper's Fig. 5 dataflow
+ * (exp then divide by the plain sum, no max subtraction). Provided so
+ * the column-based lazy softmax can be checked for *algebraic*
+ * equivalence with the layer-at-a-time pipeline.
+ */
+void softmaxRaw(float *x, size_t n);
+
+} // namespace mnnfast::blas
+
+#endif // MNNFAST_BLAS_KERNELS_HH

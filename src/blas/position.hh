@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Position-encoding weights for bag-of-words sentence embeddings.
+ *
+ * The paper's footnote 1: "Some studies multiply position weights to
+ * vectors before the sum of all vectors to preserve the order of
+ * words in the sentence." This is the standard PE of Sukhbaatar et
+ * al. (2015), eq. (4):
+ *
+ *   l_kj = (1 - j/J) - (k/d) * (1 - 2j/J)
+ *
+ * with j the 1-based word position, J the sentence length, k the
+ * 1-based embedding coordinate, d the embedding dimension. The
+ * sentence state becomes sum_j l_j (elementwise*) A[x_j].
+ */
+
+#ifndef MNNFAST_BLAS_POSITION_HH
+#define MNNFAST_BLAS_POSITION_HH
+
+#include <cstddef>
+
+namespace mnnfast::blas {
+
+/**
+ * Position-encoding weight for embedding coordinate k (0-based) of
+ * the word at position j (0-based) in a sentence of length J.
+ */
+inline float
+positionWeight(size_t k, size_t j, size_t J, size_t d)
+{
+    const float jf = static_cast<float>(j + 1);
+    const float kf = static_cast<float>(k + 1);
+    const float Jf = static_cast<float>(J);
+    const float df = static_cast<float>(d);
+    return (1.0f - jf / Jf) - (kf / df) * (1.0f - 2.0f * jf / Jf);
+}
+
+/**
+ * out += l_j (elementwise*) row, for the word at position j of a
+ * J-word sentence.
+ */
+inline void
+axpyPositionEncoded(const float *row, float *out, size_t j, size_t J,
+                    size_t d)
+{
+    for (size_t k = 0; k < d; ++k)
+        out[k] += positionWeight(k, j, J, d) * row[k];
+}
+
+} // namespace mnnfast::blas
+
+#endif // MNNFAST_BLAS_POSITION_HH

@@ -1,0 +1,108 @@
+#include "core/baseline_engine.hh"
+
+#include <cmath>
+
+#include "blas/kernels.hh"
+#include "runtime/parallel_for.hh"
+#include "util/logging.hh"
+
+namespace mnnfast::core {
+
+BaselineEngine::BaselineEngine(const KnowledgeBase &kb,
+                               const EngineConfig &cfg)
+    : kb(kb), cfg(cfg), pool(cfg.threads)
+{
+}
+
+void
+BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
+{
+    const size_t ns = kb.size();
+    const size_t ed = kb.dim();
+    mnn_assert(ns > 0, "inference over an empty knowledge base");
+
+    tin.resize(nq * ns);
+    pexp.resize(nq * ns);
+    p.resize(nq * ns);
+    counterGroup["intermediate_bytes"].reset();
+    counterGroup["intermediate_bytes"].add(3 * nq * ns * sizeof(float));
+
+    PhaseTimer timer;
+
+    // Step 1: inner product, parallelized lock-step across M_IN rows.
+    // Each worker reads its row range once and fills a column of T_IN
+    // per question.
+    timer.start();
+    {
+        const float *min = kb.minData();
+        runtime::parallelFor(pool, ns, [&](runtime::Range r) {
+            for (size_t i = r.begin; i < r.end; ++i) {
+                const float *row = min + i * ed;
+                for (size_t q = 0; q < nq; ++q)
+                    tin[q * ns + i] = blas::dot(u + q * ed, row, ed);
+            }
+        });
+    }
+    timer.stop();
+    times.innerProduct += timer.seconds();
+    counterGroup["flops_inner"].add(2ull * nq * ns * ed);
+
+    // Step 2: softmax in the paper's three lock-step phases, each a
+    // full pass over an nq x ns buffer.
+    timer.clear();
+    timer.start();
+    for (size_t q = 0; q < nq; ++q) {
+        float *t_row = tin.data() + q * ns;
+        float *e_row = pexp.data() + q * ns;
+        float *p_row = p.data() + q * ns;
+
+        // Phase 2-1: elementwise exponential into P_exp.
+        runtime::parallelFor(pool, ns, [&](runtime::Range r) {
+            for (size_t i = r.begin; i < r.end; ++i)
+                e_row[i] = std::exp(t_row[i]);
+        });
+        // Phase 2-2a: reduce.
+        const float s = blas::sum(e_row, ns);
+        // Phase 2-2b: normalize into P (ns divisions per question —
+        // the cost the lazy softmax moves to O(ed)).
+        const float inv = 1.0f / s;
+        runtime::parallelFor(pool, ns, [&](runtime::Range r) {
+            for (size_t i = r.begin; i < r.end; ++i)
+                p_row[i] = e_row[i] * inv;
+        });
+        counterGroup["div_ops"].add(ns);
+    }
+    timer.stop();
+    times.softmax += timer.seconds();
+
+    // Step 3: weighted sum o_q = sum_i p_qi * mout_i, parallelized
+    // across row ranges with per-range partial outputs.
+    timer.clear();
+    timer.start();
+    {
+        const float *mout = kb.moutData();
+        const size_t parts =
+            std::max<size_t>(1, pool.threadCount() ? pool.threadCount()
+                                                   : 1);
+        std::vector<std::vector<float>> partial(
+            parts, std::vector<float>(nq * ed, 0.f));
+        runtime::parallelForParts(
+            pool, ns, parts, [&](size_t part, runtime::Range r) {
+                float *acc = partial[part].data();
+                for (size_t i = r.begin; i < r.end; ++i) {
+                    const float *row = mout + i * ed;
+                    for (size_t q = 0; q < nq; ++q)
+                        blas::axpy(p[q * ns + i], row, acc + q * ed, ed);
+                }
+            });
+        blas::zero(o, nq * ed);
+        for (const auto &part : partial)
+            blas::axpy(1.0f, part.data(), o, nq * ed);
+    }
+    timer.stop();
+    times.weightedSum += timer.seconds();
+    counterGroup["flops_wsum"].add(2ull * nq * ns * ed);
+    counterGroup["rows_kept"].add(nq * ns);
+}
+
+} // namespace mnnfast::core

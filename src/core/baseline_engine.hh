@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The baseline MemNN inference dataflow (paper Fig. 5a).
+ *
+ * Layer-at-a-time execution with fully materialized intermediate
+ * vectors, mirroring the paper's OpenBLAS-based baseline:
+ *
+ *   step 1   T_IN  = u x M_IN          (inner product, spilled)
+ *   step 2-1 P_exp = exp(T_IN)         (spilled)
+ *   step 2-2 P     = P_exp / sum(P_exp) (spilled; ns divisions)
+ *   step 3   o     = P x M_OUT          (weighted sum)
+ *
+ * The three temporaries are deliberately kept as separate buffers —
+ * their footprint (nq x ns floats each) is exactly the data-spill
+ * behaviour the column-based algorithm removes.
+ */
+
+#ifndef MNNFAST_CORE_BASELINE_ENGINE_HH
+#define MNNFAST_CORE_BASELINE_ENGINE_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "core/engine.hh"
+#include "runtime/thread_pool.hh"
+
+namespace mnnfast::core {
+
+/** Layer-at-a-time reference engine. See file header. */
+class BaselineEngine : public InferenceEngine
+{
+  public:
+    /**
+     * @param kb  Knowledge base; must outlive the engine.
+     * @param cfg Engine tunables. chunkSize/streaming/skipThreshold
+     *            are ignored: the baseline has no chunking, no
+     *            streaming, and (per the paper) no zero-skipping.
+     */
+    BaselineEngine(const KnowledgeBase &kb, const EngineConfig &cfg);
+
+    void inferBatch(const float *u, size_t nq, float *o) override;
+
+    const char *name() const override { return "baseline"; }
+
+  private:
+    const KnowledgeBase &kb;
+    EngineConfig cfg;
+    runtime::ThreadPool pool;
+
+    // Materialized intermediates (nq x ns each), as in Fig. 5a.
+    std::vector<float> tin;
+    std::vector<float> pexp;
+    std::vector<float> p;
+};
+
+} // namespace mnnfast::core
+
+#endif // MNNFAST_CORE_BASELINE_ENGINE_HH

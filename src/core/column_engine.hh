@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The column-based MnnFast inference dataflow (paper Fig. 5b).
+ *
+ * The knowledge base is processed in chunks of `chunkSize` sentences.
+ * For each chunk the engine computes the inner products, applies the
+ * exponential, and immediately accumulates the weighted sum — the
+ * softmax division is deferred to a single final pass over the ed-
+ * sized output ("lazy softmax"), so per-question temporaries shrink
+ * from O(ns) to O(chunkSize) and every chunk's M_IN/M_OUT rows are
+ * touched exactly once while hot.
+ *
+ * Options on top of the plain column dataflow:
+ *  - streaming:     software-prefetch the next chunk while computing
+ *                   the current one (the paper's data streaming).
+ *  - skipThreshold: zero-skipping — drop weighted-sum rows whose
+ *                   probability is provably below the threshold. The
+ *                   single-pass test `e_i < th * S_running` is
+ *                   conservative: S_running <= S_final, so every
+ *                   skipped row satisfies p_i < th exactly; some rows
+ *                   below threshold are kept (never the reverse), so
+ *                   accuracy can only be better than the paper's
+ *                   post-hoc skip at equal threshold.
+ *  - onlineNormalize: numerically-safe running-max rescaling (see
+ *                   EngineConfig).
+ */
+
+#ifndef MNNFAST_CORE_COLUMN_ENGINE_HH
+#define MNNFAST_CORE_COLUMN_ENGINE_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "core/engine.hh"
+#include "runtime/thread_pool.hh"
+
+namespace mnnfast::core {
+
+/** Column-based (chunked, lazy-softmax) engine. See file header. */
+class ColumnEngine : public InferenceEngine
+{
+  public:
+    /**
+     * @param kb  Knowledge base; must outlive the engine.
+     * @param cfg Engine tunables (chunk size, streaming, skipping,
+     *            threads, online normalization).
+     */
+    ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg);
+
+    void inferBatch(const float *u, size_t nq, float *o) override;
+
+    const char *name() const override;
+
+    /** The effective chunk size after clamping to the KB size. */
+    size_t chunkSize() const { return cfg.chunkSize; }
+
+  private:
+    /** Per-worker accumulation state for a span of chunks. */
+    struct Partial
+    {
+        std::vector<float> o;      ///< nq x ed weighted-sum accumulator
+        std::vector<double> psum;  ///< nq running sums of exp values
+        std::vector<float> runmax; ///< nq running maxima (online mode)
+        double tInner = 0.0;       ///< seconds in inner products
+        double tSoftmax = 0.0;     ///< seconds in exp/rescale
+        double tWsum = 0.0;        ///< seconds in weighted sum
+    };
+
+    void processChunks(const float *u, size_t nq, size_t row_begin,
+                       size_t row_end, Partial &out, uint64_t &kept,
+                       uint64_t &skipped) const;
+
+    const KnowledgeBase &kb;
+    EngineConfig cfg;
+    runtime::ThreadPool pool;
+};
+
+} // namespace mnnfast::core
+
+#endif // MNNFAST_CORE_COLUMN_ENGINE_HH

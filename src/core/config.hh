@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Configuration types shared by the inference engines.
+ */
+
+#ifndef MNNFAST_CORE_CONFIG_HH
+#define MNNFAST_CORE_CONFIG_HH
+
+#include <cstddef>
+
+namespace mnnfast::core {
+
+/** Which inference dataflow to run. */
+enum class EngineKind {
+    /** Layer-at-a-time with full intermediate vectors (paper Fig 5a). */
+    Baseline,
+    /** Column-based lazy-softmax chunking (paper Fig 5b). */
+    Column,
+    /** Column-based plus chunk streaming (prefetch). */
+    ColumnStreaming,
+    /** Column + streaming + zero-skipping: full MnnFast. */
+    MnnFast,
+};
+
+/** Human-readable engine name. */
+const char *engineKindName(EngineKind kind);
+
+/** Tunables of a single inference engine instance. */
+struct EngineConfig
+{
+    /** Sentences per chunk (column-based engines). Paper: 1000. */
+    size_t chunkSize = 1000;
+    /**
+     * Zero-skipping threshold on the normalized probability; 0
+     * disables skipping. Paper: 0.1.
+     */
+    float skipThreshold = 0.0f;
+    /** Enable software prefetch of the next chunk (streaming). */
+    bool streaming = false;
+    /**
+     * Number of worker threads (0 = run inline on the caller).
+     * Column engines parallelize across chunks; the baseline engine
+     * parallelizes each layer step across rows, lock-step, as in the
+     * paper's PThread implementation.
+     */
+    size_t threads = 0;
+    /**
+     * Online max-rescaling inside the lazy softmax. The paper's
+     * single-pass formulation divides by sum(e^{x_i}) without a max
+     * guard; enabling this keeps the single-pass/streaming property
+     * but rescales accumulators when a new running max appears, which
+     * is algebraically equivalent and numerically safe for large
+     * logits. Off by default for paper fidelity.
+     */
+    bool onlineNormalize = false;
+};
+
+} // namespace mnnfast::core
+
+#endif // MNNFAST_CORE_CONFIG_HH

@@ -1,0 +1,27 @@
+#include "core/embedder.hh"
+
+#include "blas/kernels.hh"
+#include "blas/position.hh"
+
+namespace mnnfast::core {
+
+void
+Embedder::embed(const data::Sentence &sentence, float *out)
+{
+    const size_t ed = table.dim();
+    blas::zero(out, ed);
+    for (size_t j = 0; j < sentence.size(); ++j) {
+        const data::WordId w = sentence[j];
+        lookupCount.add();
+        if (observer)
+            observer(w);
+        if (positionEncoding) {
+            blas::axpyPositionEncoded(table.row(w), out, j,
+                                      sentence.size(), ed);
+        } else {
+            blas::axpy(1.0f, table.row(w), out, ed);
+        }
+    }
+}
+
+} // namespace mnnfast::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The embedding operation: convert a sentence into its internal state
+ * vector by BoW lookup-and-sum over an EmbeddingTable.
+ */
+
+#ifndef MNNFAST_CORE_EMBEDDER_HH
+#define MNNFAST_CORE_EMBEDDER_HH
+
+#include <functional>
+
+#include "core/embedding_table.hh"
+#include "data/babi.hh"
+#include "stats/counter.hh"
+
+namespace mnnfast::core {
+
+/**
+ * Embeds sentences with a given table. Counts lookups so benches can
+ * report embedding traffic, and optionally reports every looked-up
+ * word id to an observer — the hook the simulators (shared-cache
+ * contention, embedding cache) use to see the real access stream.
+ */
+class Embedder
+{
+  public:
+    /** Observer invoked with each looked-up word id. */
+    using LookupObserver = std::function<void(data::WordId)>;
+
+    /**
+     * @param table             Embedding matrix to look rows up in.
+     * @param position_encoding Weight each word's row by its position
+     *                          (Sukhbaatar eq. 4; paper footnote 1)
+     *                          instead of plain BoW summation.
+     */
+    explicit Embedder(const EmbeddingTable &table,
+                      bool position_encoding = false)
+        : table(table), positionEncoding(position_encoding)
+    {}
+
+    /**
+     * Embed `sentence` into out[ed] as the sum of its words' rows.
+     * Duplicated words contribute once per occurrence (BoW keeps
+     * multiplicity).
+     */
+    void embed(const data::Sentence &sentence, float *out);
+
+    /** Set (or clear, with nullptr) the lookup observer. */
+    void setObserver(LookupObserver obs) { observer = std::move(obs); }
+
+    /** Number of embedding-row lookups performed so far. */
+    uint64_t lookups() const { return lookupCount.value(); }
+
+    const EmbeddingTable &embeddingTable() const { return table; }
+
+  private:
+    const EmbeddingTable &table;
+    bool positionEncoding;
+    LookupObserver observer;
+    stats::Counter lookupCount;
+};
+
+} // namespace mnnfast::core
+
+#endif // MNNFAST_CORE_EMBEDDER_HH

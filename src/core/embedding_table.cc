@@ -1,0 +1,48 @@
+#include "core/embedding_table.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::core {
+
+EmbeddingTable::EmbeddingTable(size_t vocab_size, size_t embedding_dim)
+    : vocab(vocab_size), ed(embedding_dim), table(vocab_size * embedding_dim)
+{
+    if (vocab == 0 || ed == 0)
+        fatal("EmbeddingTable dimensions must be nonzero");
+}
+
+void
+EmbeddingTable::randomInit(uint64_t seed, float scale)
+{
+    XorShiftRng rng(seed);
+    for (float &x : table)
+        x = rng.uniformRange(-scale, scale);
+}
+
+void
+EmbeddingTable::loadFrom(const std::vector<float> &flat)
+{
+    if (flat.size() != vocab * ed) {
+        fatal("EmbeddingTable::loadFrom shape mismatch: %zu vs %zu",
+              flat.size(), vocab * ed);
+    }
+    for (size_t i = 0; i < flat.size(); ++i)
+        table[i] = flat[i];
+}
+
+const float *
+EmbeddingTable::row(data::WordId id) const
+{
+    mnn_assert(id < vocab, "word id out of embedding-table range");
+    return table.data() + static_cast<size_t>(id) * ed;
+}
+
+float *
+EmbeddingTable::row(data::WordId id)
+{
+    mnn_assert(id < vocab, "word id out of embedding-table range");
+    return table.data() + static_cast<size_t>(id) * ed;
+}
+
+} // namespace mnnfast::core

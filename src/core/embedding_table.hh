@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The embedding matrix (dictionary) used by the embedding operation.
+ *
+ * Stored row-major (vocab x ed) so a word lookup is a single O(1)
+ * contiguous row access, exactly as the paper's CPU implementation
+ * ("we implement the embedding matrix as an array to access embedding
+ * vectors in O(1)").
+ */
+
+#ifndef MNNFAST_CORE_EMBEDDING_TABLE_HH
+#define MNNFAST_CORE_EMBEDDING_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "data/vocabulary.hh"
+#include "util/aligned_buffer.hh"
+
+namespace mnnfast::core {
+
+/** Row-major (vocab x ed) embedding matrix with O(1) row lookup. */
+class EmbeddingTable
+{
+  public:
+    /** Allocate a zeroed (vocab x ed) table. */
+    EmbeddingTable(size_t vocab_size, size_t embedding_dim);
+
+    /** Fill with uniform random values in [-scale, scale]. */
+    void randomInit(uint64_t seed, float scale = 0.1f);
+
+    /** Copy rows from a flat row-major matrix of identical shape. */
+    void loadFrom(const std::vector<float> &flat);
+
+    /** Pointer to word `id`'s embedding row (ed floats). */
+    const float *row(data::WordId id) const;
+
+    /** Mutable row access. */
+    float *row(data::WordId id);
+
+    size_t vocabSize() const { return vocab; }
+    size_t dim() const { return ed; }
+
+    /** Total size in bytes (for cache-footprint reporting). */
+    size_t bytes() const { return vocab * ed * sizeof(float); }
+
+  private:
+    size_t vocab;
+    size_t ed;
+    AlignedBuffer<float> table;
+};
+
+} // namespace mnnfast::core
+
+#endif // MNNFAST_CORE_EMBEDDING_TABLE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The inference-engine interface: one "input memory representation +
+ * output memory representation" stage (paper Fig. 2), i.e. the
+ * computation o = softmax(u x M_IN) * M_OUT, for a batch of questions.
+ */
+
+#ifndef MNNFAST_CORE_ENGINE_HH
+#define MNNFAST_CORE_ENGINE_HH
+
+#include <cstddef>
+
+#include "core/knowledge_base.hh"
+#include "stats/counter.hh"
+#include "util/timer.hh"
+
+namespace mnnfast::core {
+
+/**
+ * Wall-clock attribution of one engine's work to the paper's operator
+ * categories (Fig. 9a uses exactly these).
+ */
+struct OpBreakdown
+{
+    double innerProduct = 0.0; ///< u x M_IN dot products
+    double softmax = 0.0;      ///< exp / sum / normalize work
+    double weightedSum = 0.0;  ///< p-weighted M_OUT accumulation
+    double other = 0.0;        ///< merge / final division / misc
+
+    double
+    total() const
+    {
+        return innerProduct + softmax + weightedSum + other;
+    }
+
+    void
+    clear()
+    {
+        innerProduct = softmax = weightedSum = other = 0.0;
+    }
+};
+
+/**
+ * Abstract inference engine over one knowledge base.
+ *
+ * Engines never own the KnowledgeBase; the caller guarantees it
+ * outlives the engine. Engines are not thread-safe for concurrent
+ * infer() calls on the same instance (they own scratch buffers), but
+ * internally parallelize according to their EngineConfig.
+ */
+class InferenceEngine
+{
+  public:
+    virtual ~InferenceEngine() = default;
+
+    /**
+     * Compute response vectors for a batch of question states.
+     *
+     * @param u   nq x ed row-major question state vectors.
+     * @param nq  Number of questions in the batch.
+     * @param o   nq x ed row-major output; overwritten.
+     */
+    virtual void inferBatch(const float *u, size_t nq, float *o) = 0;
+
+    /** Single-question convenience wrapper. */
+    void infer(const float *u, float *o) { inferBatch(u, 1, o); }
+
+    /** Engine display name. */
+    virtual const char *name() const = 0;
+
+    /** Per-operator latency attribution for the most recent calls. */
+    const OpBreakdown &breakdown() const { return times; }
+
+    /** Reset latency attribution. */
+    void clearBreakdown() { times.clear(); }
+
+    /**
+     * Event counters. Column engines expose at least:
+     * "rows_kept", "rows_skipped", "chunks_processed",
+     * "intermediate_bytes" (peak per-question temporary footprint).
+     */
+    stats::CounterGroup &counters() { return counterGroup; }
+    const stats::CounterGroup &counters() const { return counterGroup; }
+
+  protected:
+    OpBreakdown times;
+    stats::CounterGroup counterGroup;
+};
+
+} // namespace mnnfast::core
+
+#endif // MNNFAST_CORE_ENGINE_HH

@@ -1,0 +1,66 @@
+#include "core/knowledge_base.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mnnfast::core {
+
+KnowledgeBase::KnowledgeBase(size_t embedding_dim)
+    : ed(embedding_dim)
+{
+    if (ed == 0)
+        fatal("KnowledgeBase embedding dimension must be nonzero");
+}
+
+void
+KnowledgeBase::reserve(size_t ns)
+{
+    if (ns > capacity)
+        grow(ns);
+}
+
+void
+KnowledgeBase::grow(size_t min_capacity)
+{
+    const size_t new_cap = std::max(min_capacity,
+                                    std::max<size_t>(16, capacity * 2));
+    AlignedBuffer<float> new_min(new_cap * ed);
+    AlignedBuffer<float> new_mout(new_cap * ed);
+    if (count > 0) {
+        std::memcpy(new_min.data(), min.data(),
+                    count * ed * sizeof(float));
+        std::memcpy(new_mout.data(), mout.data(),
+                    count * ed * sizeof(float));
+    }
+    min = std::move(new_min);
+    mout = std::move(new_mout);
+    capacity = new_cap;
+}
+
+void
+KnowledgeBase::addSentence(const float *min_row, const float *mout_row)
+{
+    if (count == capacity)
+        grow(count + 1);
+    std::memcpy(min.data() + count * ed, min_row, ed * sizeof(float));
+    std::memcpy(mout.data() + count * ed, mout_row, ed * sizeof(float));
+    ++count;
+}
+
+const float *
+KnowledgeBase::minRow(size_t i) const
+{
+    mnn_assert(i < count, "M_IN row out of range");
+    return min.data() + i * ed;
+}
+
+const float *
+KnowledgeBase::moutRow(size_t i) const
+{
+    mnn_assert(i < count, "M_OUT row out of range");
+    return mout.data() + i * ed;
+}
+
+} // namespace mnnfast::core

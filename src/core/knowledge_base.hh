@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The input/output memory (M_IN / M_OUT) of a memory network: the
+ * embedded story sentences the inference operation reasons over.
+ */
+
+#ifndef MNNFAST_CORE_KNOWLEDGE_BASE_HH
+#define MNNFAST_CORE_KNOWLEDGE_BASE_HH
+
+#include <cstddef>
+
+#include "util/aligned_buffer.hh"
+
+namespace mnnfast::core {
+
+/**
+ * Paired row-major (ns x ed) matrices M_IN and M_OUT, growable by
+ * appending embedded sentences. Rows are appended in story order so
+ * row index == sentence index (the temporal position used by the
+ * trained model's temporal embeddings).
+ */
+class KnowledgeBase
+{
+  public:
+    /** Create an empty knowledge base with embedding dimension ed. */
+    explicit KnowledgeBase(size_t embedding_dim);
+
+    /** Pre-allocate capacity for `ns` sentences. */
+    void reserve(size_t ns);
+
+    /**
+     * Append one embedded sentence: min_row goes to M_IN, mout_row to
+     * M_OUT; both are ed floats.
+     */
+    void addSentence(const float *min_row, const float *mout_row);
+
+    /** Remove all sentences (capacity retained). */
+    void clear() { count = 0; }
+
+    /** Number of stored sentences (ns). */
+    size_t size() const { return count; }
+
+    /** Embedding dimension (ed). */
+    size_t dim() const { return ed; }
+
+    /** Row-major (ns x ed) input memory. */
+    const float *minData() const { return min.data(); }
+
+    /** Row-major (ns x ed) output memory. */
+    const float *moutData() const { return mout.data(); }
+
+    /** Row i of M_IN. */
+    const float *minRow(size_t i) const;
+
+    /** Row i of M_OUT. */
+    const float *moutRow(size_t i) const;
+
+    /** Total bytes held by M_IN + M_OUT (for footprint reporting). */
+    size_t bytes() const { return 2 * count * ed * sizeof(float); }
+
+  private:
+    void grow(size_t min_capacity);
+
+    size_t ed;
+    size_t count = 0;
+    size_t capacity = 0;
+    AlignedBuffer<float> min;
+    AlignedBuffer<float> mout;
+};
+
+} // namespace mnnfast::core
+
+#endif // MNNFAST_CORE_KNOWLEDGE_BASE_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The top-level MnnFast system facade: the public API a downstream
+ * question-answering service uses.
+ *
+ * A MnnFastSystem owns the embedding tables, the per-hop knowledge
+ * bases, the output projection, and the configured inference engines.
+ * The typical lifecycle is:
+ *
+ *   auto system = MnnFastSystem::fromTrained(model, cfg);   // weights
+ *   system.addStorySentence(sentence);                      // x ns
+ *   data::WordId answer = system.ask(question);             // x nq
+ *
+ * fromTrained() imports the weights of a train::MemNnModel, so the
+ * facade's predictions are bit-for-bit comparable with the trainer's
+ * forward pass (tests/integration_test.cc asserts agreement).
+ */
+
+#ifndef MNNFAST_CORE_MNNFAST_HH
+#define MNNFAST_CORE_MNNFAST_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/baseline_engine.hh"
+#include "core/column_engine.hh"
+#include "core/config.hh"
+#include "core/embedder.hh"
+#include "core/embedding_table.hh"
+#include "core/engine.hh"
+#include "core/knowledge_base.hh"
+#include "data/babi.hh"
+
+namespace mnnfast::train { class MemNnModel; }
+
+namespace mnnfast::core {
+
+/** Construction parameters for a MnnFastSystem. */
+struct SystemConfig
+{
+    size_t vocabSize = 0;
+    size_t embeddingDim = 32;
+    size_t hops = 1;
+    /** Which dataflow answers questions. */
+    EngineKind engine = EngineKind::MnnFast;
+    EngineConfig engineConfig;
+    /**
+     * Temporal embeddings imported from the trained model are added
+     * to memory rows at story position i (capped at maxStory-1).
+     */
+    size_t maxStory = 64;
+    /**
+     * Position-encoded BoW embedding (must match the trained model's
+     * ModelConfig::positionEncoding; fromTrained copies it).
+     */
+    bool positionEncoding = false;
+};
+
+/** See file header. */
+class MnnFastSystem
+{
+  public:
+    /** Build with randomly initialized weights (demo / bench use). */
+    MnnFastSystem(const SystemConfig &cfg, uint64_t seed);
+
+    /** Build from a trained model's weights (hops and dims copied). */
+    static MnnFastSystem fromTrained(const train::MemNnModel &model,
+                                     EngineKind engine,
+                                     const EngineConfig &engine_cfg);
+
+    /** Embed and append one story sentence to every hop's memory. */
+    void addStorySentence(const data::Sentence &sentence);
+
+    /** Discard the current story (knowledge bases emptied). */
+    void clearStory();
+
+    /** Number of stored story sentences. */
+    size_t storySize() const;
+
+    /**
+     * Answer a question over the current story: embeds the question,
+     * runs all hops through the configured engine, projects through W,
+     * and returns the arg-max vocabulary word.
+     */
+    data::WordId ask(const data::Sentence &question);
+
+    /**
+     * Batch variant: answers[i] corresponds to questions[i]. All
+     * questions share the current story; hops run engine batches.
+     */
+    std::vector<data::WordId>
+    askBatch(const std::vector<data::Sentence> &questions);
+
+    /** One attended story sentence with its probability. */
+    struct Attribution
+    {
+        size_t sentence;  ///< story index
+        float probability;
+    };
+
+    /**
+     * Explain a would-be answer: the top-k story sentences by hop-0
+     * attention probability, descending. For a trained model these
+     * are the supporting facts the network reasons from (the
+     * sparsity of this distribution is what zero-skipping exploits,
+     * paper Fig. 6).
+     */
+    std::vector<Attribution> explain(const data::Sentence &question,
+                                     size_t top_k = 3);
+
+    /**
+     * The response computation only (u -> o for hop 0), exposed for
+     * benchmarking engines on raw state vectors.
+     */
+    InferenceEngine &engine(size_t hop = 0);
+
+    /** Aggregate per-operator latency across hops. */
+    OpBreakdown totalBreakdown() const;
+
+    const SystemConfig &config() const { return cfg; }
+    const EmbeddingTable &questionTable() const { return bTable; }
+
+  private:
+    /** Create engines for all hops (called once KBs exist). */
+    void buildEngines();
+
+    SystemConfig cfg;
+
+    EmbeddingTable bTable;                 ///< question embedding (B)
+    std::vector<EmbeddingTable> aTables;   ///< per-hop A
+    std::vector<EmbeddingTable> cTables;   ///< per-hop C
+    std::vector<float> wMatrix;            ///< (V x ed) output projection
+    /** Per-hop temporal embeddings (maxStory x ed), possibly zero. */
+    std::vector<std::vector<float>> taRows;
+    std::vector<std::vector<float>> tcRows;
+
+    std::vector<KnowledgeBase> kbs;        ///< one per hop
+    std::vector<std::unique_ptr<InferenceEngine>> engines;
+};
+
+} // namespace mnnfast::core
+
+#endif // MNNFAST_CORE_MNNFAST_HH

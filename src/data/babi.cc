@@ -1,0 +1,429 @@
+#include "data/babi.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mnnfast::data {
+
+namespace {
+
+const char *const kActors[] = {
+    "mary", "john", "sandra", "daniel", "bill", "fred",
+};
+const char *const kLocations[] = {
+    "kitchen", "bathroom", "garden", "office",
+    "hallway", "bedroom", "park", "school",
+};
+const char *const kObjects[] = {
+    "apple", "football", "milk", "box", "book", "ball",
+};
+const char *const kNumbers[] = {"none", "one", "two", "three"};
+
+constexpr size_t kNumActors = std::size(kActors);
+constexpr size_t kNumLocations = std::size(kLocations);
+constexpr size_t kNumObjects = std::size(kObjects);
+
+constexpr size_t kNowhere = ~size_t{0};
+constexpr size_t kNobody = ~size_t{0};
+
+} // namespace
+
+const char *
+taskName(TaskType type)
+{
+    switch (type) {
+      case TaskType::SingleSupportingFact: return "single-supporting-fact";
+      case TaskType::TwoSupportingFacts: return "two-supporting-facts";
+      case TaskType::Counting: return "counting";
+      case TaskType::YesNo: return "yes-no";
+      case TaskType::ListObjects: return "list-objects";
+      case TaskType::Negation: return "negation";
+      case TaskType::Conjunction: return "conjunction";
+    }
+    panic("unknown TaskType %d", static_cast<int>(type));
+}
+
+std::vector<TaskType>
+allTasks()
+{
+    return {TaskType::SingleSupportingFact,
+            TaskType::TwoSupportingFacts,
+            TaskType::Counting,
+            TaskType::YesNo,
+            TaskType::ListObjects,
+            TaskType::Negation,
+            TaskType::Conjunction};
+}
+
+/**
+ * Mutable micro-world state threaded through one story's generation.
+ */
+struct BabiGenerator::World
+{
+    /** Actor index -> location index (kNowhere before first move). */
+    std::vector<size_t> actorLoc;
+    /** Object index -> holding actor (kNobody if on the ground). */
+    std::vector<size_t> objectHolder;
+    /** Object index -> location if on the ground (kNowhere if held). */
+    std::vector<size_t> objectLoc;
+    /** Actor index -> story index of their last movement sentence. */
+    std::vector<size_t> lastMoveSentence;
+    /** Object index -> story index of the last pickup sentence. */
+    std::vector<size_t> lastPickupSentence;
+    /** Actor index -> objects currently carried (in pickup order). */
+    std::vector<std::vector<size_t>> carried;
+    /** Number of sentences emitted so far. */
+    size_t sentenceCount = 0;
+
+    World(size_t actors, size_t objects)
+        : actorLoc(actors, kNowhere),
+          objectHolder(objects, kNobody),
+          objectLoc(objects, kNowhere),
+          lastMoveSentence(actors, kNowhere),
+          lastPickupSentence(objects, kNowhere),
+          carried(actors)
+    {}
+};
+
+BabiGenerator::BabiGenerator(TaskType type, Vocabulary &vocab,
+                             uint64_t seed)
+    : type(type), vocab(vocab), rng(seed)
+{
+    for (const char *w : kActors)
+        actorIds.push_back(vocab.add(w));
+    for (const char *w : kLocations)
+        locationIds.push_back(vocab.add(w));
+    for (const char *w : kObjects)
+        objectIds.push_back(vocab.add(w));
+    for (const char *w : kNumbers)
+        numberIds.push_back(vocab.add(w));
+    yesId = vocab.add("yes");
+    noId = vocab.add("no");
+
+    wentId = vocab.add("went");
+    toId = vocab.add("to");
+    theId = vocab.add("the");
+    pickedId = vocab.add("picked");
+    upId = vocab.add("up");
+    droppedId = vocab.add("dropped");
+    whereId = vocab.add("where");
+    isId = vocab.add("is");
+    howId = vocab.add("how");
+    manyId = vocab.add("many");
+    objectsId = vocab.add("objects");
+    carryingId = vocab.add("carrying");
+    inId = vocab.add("in");
+    whatId = vocab.add("what");
+    notId = vocab.add("not");
+    andId = vocab.add("and");
+
+    switch (type) {
+      case TaskType::SingleSupportingFact:
+      case TaskType::TwoSupportingFacts:
+      case TaskType::Conjunction:
+        candidates = locationIds;
+        break;
+      case TaskType::Counting:
+        candidates = numberIds;
+        break;
+      case TaskType::YesNo:
+      case TaskType::Negation:
+        candidates = {yesId, noId};
+        break;
+      case TaskType::ListObjects:
+        candidates = objectIds;
+        break;
+    }
+}
+
+Sentence
+BabiGenerator::makeMove(World &w, size_t actor)
+{
+    size_t loc = rng.below(kNumLocations);
+    if (loc == w.actorLoc[actor])
+        loc = (loc + 1) % kNumLocations;
+    w.actorLoc[actor] = loc;
+    w.lastMoveSentence[actor] = w.sentenceCount;
+    return {actorIds[actor], wentId, toId, theId, locationIds[loc]};
+}
+
+Sentence
+BabiGenerator::makePickup(World &w, size_t actor)
+{
+    // Pick a free object; the caller guarantees one exists.
+    std::vector<size_t> free;
+    for (size_t o = 0; o < kNumObjects; ++o)
+        if (w.objectHolder[o] == kNobody)
+            free.push_back(o);
+    mnn_assert(!free.empty(), "no free object to pick up");
+    const size_t obj = free[rng.below(free.size())];
+    w.objectHolder[obj] = actor;
+    w.objectLoc[obj] = kNowhere;
+    w.lastPickupSentence[obj] = w.sentenceCount;
+    w.carried[actor].push_back(obj);
+    return {actorIds[actor], pickedId, upId, theId, objectIds[obj]};
+}
+
+Sentence
+BabiGenerator::makeDrop(World &w, size_t actor)
+{
+    mnn_assert(!w.carried[actor].empty(), "actor carries nothing");
+    const size_t obj = w.carried[actor].back();
+    w.carried[actor].pop_back();
+    w.objectHolder[obj] = kNobody;
+    w.objectLoc[obj] = w.actorLoc[actor];
+    return {actorIds[actor], droppedId, theId, objectIds[obj]};
+}
+
+Sentence
+BabiGenerator::makeEvent(World &w)
+{
+    const size_t actor = rng.below(kNumActors);
+    const double roll = rng.uniform();
+
+    bool any_free = false;
+    for (size_t o = 0; o < kNumObjects; ++o)
+        any_free = any_free || w.objectHolder[o] == kNobody;
+
+    Sentence s;
+    if (roll < 0.6 || (w.carried[actor].empty() && !any_free)) {
+        s = makeMove(w, actor);
+    } else if (roll < 0.85 && any_free && w.actorLoc[actor] != kNowhere) {
+        s = makePickup(w, actor);
+    } else if (!w.carried[actor].empty()) {
+        s = makeDrop(w, actor);
+    } else {
+        s = makeMove(w, actor);
+    }
+    ++w.sentenceCount;
+    return s;
+}
+
+Example
+BabiGenerator::generateNegation(size_t story_len)
+{
+    // Stories are facts about actors: positive ("mary went to the
+    // park") or negative ("mary is not in the park"). The question
+    // probes the location named in the queried actor's latest fact,
+    // so the answer is decided by that fact's polarity.
+    Example ex;
+    std::vector<size_t> last_fact(kNumActors, kNowhere);
+    std::vector<bool> last_negative(kNumActors, false);
+    std::vector<size_t> last_loc(kNumActors, 0);
+
+    for (size_t i = 0; i < story_len; ++i) {
+        const size_t actor = rng.below(kNumActors);
+        const size_t loc = rng.below(kNumLocations);
+        const bool negative = rng.chance(0.4);
+        if (negative) {
+            ex.story.push_back({actorIds[actor], isId, notId, inId,
+                                theId, locationIds[loc]});
+        } else {
+            ex.story.push_back({actorIds[actor], wentId, toId, theId,
+                                locationIds[loc]});
+        }
+        last_fact[actor] = i;
+        last_negative[actor] = negative;
+        last_loc[actor] = loc;
+    }
+
+    std::vector<size_t> known;
+    for (size_t a = 0; a < kNumActors; ++a)
+        if (last_fact[a] != kNowhere)
+            known.push_back(a);
+    // story_len >= 2 guarantees at least one fact exists.
+    const size_t actor = known[rng.below(known.size())];
+    ex.question = {isId, actorIds[actor], inId, theId,
+                   locationIds[last_loc[actor]]};
+    ex.answer = last_negative[actor] ? noId : yesId;
+    ex.supportingFacts = {last_fact[actor]};
+    return ex;
+}
+
+Example
+BabiGenerator::generateConjunction(size_t story_len)
+{
+    // Moves with compound subjects: "mary and john went to the
+    // park" relocates both actors. Question: "where is <actor>?".
+    Example ex;
+    std::vector<size_t> actor_loc(kNumActors, kNowhere);
+    std::vector<size_t> last_move(kNumActors, kNowhere);
+
+    for (size_t i = 0; i < story_len; ++i) {
+        const size_t loc = rng.below(kNumLocations);
+        const size_t a = rng.below(kNumActors);
+        if (rng.chance(0.4)) {
+            size_t b = rng.below(kNumActors);
+            if (b == a)
+                b = (b + 1) % kNumActors;
+            ex.story.push_back({actorIds[a], andId, actorIds[b],
+                                wentId, toId, theId, locationIds[loc]});
+            actor_loc[b] = loc;
+            last_move[b] = i;
+        } else {
+            ex.story.push_back({actorIds[a], wentId, toId, theId,
+                                locationIds[loc]});
+        }
+        actor_loc[a] = loc;
+        last_move[a] = i;
+    }
+
+    std::vector<size_t> moved;
+    for (size_t a = 0; a < kNumActors; ++a)
+        if (actor_loc[a] != kNowhere)
+            moved.push_back(a);
+    const size_t actor = moved[rng.below(moved.size())];
+    ex.question = {whereId, isId, actorIds[actor]};
+    ex.answer = locationIds[actor_loc[actor]];
+    ex.supportingFacts = {last_move[actor]};
+    return ex;
+}
+
+Example
+BabiGenerator::generate(size_t story_len)
+{
+    mnn_assert(story_len >= 2, "story needs at least two sentences");
+
+    if (type == TaskType::Negation)
+        return generateNegation(story_len);
+    if (type == TaskType::Conjunction)
+        return generateConjunction(story_len);
+
+    Example ex;
+    World w(kNumActors, kNumObjects);
+
+    for (size_t i = 0; i < story_len; ++i)
+        ex.story.push_back(makeEvent(w));
+
+    switch (type) {
+      case TaskType::SingleSupportingFact: {
+        // Ask about an actor who has moved (at least one has: events
+        // are mostly moves and story_len >= 2 retries below).
+        std::vector<size_t> moved;
+        for (size_t a = 0; a < kNumActors; ++a)
+            if (w.actorLoc[a] != kNowhere)
+                moved.push_back(a);
+        if (moved.empty()) {
+            // Force a move (overwrite the last sentence).
+            w.sentenceCount = story_len - 1;
+            ex.story[story_len - 1] = makeMove(w, 0);
+            w.sentenceCount = story_len;
+            moved.push_back(0);
+        }
+        const size_t actor = moved[rng.below(moved.size())];
+        ex.question = {whereId, isId, actorIds[actor]};
+        ex.answer = locationIds[w.actorLoc[actor]];
+        ex.supportingFacts = {w.lastMoveSentence[actor]};
+        break;
+      }
+
+      case TaskType::TwoSupportingFacts: {
+        // Ask where an object is; needs a picked-up-and-located object.
+        std::vector<size_t> locatable;
+        for (size_t o = 0; o < kNumObjects; ++o) {
+            const size_t holder = w.objectHolder[o];
+            const bool held_located =
+                holder != kNobody && w.actorLoc[holder] != kNowhere;
+            const bool dropped_located = w.objectLoc[o] != kNowhere;
+            if (held_located || dropped_located)
+                locatable.push_back(o);
+        }
+        if (locatable.empty()) {
+            // Force: move actor 0 then have them pick something up.
+            w.sentenceCount = story_len - 2;
+            ex.story[story_len - 2] = makeMove(w, 0);
+            ++w.sentenceCount;
+            ex.story[story_len - 1] = makePickup(w, 0);
+            ++w.sentenceCount;
+            locatable.push_back(w.carried[0].back());
+        }
+        const size_t obj = locatable[rng.below(locatable.size())];
+        ex.question = {whereId, isId, theId, objectIds[obj]};
+        const size_t holder = w.objectHolder[obj];
+        if (holder != kNobody) {
+            ex.answer = locationIds[w.actorLoc[holder]];
+            ex.supportingFacts = {w.lastPickupSentence[obj],
+                                  w.lastMoveSentence[holder]};
+        } else {
+            ex.answer = locationIds[w.objectLoc[obj]];
+            ex.supportingFacts = {w.lastPickupSentence[obj]};
+        }
+        break;
+      }
+
+      case TaskType::Counting: {
+        const size_t actor = rng.below(kNumActors);
+        ex.question = {howId, manyId, objectsId, isId, actorIds[actor],
+                       carryingId};
+        const size_t n = std::min(w.carried[actor].size(),
+                                  numberIds.size() - 1);
+        ex.answer = numberIds[n];
+        for (size_t o : w.carried[actor])
+            ex.supportingFacts.push_back(w.lastPickupSentence[o]);
+        break;
+      }
+
+      case TaskType::YesNo: {
+        std::vector<size_t> moved;
+        for (size_t a = 0; a < kNumActors; ++a)
+            if (w.actorLoc[a] != kNowhere)
+                moved.push_back(a);
+        if (moved.empty()) {
+            w.sentenceCount = story_len - 1;
+            ex.story[story_len - 1] = makeMove(w, 0);
+            w.sentenceCount = story_len;
+            moved.push_back(0);
+        }
+        const size_t actor = moved[rng.below(moved.size())];
+        // Half the questions ask about the true location.
+        size_t loc = w.actorLoc[actor];
+        if (rng.chance(0.5))
+            loc = rng.below(kNumLocations);
+        ex.question = {isId, actorIds[actor], inId, theId,
+                       locationIds[loc]};
+        ex.answer = loc == w.actorLoc[actor] ? yesId : noId;
+        ex.supportingFacts = {w.lastMoveSentence[actor]};
+        break;
+      }
+
+      case TaskType::ListObjects: {
+        std::vector<size_t> carriers;
+        for (size_t a = 0; a < kNumActors; ++a)
+            if (!w.carried[a].empty())
+                carriers.push_back(a);
+        if (carriers.empty()) {
+            w.sentenceCount = story_len - 2;
+            ex.story[story_len - 2] = makeMove(w, 0);
+            ++w.sentenceCount;
+            ex.story[story_len - 1] = makePickup(w, 0);
+            ++w.sentenceCount;
+            carriers.push_back(0);
+        }
+        const size_t actor = carriers[rng.below(carriers.size())];
+        const size_t obj = w.carried[actor].back();
+        ex.question = {whatId, isId, actorIds[actor], carryingId};
+        ex.answer = objectIds[obj];
+        ex.supportingFacts = {w.lastPickupSentence[obj]};
+        break;
+      }
+
+      case TaskType::Negation:
+      case TaskType::Conjunction:
+        panic("handled by the dedicated generators above");
+    }
+
+    return ex;
+}
+
+Dataset
+BabiGenerator::generateSet(size_t count, size_t story_len)
+{
+    Dataset set;
+    set.examples.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        set.examples.push_back(generate(story_len));
+    return set;
+}
+
+} // namespace mnnfast::data

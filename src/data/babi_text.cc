@@ -1,0 +1,187 @@
+#include "data/babi_text.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mnnfast::data {
+
+namespace {
+
+std::string
+lowercase(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Tokenize a clause into lowercase words, dropping punctuation. */
+std::vector<std::string>
+tokenize(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::string current;
+    for (char ch : text) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) {
+            current += ch;
+        } else if (!current.empty()) {
+            words.push_back(lowercase(current));
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        words.push_back(lowercase(current));
+    return words;
+}
+
+Sentence
+toSentence(const std::vector<std::string> &words, Vocabulary &vocab)
+{
+    Sentence s;
+    s.reserve(words.size());
+    for (const std::string &w : words)
+        s.push_back(vocab.add(w));
+    return s;
+}
+
+} // namespace
+
+Dataset
+parseBabi(std::istream &in, Vocabulary &vocab)
+{
+    Dataset set;
+    std::vector<Sentence> story;
+    // bAbI supporting facts cite block *line* numbers, which count
+    // question lines too; map them to story indices.
+    std::vector<size_t> line_to_story;
+    std::string line;
+    size_t line_no = 0;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+
+        std::istringstream ls(line);
+        long index = 0;
+        if (!(ls >> index) || index <= 0)
+            fatal("bAbI parse error at line %zu: missing line number",
+                  line_no);
+        if (index == 1) {
+            story.clear(); // new block
+            line_to_story.clear();
+        }
+
+        std::string rest;
+        std::getline(ls, rest);
+        // Trim the leading space after the number.
+        if (!rest.empty() && rest.front() == ' ')
+            rest.erase(rest.begin());
+
+        const size_t qmark = rest.find('?');
+        if (qmark == std::string::npos) {
+            // Statement line.
+            line_to_story.resize(
+                std::max<size_t>(line_to_story.size(),
+                                 static_cast<size_t>(index)),
+                ~size_t{0});
+            line_to_story[static_cast<size_t>(index) - 1] = story.size();
+            story.push_back(toSentence(tokenize(rest), vocab));
+            continue;
+        }
+
+        // Question line: "<question>?\t<answer>\t<supports>".
+        const std::string question_text = rest.substr(0, qmark);
+        const std::string tail = rest.substr(qmark + 1);
+
+        std::vector<std::string> fields;
+        std::string field;
+        std::istringstream tail_stream(tail);
+        while (std::getline(tail_stream, field, '\t')) {
+            const bool blank =
+                field.find_first_not_of(" \r\n") == std::string::npos;
+            if (!blank)
+                fields.push_back(field);
+        }
+        if (fields.empty()) {
+            fatal("bAbI parse error at line %zu: question without "
+                  "answer", line_no);
+        }
+
+        Example ex;
+        ex.story = story;
+        ex.question = toSentence(tokenize(question_text), vocab);
+        // Multi-word answers ("football,apple") use the first token
+        // for the single-answer model.
+        const auto answer_words = tokenize(fields[0]);
+        if (answer_words.empty()) {
+            fatal("bAbI parse error at line %zu: empty answer",
+                  line_no);
+        }
+        ex.answer = vocab.add(answer_words[0]);
+
+        if (fields.size() > 1) {
+            std::istringstream sup(fields[1]);
+            long fact = 0;
+            while (sup >> fact) {
+                const size_t li = static_cast<size_t>(fact - 1);
+                if (fact >= 1 && li < line_to_story.size()
+                    && line_to_story[li] != ~size_t{0}) {
+                    ex.supportingFacts.push_back(line_to_story[li]);
+                }
+            }
+        }
+        set.examples.push_back(std::move(ex));
+    }
+    return set;
+}
+
+Dataset
+parseBabiFile(const std::string &path, Vocabulary &vocab)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open bAbI file '%s'", path.c_str());
+    return parseBabi(in, vocab);
+}
+
+void
+writeBabi(std::ostream &out, const Dataset &set, const Vocabulary &vocab)
+{
+    for (const Example &ex : set.examples) {
+        size_t n = 1;
+        for (const Sentence &s : ex.story) {
+            out << n++;
+            for (WordId w : s)
+                out << ' ' << vocab.wordOf(w);
+            out << ".\n";
+        }
+        out << n;
+        for (WordId w : ex.question)
+            out << ' ' << vocab.wordOf(w);
+        out << "?\t" << vocab.wordOf(ex.answer) << '\t';
+        for (size_t i = 0; i < ex.supportingFacts.size(); ++i) {
+            if (i)
+                out << ' ';
+            out << ex.supportingFacts[i] + 1;
+        }
+        out << '\n';
+    }
+}
+
+void
+writeBabiFile(const std::string &path, const Dataset &set,
+              const Vocabulary &vocab)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeBabi(out, set, vocab);
+}
+
+} // namespace mnnfast::data

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reader/writer for the Facebook bAbI text format, so the real
+ * dataset can be dropped in when available (the synthetic generators
+ * are the offline stand-in; DESIGN.md substitution table).
+ *
+ * Format, one story per numbered block:
+ *
+ *   1 Mary moved to the bathroom.
+ *   2 John went to the hallway.
+ *   3 Where is Mary? 	bathroom	1
+ *
+ * Statement lines are "<n> <words>."; question lines are
+ * "<n> <words>?\t<answer>\t<supporting fact numbers>". Line numbers
+ * restart at 1 for each new story. A question's story is every
+ * statement seen so far in the block.
+ */
+
+#ifndef MNNFAST_DATA_BABI_TEXT_HH
+#define MNNFAST_DATA_BABI_TEXT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "data/babi.hh"
+#include "data/vocabulary.hh"
+
+namespace mnnfast::data {
+
+/**
+ * Parse a bAbI-format stream into Examples. Words are lowercased and
+ * added to `vocab`. Each question line produces one Example whose
+ * story is the statements seen so far in the current block.
+ *
+ * fatal() on malformed lines (unnumbered, question without answer).
+ */
+Dataset parseBabi(std::istream &in, Vocabulary &vocab);
+
+/** Convenience: parse a bAbI file from disk; fatal() if unreadable. */
+Dataset parseBabiFile(const std::string &path, Vocabulary &vocab);
+
+/**
+ * Write examples in bAbI format (one block per example: all story
+ * sentences, then the question line with answer and supporting
+ * facts). Inverse of parseBabi up to block structure.
+ */
+void writeBabi(std::ostream &out, const Dataset &set,
+               const Vocabulary &vocab);
+
+/** Convenience: write to a file; fatal() if unwritable. */
+void writeBabiFile(const std::string &path, const Dataset &set,
+                   const Vocabulary &vocab);
+
+} // namespace mnnfast::data
+
+#endif // MNNFAST_DATA_BABI_TEXT_HH

@@ -1,0 +1,32 @@
+#include "data/bow.hh"
+
+#include <algorithm>
+
+namespace mnnfast::data {
+
+BagOfWords
+toBagOfWords(const Sentence &sentence)
+{
+    Sentence sorted = sentence;
+    std::sort(sorted.begin(), sorted.end());
+
+    BagOfWords bow;
+    for (WordId w : sorted) {
+        if (!bow.empty() && bow.back().word == w)
+            ++bow.back().count;
+        else
+            bow.push_back({w, 1});
+    }
+    return bow;
+}
+
+size_t
+bowTokenCount(const BagOfWords &bow)
+{
+    size_t n = 0;
+    for (const BowTerm &t : bow)
+        n += t.count;
+    return n;
+}
+
+} // namespace mnnfast::data

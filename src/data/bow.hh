@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bag-of-words sentence representations.
+ *
+ * The paper's embedding step uses a BoW model: a sentence is the sum
+ * of its words' embedding vectors, so word order is dropped but
+ * multiplicity is kept. This module canonicalizes a Sentence into
+ * (word, count) pairs, which both the trainer and the inference
+ * embedder consume.
+ */
+
+#ifndef MNNFAST_DATA_BOW_HH
+#define MNNFAST_DATA_BOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "data/babi.hh"
+#include "data/vocabulary.hh"
+
+namespace mnnfast::data {
+
+/** One (word, multiplicity) term of a bag of words. */
+struct BowTerm
+{
+    WordId word;
+    uint32_t count;
+
+    bool operator==(const BowTerm &) const = default;
+};
+
+/** A sentence reduced to sorted unique (word, count) terms. */
+using BagOfWords = std::vector<BowTerm>;
+
+/** Canonicalize a sentence: sort by word id, merge duplicates. */
+BagOfWords toBagOfWords(const Sentence &sentence);
+
+/** Total number of word tokens in the bag (sum of counts). */
+size_t bowTokenCount(const BagOfWords &bow);
+
+} // namespace mnnfast::data
+
+#endif // MNNFAST_DATA_BOW_HH

@@ -1,0 +1,39 @@
+#include "data/vocabulary.hh"
+
+#include "util/logging.hh"
+
+namespace mnnfast::data {
+
+WordId
+Vocabulary::add(const std::string &word)
+{
+    const auto it = ids.find(word);
+    if (it != ids.end())
+        return it->second;
+    const WordId id = static_cast<WordId>(words.size());
+    ids.emplace(word, id);
+    words.push_back(word);
+    return id;
+}
+
+WordId
+Vocabulary::lookup(const std::string &word) const
+{
+    const auto it = ids.find(word);
+    return it == ids.end() ? kNoWord : it->second;
+}
+
+const std::string &
+Vocabulary::wordOf(WordId id) const
+{
+    mnn_assert(id < words.size(), "word id out of range");
+    return words[id];
+}
+
+bool
+Vocabulary::contains(const std::string &word) const
+{
+    return ids.find(word) != ids.end();
+}
+
+} // namespace mnnfast::data

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Word <-> id mapping shared by the dataset generators, the trainer,
+ * and the inference engines.
+ */
+
+#ifndef MNNFAST_DATA_VOCABULARY_HH
+#define MNNFAST_DATA_VOCABULARY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mnnfast::data {
+
+/** Integer word identifier; dense, starting at 0. */
+using WordId = uint32_t;
+
+/** Sentinel for "word not present". */
+inline constexpr WordId kNoWord = ~WordId{0};
+
+/**
+ * A bidirectional word/id dictionary. Ids are assigned densely in
+ * insertion order, which makes them directly usable as embedding-
+ * matrix row indices.
+ */
+class Vocabulary
+{
+  public:
+    /** Return the id of `word`, inserting it if new. */
+    WordId add(const std::string &word);
+
+    /** Return the id of `word` or kNoWord if absent. */
+    WordId lookup(const std::string &word) const;
+
+    /** Return the spelling for a valid id. */
+    const std::string &wordOf(WordId id) const;
+
+    /** Number of distinct words. */
+    size_t size() const { return words.size(); }
+
+    /** True if `word` is present. */
+    bool contains(const std::string &word) const;
+
+  private:
+    std::unordered_map<std::string, WordId> ids;
+    std::vector<std::string> words;
+};
+
+} // namespace mnnfast::data
+
+#endif // MNNFAST_DATA_VOCABULARY_HH

@@ -1,0 +1,42 @@
+#include "data/zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mnnfast::data {
+
+ZipfGenerator::ZipfGenerator(size_t n, double s, uint64_t seed)
+    : rng(seed)
+{
+    if (n == 0)
+        fatal("ZipfGenerator needs at least one item");
+    cdf.resize(n);
+    double acc = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf[k] = acc;
+    }
+    // Normalize so the last entry is exactly 1.
+    for (double &v : cdf)
+        v /= acc;
+    cdf.back() = 1.0;
+}
+
+size_t
+ZipfGenerator::sample()
+{
+    const double u = rng.uniform();
+    const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<size_t>(it - cdf.begin());
+}
+
+double
+ZipfGenerator::probability(size_t rank) const
+{
+    mnn_assert(rank < cdf.size(), "rank out of range");
+    return rank == 0 ? cdf[0] : cdf[rank] - cdf[rank - 1];
+}
+
+} // namespace mnnfast::data

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Zipf-distributed integer sampling.
+ *
+ * The paper evaluates the embedding cache with word frequencies from
+ * the Corpus of Contemporary American English (COCA). Natural-language
+ * word frequency follows Zipf's law closely, so a rank-frequency Zipf
+ * sampler is the faithful stand-in for the unavailable corpus (see
+ * DESIGN.md, substitution table).
+ */
+
+#ifndef MNNFAST_DATA_ZIPF_HH
+#define MNNFAST_DATA_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace mnnfast::data {
+
+/**
+ * Samples ranks in [0, n) with P(rank = k) proportional to
+ * 1 / (k+1)^s. Uses a precomputed CDF and binary search, so sampling
+ * is O(log n) and exact.
+ */
+class ZipfGenerator
+{
+  public:
+    /**
+     * @param n     Number of distinct items (e.g., vocabulary size).
+     * @param s     Skew exponent; s ~ 1.0 matches word frequency.
+     * @param seed  RNG seed (deterministic stream).
+     */
+    ZipfGenerator(size_t n, double s, uint64_t seed);
+
+    /** Draw one rank (0 = most frequent item). */
+    size_t sample();
+
+    /** Probability mass of a given rank. */
+    double probability(size_t rank) const;
+
+    /** Number of items. */
+    size_t items() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+    XorShiftRng rng;
+};
+
+} // namespace mnnfast::data
+
+#endif // MNNFAST_DATA_ZIPF_HH

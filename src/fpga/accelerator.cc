@@ -1,0 +1,293 @@
+#include "fpga/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/kernels.hh"
+#include "util/logging.hh"
+
+namespace mnnfast::fpga {
+
+FpgaAccelerator::FpgaAccelerator(const FpgaConfig &cfg)
+    : cfg(cfg)
+{
+    if (cfg.embeddingDim == 0 || cfg.chunkSize == 0 || cfg.macLanes == 0)
+        fatal("FPGA configuration dimensions must be nonzero");
+}
+
+namespace {
+
+/** Cycles for n MACs on `lanes` parallel lanes. */
+uint64_t
+macCycles(uint64_t n, size_t lanes)
+{
+    return (n + lanes - 1) / lanes;
+}
+
+} // namespace
+
+FpgaRunStats
+FpgaAccelerator::runInference(const float *u, size_t nq,
+                              const core::KnowledgeBase &kb, float *o)
+{
+    mnn_assert(kb.dim() == cfg.embeddingDim,
+               "knowledge base dim mismatch with FPGA config");
+    return cfg.columnMode ? runColumn(u, nq, kb, o)
+                          : runBaseline(u, nq, kb, o);
+}
+
+FpgaRunStats
+FpgaAccelerator::runBaseline(const float *u, size_t nq,
+                             const core::KnowledgeBase &kb, float *o)
+{
+    const size_t ns = kb.size();
+    const size_t ed = cfg.embeddingDim;
+    Ddr3Model ddr(cfg.ddr);
+    FpgaRunStats stats;
+
+    std::vector<float> tin(ns);
+
+    for (size_t q = 0; q < nq; ++q) {
+        const float *uq = u + q * ed;
+        float *oq = o + q * ed;
+
+        // ---- Inner product: stream M_IN from DDR, then MACs.
+        // The baseline design is blocking: load, then compute.
+        uint64_t mem = ddr.burstCycles(ns * ed * sizeof(float));
+        uint64_t comp = macCycles(uint64_t(ns) * ed, cfg.macLanes);
+        for (size_t i = 0; i < ns; ++i)
+            tin[i] = blas::dot(uq, kb.minRow(i), ed);
+        // Spill T_IN to DDR (BRAM cannot hold an ns-sized vector at
+        // the paper's large-scale sizes; the baseline always spills).
+        mem += ddr.burstCycles(ns * sizeof(float));
+
+        // ---- Softmax: read T_IN, exp, write P_exp; read P_exp,
+        // reduce; read P_exp, divide, write P.
+        mem += ddr.burstCycles(ns * sizeof(float));  // read T_IN
+        comp += uint64_t(ns) * cfg.expCycles;        // exp
+        mem += ddr.burstCycles(ns * sizeof(float));  // write P_exp
+        mem += ddr.burstCycles(ns * sizeof(float));  // read (reduce)
+        comp += ns;                                  // adder tree walk
+        mem += ddr.burstCycles(ns * sizeof(float));  // read (divide)
+        comp += uint64_t(ns) * cfg.divCycles;        // ns divisions
+        mem += ddr.burstCycles(ns * sizeof(float));  // write P
+
+        blas::expInplace(tin.data(), ns);
+        const float s = blas::sum(tin.data(), ns);
+        blas::scal(1.0f / s, tin.data(), ns);
+
+        // ---- Weighted sum: read P and M_OUT, MACs.
+        mem += ddr.burstCycles(ns * sizeof(float));
+        mem += ddr.burstCycles(ns * ed * sizeof(float));
+        comp += macCycles(uint64_t(ns) * ed, cfg.macLanes);
+        blas::zero(oq, ed);
+        for (size_t i = 0; i < ns; ++i)
+            blas::axpy(tin[i], kb.moutRow(i), oq, ed);
+        stats.wsumRowsKept += ns;
+
+        stats.memoryCycles += mem;
+        stats.computeCycles += comp;
+        stats.totalCycles += mem + comp; // fully serialized
+    }
+    stats.ddrBytes = ddr.totalBytes();
+    return stats;
+}
+
+FpgaRunStats
+FpgaAccelerator::runColumn(const float *u, size_t nq,
+                           const core::KnowledgeBase &kb, float *o)
+{
+    if (cfg.batchQuestions)
+        return runColumnBatch(u, nq, kb, o);
+
+    const size_t ns = kb.size();
+    const size_t ed = cfg.embeddingDim;
+    const size_t chunk = cfg.chunkSize;
+    Ddr3Model ddr(cfg.ddr);
+    FpgaRunStats stats;
+
+    std::vector<float> t(chunk);
+
+    for (size_t q = 0; q < nq; ++q) {
+        const float *uq = u + q * ed;
+        float *oq = o + q * ed;
+        blas::zero(oq, ed);
+        double psum = 0.0;
+
+        uint64_t mem = 0, comp = 0, total = 0;
+
+        for (size_t c0 = 0; c0 < ns; c0 += chunk) {
+            const size_t c1 = std::min(c0 + chunk, ns);
+            const size_t len = c1 - c0;
+
+            // Chunk loads: M_IN + M_OUT rows for this chunk. T_IN
+            // lives in BRAM (it is only `chunk` floats).
+            const uint64_t load =
+                ddr.burstCycles(2 * len * ed * sizeof(float));
+
+            // Compute: inner product + exp + weighted sum (skipped
+            // rows contribute only their exp/accumulate).
+            uint64_t kept_macs = 0;
+            for (size_t i = 0; i < len; ++i)
+                t[i] = blas::dot(uq, kb.minRow(c0 + i), ed);
+            uint64_t c_comp =
+                macCycles(uint64_t(len) * ed, cfg.macLanes);
+            c_comp += uint64_t(len) * cfg.expCycles;
+
+            for (size_t i = 0; i < len; ++i) {
+                const float e = std::exp(t[i]);
+                psum += e;
+                if (cfg.skipThreshold > 0.f && e < cfg.skipThreshold) {
+                    ++stats.wsumRowsSkipped;
+                    continue;
+                }
+                ++stats.wsumRowsKept;
+                kept_macs += ed;
+                blas::axpy(e, kb.moutRow(c0 + i), oq, ed);
+            }
+            c_comp += macCycles(kept_macs, cfg.macLanes);
+
+            if (cfg.streaming) {
+                // Double buffering: the next chunk loads while this
+                // one computes. Only streamOverlapEff of the shorter
+                // leg is actually hidden (DDR-port / BRAM-bank
+                // contention between the prefetch engine and the
+                // compute units).
+                const uint64_t hidden = static_cast<uint64_t>(
+                    cfg.streamOverlapEff
+                    * static_cast<double>(std::min(load, c_comp)));
+                total += load + c_comp - hidden;
+                mem += load > hidden ? load - hidden : 0;
+            } else {
+                total += load + c_comp;
+                mem += load;
+            }
+            comp += c_comp;
+        }
+
+        // Lazy softmax: ed divisions at the very end.
+        blas::scal(static_cast<float>(1.0 / psum), oq, ed);
+        const uint64_t div = uint64_t(ed) * cfg.divCycles;
+        comp += div;
+        total += div;
+
+        stats.memoryCycles += mem;
+        stats.computeCycles += comp;
+        stats.totalCycles += total;
+    }
+    stats.ddrBytes = ddr.totalBytes();
+    return stats;
+}
+
+FpgaRunStats
+FpgaAccelerator::runColumnBatch(const float *u, size_t nq,
+                                const core::KnowledgeBase &kb, float *o)
+{
+    const size_t ns = kb.size();
+    const size_t ed = cfg.embeddingDim;
+    const size_t chunk = cfg.chunkSize;
+    Ddr3Model ddr(cfg.ddr);
+    FpgaRunStats stats;
+
+    std::vector<float> t(chunk);
+    std::vector<double> psum(nq, 0.0);
+    for (size_t q = 0; q < nq; ++q)
+        blas::zero(o + q * ed, ed);
+
+    uint64_t mem = 0, comp = 0, total = 0;
+
+    for (size_t c0 = 0; c0 < ns; c0 += chunk) {
+        const size_t c1 = std::min(c0 + chunk, ns);
+        const size_t len = c1 - c0;
+
+        // One chunk load serves every question in the batch.
+        const uint64_t load =
+            ddr.burstCycles(2 * len * ed * sizeof(float));
+
+        uint64_t c_comp = 0;
+        for (size_t q = 0; q < nq; ++q) {
+            const float *uq = u + q * ed;
+            float *oq = o + q * ed;
+
+            uint64_t kept_macs = 0;
+            for (size_t i = 0; i < len; ++i)
+                t[i] = blas::dot(uq, kb.minRow(c0 + i), ed);
+            c_comp += macCycles(uint64_t(len) * ed, cfg.macLanes);
+            c_comp += uint64_t(len) * cfg.expCycles;
+
+            for (size_t i = 0; i < len; ++i) {
+                const float e = std::exp(t[i]);
+                psum[q] += e;
+                if (cfg.skipThreshold > 0.f
+                    && e < cfg.skipThreshold) {
+                    ++stats.wsumRowsSkipped;
+                    continue;
+                }
+                ++stats.wsumRowsKept;
+                kept_macs += ed;
+                blas::axpy(e, kb.moutRow(c0 + i), oq, ed);
+            }
+            c_comp += macCycles(kept_macs, cfg.macLanes);
+        }
+
+        if (cfg.streaming) {
+            const uint64_t hidden = static_cast<uint64_t>(
+                cfg.streamOverlapEff
+                * static_cast<double>(std::min(load, c_comp)));
+            total += load + c_comp - hidden;
+            mem += load > hidden ? load - hidden : 0;
+        } else {
+            total += load + c_comp;
+            mem += load;
+        }
+        comp += c_comp;
+    }
+
+    for (size_t q = 0; q < nq; ++q)
+        blas::scal(static_cast<float>(1.0 / psum[q]), o + q * ed, ed);
+    const uint64_t div = uint64_t(nq) * ed * cfg.divCycles;
+    comp += div;
+    total += div;
+
+    stats.memoryCycles = mem;
+    stats.computeCycles = comp;
+    stats.totalCycles = total;
+    stats.ddrBytes = ddr.totalBytes();
+    return stats;
+}
+
+EmbedStats
+FpgaAccelerator::runEmbedding(
+    const std::vector<data::Sentence> &sentences, EmbeddingCache *cache)
+{
+    const size_t ed = cfg.embeddingDim;
+    Ddr3Model ddr(cfg.ddr);
+    EmbedStats stats;
+
+    const uint64_t row_bytes = ed * sizeof(float);
+    const uint64_t hit_cycles = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(row_bytes) / cfg.bramBytesPerCycle));
+
+    for (const data::Sentence &s : sentences) {
+        for (data::WordId w : s) {
+            ++stats.words;
+            if (cache) {
+                if (cache->lookup(w)) {
+                    ++stats.cacheHits;
+                    stats.cycles += hit_cycles;
+                } else {
+                    ++stats.cacheMisses;
+                    stats.cycles += ddr.burstCycles(row_bytes);
+                }
+            } else {
+                stats.cycles += ddr.burstCycles(row_bytes);
+            }
+        }
+        // Vector accumulation into the sentence state overlaps the
+        // next lookup; one drain cycle per sentence.
+        stats.cycles += 1;
+    }
+    return stats;
+}
+
+} // namespace mnnfast::fpga

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cycle-approximate model of the FPGA-based MnnFast accelerator
+ * (paper Section 4.2, Fig. 8), functional and timed.
+ *
+ * The model executes the real computation (so its outputs can be
+ * checked against the CPU engines bit-for-bit up to FP reassociation)
+ * while accounting PL cycles for each pipeline unit:
+ *
+ *   - inner-product unit:  macLanes MACs/cycle over M_IN rows
+ *   - partial softmax:     pipelined exp (1/cycle) + accumulator
+ *   - weighted-sum unit:   macLanes MACs/cycle over M_OUT rows,
+ *                          with exp-domain zero-skipping
+ *   - lazy softmax:        divPipeline divisions at the very end
+ *   - DDR3 interface:      burst transfers (see Ddr3Model); in
+ *                          streaming mode chunk loads double-buffer
+ *                          against compute
+ *   - embedding unit:      word stream through the EmbeddingCache
+ *
+ * The baseline mode reproduces the paper's straightforward FPGA
+ * implementation: whole-layer passes with T_IN / P_exp / P spilled to
+ * DDR3 (BRAM cannot hold ns-sized vectors).
+ */
+
+#ifndef MNNFAST_FPGA_ACCELERATOR_HH
+#define MNNFAST_FPGA_ACCELERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/knowledge_base.hh"
+#include "data/babi.hh"
+#include "fpga/ddr3_model.hh"
+#include "fpga/embedding_cache.hh"
+
+namespace mnnfast::fpga {
+
+/** Accelerator configuration (defaults: paper Table 1, FPGA column). */
+struct FpgaConfig
+{
+    size_t embeddingDim = 25;
+    size_t chunkSize = 25;
+    /**
+     * MAC lanes shared by inner-product and weighted-sum units. The
+     * ZedBoard's modest DSP budget supports few parallel lanes, which
+     * makes the pipeline compute-bound — the regime where
+     * zero-skipping pays off (paper Fig. 13).
+     */
+    size_t macLanes = 4;
+    /** Cycles per scalar division (non-pipelined divider). */
+    uint64_t divCycles = 4;
+    /** Cycles per exponential evaluation (pipelined, II=1). */
+    uint64_t expCycles = 1;
+    /** Column-based dataflow (false = baseline whole-layer). */
+    bool columnMode = true;
+    /** Double-buffer chunk loads against compute. */
+    bool streaming = false;
+    /**
+     * Fraction of the shorter of {load, compute} actually hidden by
+     * double buffering. Less than 1.0 because the prefetch engine and
+     * the compute units contend for the single DDR3 port and BRAM
+     * banks; 0.6 calibrates the streaming step to the paper's
+     * measured -38.2% (Fig. 13).
+     */
+    double streamOverlapEff = 0.6;
+    /**
+     * Exp-domain zero-skip threshold (paper Section 4.2: the raw
+     * exponential result is compared against th_skip). 0 disables.
+     */
+    float skipThreshold = 0.0f;
+    /**
+     * Batch-question mode (paper Fig. 8 shows a question matrix Q):
+     * each chunk is loaded from DDR once and all questions in the
+     * batch compute against it while resident, amortizing the memory
+     * traffic. When false, questions are processed one at a time and
+     * each one re-streams the knowledge base (the latency-oriented
+     * single-question configuration of Fig. 13).
+     */
+    bool batchQuestions = false;
+    /** PL clock, Hz (ZedBoard design runs at 100 MHz). */
+    double clockHz = 100.0e6;
+    /** BRAM read width for embedding-cache hits, bytes/cycle. */
+    double bramBytesPerCycle = 128.0;
+    Ddr3Config ddr;
+};
+
+/** Cycle/work accounting of one inference run. */
+struct FpgaRunStats
+{
+    uint64_t totalCycles = 0;
+    uint64_t computeCycles = 0; ///< MAC/exp/div work
+    uint64_t memoryCycles = 0;  ///< exposed (non-overlapped) DDR time
+    uint64_t ddrBytes = 0;
+    uint64_t wsumRowsKept = 0;
+    uint64_t wsumRowsSkipped = 0;
+
+    double
+    seconds(double clock_hz) const
+    {
+        return static_cast<double>(totalCycles) / clock_hz;
+    }
+};
+
+/** Cycle accounting of the embedding phase. */
+struct EmbedStats
+{
+    uint64_t cycles = 0;
+    uint64_t words = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+};
+
+/** See file header. */
+class FpgaAccelerator
+{
+  public:
+    explicit FpgaAccelerator(const FpgaConfig &cfg);
+
+    /**
+     * Run inference for `nq` questions (u: nq x ed) over `kb`,
+     * writing response vectors to o (nq x ed) and returning the cycle
+     * accounting. Questions are processed sequentially, as on the
+     * real single-pipeline design.
+     */
+    FpgaRunStats runInference(const float *u, size_t nq,
+                              const core::KnowledgeBase &kb, float *o);
+
+    /**
+     * Run the embedding phase over a word stream. If `cache` is
+     * non-null, lookups go through the embedding cache (hits served
+     * from BRAM); otherwise every word costs a DDR3 row fetch.
+     */
+    EmbedStats runEmbedding(const std::vector<data::Sentence> &sentences,
+                            EmbeddingCache *cache);
+
+    const FpgaConfig &config() const { return cfg; }
+
+  private:
+    FpgaRunStats runBaseline(const float *u, size_t nq,
+                             const core::KnowledgeBase &kb, float *o);
+    FpgaRunStats runColumn(const float *u, size_t nq,
+                           const core::KnowledgeBase &kb, float *o);
+    FpgaRunStats runColumnBatch(const float *u, size_t nq,
+                                const core::KnowledgeBase &kb,
+                                float *o);
+
+    FpgaConfig cfg;
+};
+
+} // namespace mnnfast::fpga
+
+#endif // MNNFAST_FPGA_ACCELERATOR_HH

@@ -1,0 +1,24 @@
+#include "fpga/ddr3_model.hh"
+
+#include <cmath>
+
+namespace mnnfast::fpga {
+
+uint64_t
+Ddr3Model::burstCycles(uint64_t bytes)
+{
+    stats_["bytes"].add(bytes);
+    stats_["bursts"].add();
+    const double transfer =
+        static_cast<double>(bytes) / cfg.bytesPerCycle;
+    return cfg.latencyCycles
+         + static_cast<uint64_t>(std::ceil(transfer));
+}
+
+double
+Ddr3Model::streamCycles(uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / cfg.bytesPerCycle;
+}
+
+} // namespace mnnfast::fpga

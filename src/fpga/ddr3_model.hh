@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DDR3 memory model for the FPGA accelerator (ZedBoard: 32-bit DDR3
+ * at 533 MHz, accessed from 100 MHz programmable logic).
+ */
+
+#ifndef MNNFAST_FPGA_DDR3_MODEL_HH
+#define MNNFAST_FPGA_DDR3_MODEL_HH
+
+#include <cstdint>
+
+#include "stats/counter.hh"
+
+namespace mnnfast::fpga {
+
+/**
+ * DDR3 parameters expressed in PL (programmable logic) clock cycles.
+ * Peak: 533 MHz x 2 (DDR) x 4 B = 4.26 GB/s = ~42.6 B per 10 ns PL
+ * cycle; a 0.6 efficiency factor covers refresh, read/write
+ * turnaround, and the Zynq HP-port arbitration.
+ */
+struct Ddr3Config
+{
+    double bytesPerCycle = 42.6 * 0.6;
+    /** First-word latency of a burst, PL cycles. */
+    uint64_t latencyCycles = 15;
+};
+
+/** Burst-transfer cost model with byte accounting. */
+class Ddr3Model
+{
+  public:
+    explicit Ddr3Model(const Ddr3Config &cfg) : cfg(cfg) {}
+
+    /** PL cycles to move `bytes` as one burst (latency + transfer). */
+    uint64_t burstCycles(uint64_t bytes);
+
+    /** Cycles for a pure streaming transfer (latency amortized away). */
+    double streamCycles(uint64_t bytes) const;
+
+    /** Total bytes transferred so far. */
+    uint64_t totalBytes() const { return stats_.value("bytes"); }
+
+    /** Number of bursts issued. */
+    uint64_t bursts() const { return stats_.value("bursts"); }
+
+    const Ddr3Config &config() const { return cfg; }
+    const stats::CounterGroup &counters() const { return stats_; }
+
+  private:
+    Ddr3Config cfg;
+    stats::CounterGroup stats_;
+};
+
+} // namespace mnnfast::fpga
+
+#endif // MNNFAST_FPGA_DDR3_MODEL_HH

@@ -1,0 +1,49 @@
+#include "fpga/embedding_cache.hh"
+
+#include "util/logging.hh"
+
+namespace mnnfast::fpga {
+
+EmbeddingCache::EmbeddingCache(const EmbeddingCacheConfig &cfg)
+    : cfg(cfg)
+{
+    const size_t entry_bytes = cfg.embeddingDim * sizeof(float);
+    if (entry_bytes == 0)
+        fatal("embedding cache entry size must be nonzero");
+    const size_t n = cfg.sizeBytes / entry_bytes;
+    if (n == 0) {
+        fatal("embedding cache of %zu bytes cannot hold one %zu-byte "
+              "entry", cfg.sizeBytes, entry_bytes);
+    }
+    slots.resize(n);
+}
+
+bool
+EmbeddingCache::lookup(data::WordId word)
+{
+    Slot &slot = slots[word % slots.size()];
+    if (slot.valid && slot.word == word) {
+        stats_["hits"].add();
+        return true;
+    }
+    stats_["misses"].add();
+    slot.valid = true;
+    slot.word = word;
+    return false;
+}
+
+bool
+EmbeddingCache::probe(data::WordId word) const
+{
+    const Slot &slot = slots[word % slots.size()];
+    return slot.valid && slot.word == word;
+}
+
+void
+EmbeddingCache::flush()
+{
+    for (Slot &s : slots)
+        s = Slot{};
+}
+
+} // namespace mnnfast::fpga

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The embedding cache (paper Section 3.3 / 4.2): a direct-mapped,
+ * word-granular cache dedicated to embedding-matrix rows.
+ *
+ * Each entry holds {valid bit, word ID tag, ed x fp32 state vector};
+ * the "word size" of the cache is the embedding dimension, so one hit
+ * delivers a whole internal state vector. Because embedding lookups
+ * never touch the shared cache hierarchy, inference and embedding
+ * traffic are perfectly isolated.
+ */
+
+#ifndef MNNFAST_FPGA_EMBEDDING_CACHE_HH
+#define MNNFAST_FPGA_EMBEDDING_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "data/vocabulary.hh"
+#include "stats/counter.hh"
+
+namespace mnnfast::fpga {
+
+/** Geometry of an EmbeddingCache. */
+struct EmbeddingCacheConfig
+{
+    /** Total data capacity in bytes (32KB-256KB in the paper). */
+    size_t sizeBytes = 64 << 10;
+    /** Embedding dimension; entry payload is ed * 4 bytes. */
+    size_t embeddingDim = 256;
+};
+
+/** See file header. */
+class EmbeddingCache
+{
+  public:
+    explicit EmbeddingCache(const EmbeddingCacheConfig &cfg);
+
+    /**
+     * Look up a word; on miss the entry is filled (the caller models
+     * the DRAM fetch cost).
+     *
+     * @return true on hit.
+     */
+    bool lookup(data::WordId word);
+
+    /** True if the word is resident (no state change). */
+    bool probe(data::WordId word) const;
+
+    /** Invalidate all entries. */
+    void flush();
+
+    /** Number of entries (capacity / entry payload). */
+    size_t entries() const { return slots.size(); }
+
+    uint64_t hits() const { return stats_.value("hits"); }
+    uint64_t misses() const { return stats_.value("misses"); }
+
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits() + misses();
+        return total ? double(hits()) / double(total) : 0.0;
+    }
+
+    const stats::CounterGroup &counters() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        data::WordId word = data::kNoWord;
+        bool valid = false;
+    };
+
+    EmbeddingCacheConfig cfg;
+    std::vector<Slot> slots;
+    stats::CounterGroup stats_;
+};
+
+} // namespace mnnfast::fpga
+
+#endif // MNNFAST_FPGA_EMBEDDING_CACHE_HH

@@ -1,0 +1,3 @@
+// Header-only logic lives in energy_model.hh; this translation unit
+// anchors the component in the mnn_fpga library.
+#include "fpga/energy_model.hh"

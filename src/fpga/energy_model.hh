@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Energy model for the CPU-vs-FPGA efficiency comparison (paper
+ * Section 5.5).
+ *
+ * The paper measures CPU energy with turbostat and FPGA energy from
+ * Vivado's post-bitstream power report; neither is available here, so
+ * energy = time x platform power with literature-typical constants:
+ * a dual-socket Xeon E5-2650 v4 running a 20-thread AVX workload
+ * draws ~120 W above idle plus ~50 W of uncore/DRAM; a Zynq-7020
+ * design at 100 MHz reports ~2-3 W total. The *ratio* (what the paper
+ * reports: up to 6.54x) is the reproduced quantity; the constants are
+ * recorded in EXPERIMENTS.md.
+ */
+
+#ifndef MNNFAST_FPGA_ENERGY_MODEL_HH
+#define MNNFAST_FPGA_ENERGY_MODEL_HH
+
+namespace mnnfast::fpga {
+
+/** Platform power constants (watts). */
+struct EnergyConfig
+{
+    /** FPGA: PL dynamic + PS + static at full activity. */
+    double fpgaWatts = 2.6;
+    /** CPU package+DRAM power under the 20-thread MnnFast load. */
+    double cpuWatts = 170.0;
+};
+
+/** Energy for a run of the given duration on each platform. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyConfig &cfg) : cfg(cfg) {}
+
+    double fpgaJoules(double seconds) const
+    {
+        return seconds * cfg.fpgaWatts;
+    }
+
+    double cpuJoules(double seconds) const
+    {
+        return seconds * cfg.cpuWatts;
+    }
+
+    /**
+     * Energy-efficiency ratio (CPU joules / FPGA joules) for the same
+     * amount of work done in the given times.
+     */
+    double
+    efficiencyGain(double cpu_seconds, double fpga_seconds) const
+    {
+        return cpuJoules(cpu_seconds) / fpgaJoules(fpga_seconds);
+    }
+
+    const EnergyConfig &config() const { return cfg; }
+
+  private:
+    EnergyConfig cfg;
+};
+
+} // namespace mnnfast::fpga
+
+#endif // MNNFAST_FPGA_ENERGY_MODEL_HH

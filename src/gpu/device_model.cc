@@ -1,0 +1,17 @@
+#include "gpu/device_model.hh"
+
+#include <algorithm>
+
+namespace mnnfast::gpu {
+
+double
+GpuDeviceModel::kernelSeconds(const KernelDesc &k) const
+{
+    const double compute =
+        k.flops / (cfg.peakFlops * cfg.computeEfficiency);
+    const double memory =
+        k.deviceBytes / (cfg.memBandwidth * cfg.memEfficiency);
+    return std::max(compute, memory) + cfg.launchOverhead;
+}
+
+} // namespace mnnfast::gpu

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic GPU device model.
+ *
+ * The paper's GPU study (Fig. 12) is about *overlap and contention*:
+ * CUDA streams overlap kernels with copies but copies serialize on
+ * the PCIe bus, and multiple GPUs contend for shared host links. A
+ * roofline kernel-time model plus an explicit bus timeline captures
+ * exactly those effects (DESIGN.md, substitution table). Default
+ * parameters approximate an NVIDIA TITAN Xp.
+ */
+
+#ifndef MNNFAST_GPU_DEVICE_MODEL_HH
+#define MNNFAST_GPU_DEVICE_MODEL_HH
+
+#include <cstddef>
+
+namespace mnnfast::gpu {
+
+/** Device compute/memory parameters. */
+struct GpuConfig
+{
+    /** Peak FP32 throughput, flops/second. */
+    double peakFlops = 12.0e12;
+    /** Achieved fraction of peak for these BLAS-like kernels. */
+    double computeEfficiency = 0.25;
+    /** Device memory bandwidth, bytes/second. */
+    double memBandwidth = 547.0e9;
+    /** Achieved fraction of peak device bandwidth. */
+    double memEfficiency = 0.75;
+    /** Fixed kernel launch overhead, seconds. */
+    double launchOverhead = 5.0e-6;
+};
+
+/** A kernel described by its compute and device-memory volumes. */
+struct KernelDesc
+{
+    double flops = 0.0;
+    double deviceBytes = 0.0;
+};
+
+/** Roofline execution-time model for one device. */
+class GpuDeviceModel
+{
+  public:
+    explicit GpuDeviceModel(const GpuConfig &cfg) : cfg(cfg) {}
+
+    /**
+     * Kernel execution time: max of the compute and device-memory
+     * rooflines, plus launch overhead.
+     */
+    double kernelSeconds(const KernelDesc &k) const;
+
+    const GpuConfig &config() const { return cfg; }
+
+  private:
+    GpuConfig cfg;
+};
+
+} // namespace mnnfast::gpu
+
+#endif // MNNFAST_GPU_DEVICE_MODEL_HH

@@ -1,0 +1,22 @@
+#include "gpu/pcie_bus.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mnnfast::gpu {
+
+double
+PcieBus::transfer(double ready, double bytes)
+{
+    mnn_assert(bytes >= 0.0, "negative transfer size");
+    const double start = std::max(ready, busy_until);
+    const double done =
+        start + cfg.setupLatency + bytes / cfg.bandwidth;
+    busy_until = done;
+    total_bytes += bytes;
+    ++n_transfers;
+    return done;
+}
+
+} // namespace mnnfast::gpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * PCIe bus timeline: transfers serialize (each memcpy uses the full
+ * link bandwidth), which is the property the paper identifies as the
+ * critical path of the GPU implementation.
+ */
+
+#ifndef MNNFAST_GPU_PCIE_BUS_HH
+#define MNNFAST_GPU_PCIE_BUS_HH
+
+#include <cstdint>
+
+#include "stats/counter.hh"
+
+namespace mnnfast::gpu {
+
+/** PCIe link parameters (defaults: PCIe 3.0 x16 effective). */
+struct PcieConfig
+{
+    /** Effective per-link bandwidth, bytes/second. */
+    double bandwidth = 12.0e9;
+    /** Per-transfer setup latency, seconds. */
+    double setupLatency = 10.0e-6;
+    /**
+     * Aggregate host-side bandwidth shared by all links (the server's
+     * root-complex / interconnect ceiling). With G active GPUs each
+     * link sustains min(bandwidth, hostAggregateBandwidth / G) — the
+     * contention the paper measures in Fig. 12(b).
+     */
+    double hostAggregateBandwidth = 36.0e9;
+};
+
+/**
+ * A single shared link. transfer() reserves the bus FIFO: a transfer
+ * requested at `ready` begins at max(ready, busFree) and completes
+ * after setup + bytes/bandwidth.
+ */
+class PcieBus
+{
+  public:
+    explicit PcieBus(const PcieConfig &cfg) : cfg(cfg) {}
+
+    /**
+     * Request a transfer of `bytes` that is ready to start at time
+     * `ready` (seconds). Returns the completion time; the bus is busy
+     * until then.
+     */
+    double transfer(double ready, double bytes);
+
+    /** Time at which the bus next becomes free. */
+    double busyUntil() const { return busy_until; }
+
+    /** Total bytes moved. */
+    double totalBytes() const { return total_bytes; }
+
+    /** Number of transfers serviced. */
+    uint64_t transfers() const { return n_transfers; }
+
+    void
+    reset()
+    {
+        busy_until = 0.0;
+        total_bytes = 0.0;
+        n_transfers = 0;
+    }
+
+  private:
+    PcieConfig cfg;
+    double busy_until = 0.0;
+    double total_bytes = 0.0;
+    uint64_t n_transfers = 0;
+};
+
+} // namespace mnnfast::gpu
+
+#endif // MNNFAST_GPU_PCIE_BUS_HH

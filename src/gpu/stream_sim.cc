@@ -1,0 +1,138 @@
+#include "gpu/stream_sim.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mnnfast::gpu {
+
+namespace {
+
+/** Approximate flop cost of one exponential on the GPU. */
+constexpr double kExpFlops = 20.0;
+
+} // namespace
+
+double
+GpuWorkload::chunkBytes() const
+{
+    // M_IN and M_OUT rows for the chunk, fp32.
+    return 2.0 * double(chunkSize) * double(ed) * sizeof(float);
+}
+
+std::vector<KernelDesc>
+GpuWorkload::chunkKernels() const
+{
+    const double c = double(chunkSize);
+    const double q = double(nq);
+    const double e = double(ed);
+
+    KernelDesc inner;
+    inner.flops = 2.0 * q * c * e;
+    inner.deviceBytes = c * e * 4.0 + q * c * 4.0;
+
+    KernelDesc softmax;
+    softmax.flops = q * c * kExpFlops;
+    softmax.deviceBytes = 2.0 * q * c * 4.0;
+
+    KernelDesc wsum;
+    wsum.flops = 2.0 * q * c * e;
+    wsum.deviceBytes = c * e * 4.0 + q * c * 4.0;
+
+    return {inner, softmax, wsum};
+}
+
+GpuLatency
+CudaStreamSim::simulateDevice(const GpuWorkload &wl, size_t chunks,
+                              size_t n_streams, PcieBus &bus) const
+{
+    mnn_assert(n_streams > 0, "need at least one CUDA stream");
+
+    const double copy_bytes = wl.chunkBytes();
+    const auto kernels = wl.chunkKernels();
+    double kernel_per_chunk = 0.0;
+    for (const KernelDesc &k : kernels)
+        kernel_per_chunk += device.kernelSeconds(k);
+
+    std::vector<double> stream_ready(n_streams, 0.0);
+    double gpu_free = 0.0;
+    double last_copy_done = 0.0;
+    double last_kernel_done = 0.0;
+    double kernel_total = 0.0;
+
+    for (size_t c = 0; c < chunks; ++c) {
+        const size_t s = c % n_streams;
+        // Within a stream, the next copy waits for the stream's
+        // previous kernel (program order); across streams, copies
+        // queue FIFO on the link.
+        const double copy_done =
+            bus.transfer(stream_ready[s], copy_bytes);
+        last_copy_done = std::max(last_copy_done, copy_done);
+
+        // Kernels overlap with copies but serialize on the compute
+        // engine.
+        const double start = std::max(copy_done, gpu_free);
+        const double done = start + kernel_per_chunk;
+        gpu_free = done;
+        stream_ready[s] = done;
+        kernel_total += kernel_per_chunk;
+        last_kernel_done = std::max(last_kernel_done, done);
+    }
+
+    GpuLatency lat;
+    lat.h2dSeconds = last_copy_done;
+    lat.kernelSeconds = kernel_total;
+    lat.doneAt = last_kernel_done;
+    return lat;
+}
+
+StreamSimResult
+CudaStreamSim::runSingleGpu(const GpuWorkload &wl,
+                            size_t n_streams) const
+{
+    const size_t chunks =
+        (wl.ns + wl.chunkSize - 1) / wl.chunkSize;
+    PcieBus bus(pcie);
+    StreamSimResult result;
+    result.perGpu.push_back(simulateDevice(wl, chunks, n_streams, bus));
+    result.makespan = result.perGpu[0].doneAt;
+    return result;
+}
+
+StreamSimResult
+CudaStreamSim::runMultiGpu(const GpuWorkload &wl, size_t n_gpus,
+                           size_t streams_per_gpu,
+                           bool shared_bus) const
+{
+    mnn_assert(n_gpus > 0, "need at least one GPU");
+
+    // Each device gets its own link; under host-side contention the
+    // sustained per-link bandwidth drops to aggregate / n_gpus.
+    PcieConfig link = pcie;
+    if (shared_bus) {
+        link.bandwidth =
+            std::min(pcie.bandwidth,
+                     pcie.hostAggregateBandwidth
+                         / static_cast<double>(n_gpus));
+    }
+
+    StreamSimResult result;
+    for (size_t g = 0; g < n_gpus; ++g) {
+        // Partition sentences evenly; earlier GPUs take the remainder.
+        const size_t base = wl.ns / n_gpus;
+        const size_t extra = g < wl.ns % n_gpus ? 1 : 0;
+        GpuWorkload part = wl;
+        part.ns = base + extra;
+
+        const size_t chunks =
+            (part.ns + part.chunkSize - 1) / part.chunkSize;
+        PcieBus bus(link);
+        result.perGpu.push_back(
+            simulateDevice(part, chunks, streams_per_gpu, bus));
+        result.makespan =
+            std::max(result.makespan, result.perGpu.back().doneAt);
+    }
+    return result;
+}
+
+} // namespace mnnfast::gpu

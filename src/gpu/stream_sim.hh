@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CUDA-stream / multi-GPU execution simulator for the column-based
+ * algorithm (paper Section 5.3, Fig. 12).
+ *
+ * Overlap rules, as measured in the paper:
+ *  - kernel/kernel and kernel/memcpy can overlap;
+ *  - memcpy/memcpy cannot (each H2D copy uses the full PCIe link);
+ *  - multiple GPUs overlap copies only if they have private links.
+ */
+
+#ifndef MNNFAST_GPU_STREAM_SIM_HH
+#define MNNFAST_GPU_STREAM_SIM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "gpu/device_model.hh"
+#include "gpu/pcie_bus.hh"
+
+namespace mnnfast::gpu {
+
+/** Workload dimensions for the GPU study (paper Table 1 GPU column). */
+struct GpuWorkload
+{
+    size_t ns = 100'000'000; ///< story sentences
+    size_t ed = 64;          ///< embedding dimension
+    size_t nq = 32;          ///< questions per batch
+    /** Sentences moved and processed per stream step. */
+    size_t chunkSize = 1'000'000;
+
+    /** H2D bytes per chunk (M_IN + M_OUT rows). */
+    double chunkBytes() const;
+
+    /** Kernel descriptors for one chunk (inner, softmax, wsum). */
+    std::vector<KernelDesc> chunkKernels() const;
+};
+
+/** Latency summary of one device's execution. */
+struct GpuLatency
+{
+    double h2dSeconds = 0.0;    ///< wall time from first copy request
+                                ///< to last copy completion
+    double kernelSeconds = 0.0; ///< sum of kernel execution times
+    double doneAt = 0.0;        ///< completion time of the last kernel
+};
+
+/** Result of a stream-simulation run. */
+struct StreamSimResult
+{
+    /** Per-device latencies (one entry for the single-GPU case). */
+    std::vector<GpuLatency> perGpu;
+    /** Time at which every device has finished. */
+    double makespan = 0.0;
+};
+
+/** See file header. */
+class CudaStreamSim
+{
+  public:
+    CudaStreamSim(const GpuConfig &gpu, const PcieConfig &pcie)
+        : device(gpu), pcie(pcie)
+    {}
+
+    /**
+     * One GPU, `n_streams` CUDA streams. Chunks are assigned to
+     * streams round-robin; within a stream operations are ordered;
+     * copies serialize on the link; kernels serialize on the device's
+     * compute engine but overlap with copies.
+     */
+    StreamSimResult runSingleGpu(const GpuWorkload &wl,
+                                 size_t n_streams) const;
+
+    /**
+     * `n_gpus` devices with the workload partitioned evenly; each
+     * device internally uses `streams_per_gpu` streams. If
+     * `shared_bus`, all devices contend for one PCIe link (the
+     * paper's measured case); otherwise each has a private link (the
+     * paper's ideal case B).
+     */
+    StreamSimResult runMultiGpu(const GpuWorkload &wl, size_t n_gpus,
+                                size_t streams_per_gpu,
+                                bool shared_bus) const;
+
+  private:
+    /**
+     * Simulate one device processing `chunks` chunk-steps over `bus`,
+     * starting at time 0. Returns its latency summary.
+     */
+    GpuLatency simulateDevice(const GpuWorkload &wl, size_t chunks,
+                              size_t n_streams, PcieBus &bus) const;
+
+    GpuDeviceModel device;
+    PcieConfig pcie;
+};
+
+} // namespace mnnfast::gpu
+
+#endif // MNNFAST_GPU_STREAM_SIM_HH

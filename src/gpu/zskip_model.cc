@@ -1,0 +1,75 @@
+#include "gpu/zskip_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mnnfast::gpu {
+
+namespace {
+
+/** Weighted-sum kernel descriptor over the whole knowledge base. */
+KernelDesc
+wsumKernel(const GpuWorkload &wl, double row_fraction)
+{
+    KernelDesc k;
+    const double rows = double(wl.ns) * row_fraction;
+    k.flops = 2.0 * double(wl.nq) * rows * double(wl.ed);
+    k.deviceBytes =
+        rows * double(wl.ed) * 4.0 + double(wl.nq) * rows * 4.0;
+    return k;
+}
+
+} // namespace
+
+double
+GpuZskipModel::denseWsumSeconds(const GpuWorkload &wl) const
+{
+    return device.kernelSeconds(wsumKernel(wl, 1.0));
+}
+
+ZskipOutcome
+GpuZskipModel::warpSkip(const GpuWorkload &wl, double keep) const
+{
+    mnn_assert(keep >= 0.0 && keep <= 1.0, "keep fraction out of range");
+    // A warp is saved only when all of its lanes' rows are skipped.
+    const double p_warp_skipped =
+        std::pow(1.0 - keep, double(params.warpSize));
+    const double executed_fraction = 1.0 - p_warp_skipped;
+
+    ZskipOutcome out;
+    out.seconds =
+        device.kernelSeconds(wsumKernel(wl, executed_fraction));
+    out.relativeToDense = out.seconds / denseWsumSeconds(wl);
+    return out;
+}
+
+GpuZskipModel::CompactionOutcome
+GpuZskipModel::compaction(const GpuWorkload &wl, double keep) const
+{
+    mnn_assert(keep >= 0.0 && keep <= 1.0, "keep fraction out of range");
+
+    // Transformation: stream the probability matrix a few times
+    // (predicate evaluation, prefix scan, scatter of row indices and
+    // kept rows). Bandwidth-bound.
+    KernelDesc transform;
+    transform.flops = double(wl.nq) * double(wl.ns) * 4.0;
+    transform.deviceBytes =
+        params.transformPasses
+        * (double(wl.nq) * double(wl.ns) * 4.0
+           + keep * double(wl.ns) * double(wl.ed) * 4.0);
+
+    // Compacted weighted sum: only kept rows, but every M_OUT access
+    // is a gather through the index array.
+    KernelDesc compacted = wsumKernel(wl, keep);
+    compacted.deviceBytes *= params.indirectionPenalty;
+
+    CompactionOutcome out;
+    out.transformSeconds = device.kernelSeconds(transform);
+    out.wsumSeconds = device.kernelSeconds(compacted);
+    out.totalSeconds = out.transformSeconds + out.wsumSeconds;
+    out.relativeToDense = out.totalSeconds / denseWsumSeconds(wl);
+    return out;
+}
+
+} // namespace mnnfast::gpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Why zero-skipping is omitted on GPUs (paper Section 4.1.2).
+ *
+ * The paper evaluates and rejects two GPU skipping schemes:
+ *  - naive divergence-based skipping: a warp only completes early if
+ *    ALL of its lanes are skipped, which is vanishingly unlikely;
+ *  - matrix compaction (DeftNN-style): the transformation kernel's
+ *    latency is comparable to the weighted sum itself, and the
+ *    compacted multiply pays indirect-access penalties.
+ *
+ * This model quantifies both so the claim is reproducible
+ * (bench/ablation_gpu_zskip).
+ */
+
+#ifndef MNNFAST_GPU_ZSKIP_MODEL_HH
+#define MNNFAST_GPU_ZSKIP_MODEL_HH
+
+#include "gpu/device_model.hh"
+#include "gpu/stream_sim.hh"
+
+namespace mnnfast::gpu {
+
+/** Parameters of the GPU zero-skipping analysis. */
+struct ZskipParams
+{
+    /** Lanes per warp; a warp retires early only if all skip. */
+    size_t warpSize = 32;
+    /**
+     * Slowdown factor of gather (indirect) accesses relative to
+     * coalesced streaming in the compacted weighted sum.
+     */
+    double indirectionPenalty = 1.6;
+    /**
+     * Compaction transformation traffic multiplier: the scan +
+     * scatter passes read the probability matrix and move the kept
+     * rows, i.e. a few extra passes over the data.
+     */
+    double transformPasses = 3.0;
+};
+
+/** Outcome of one weighted-sum strategy. */
+struct ZskipOutcome
+{
+    double seconds = 0.0;
+    /** Fraction of the dense weighted-sum time (>1 means harmful). */
+    double relativeToDense = 0.0;
+};
+
+/** See file header. */
+class GpuZskipModel
+{
+  public:
+    GpuZskipModel(const GpuConfig &gpu, const ZskipParams &params)
+        : device(gpu), params(params)
+    {}
+
+    /** Dense (no skipping) weighted-sum kernel time. */
+    double denseWsumSeconds(const GpuWorkload &wl) const;
+
+    /**
+     * Naive warp-divergence skipping: each lane handles one row; a
+     * warp's work is saved only when all warpSize rows are below the
+     * threshold (probability (1-keep)^warpSize).
+     *
+     * @param keep Fraction of rows above the skip threshold.
+     */
+    ZskipOutcome warpSkip(const GpuWorkload &wl, double keep) const;
+
+    /**
+     * Compaction: a transformation kernel (scan + scatter over the
+     * probability matrix and kept rows) followed by a compacted,
+     * gather-based weighted sum.
+     */
+    struct CompactionOutcome
+    {
+        double transformSeconds = 0.0;
+        double wsumSeconds = 0.0;
+        double totalSeconds = 0.0;
+        double relativeToDense = 0.0;
+    };
+    CompactionOutcome compaction(const GpuWorkload &wl,
+                                 double keep) const;
+
+  private:
+    GpuDeviceModel device;
+    ZskipParams params;
+};
+
+} // namespace mnnfast::gpu
+
+#endif // MNNFAST_GPU_ZSKIP_MODEL_HH

@@ -1,0 +1,50 @@
+#include "runtime/parallel_for.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mnnfast::runtime {
+
+std::vector<Range>
+splitRange(size_t n, size_t parts)
+{
+    mnn_assert(parts > 0, "splitRange needs at least one part");
+    std::vector<Range> ranges;
+    if (n == 0)
+        return ranges;
+    parts = std::min(parts, n);
+    const size_t base = n / parts;
+    const size_t extra = n % parts;
+    size_t begin = 0;
+    for (size_t i = 0; i < parts; ++i) {
+        const size_t len = base + (i < extra ? 1 : 0);
+        ranges.push_back({begin, begin + len});
+        begin += len;
+    }
+    return ranges;
+}
+
+void
+parallelFor(ThreadPool &pool, size_t n,
+            const std::function<void(Range)> &body)
+{
+    const size_t parts = std::max<size_t>(1, pool.threadCount());
+    for (const Range &r : splitRange(n, parts))
+        pool.submit([&body, r] { body(r); });
+    pool.waitIdle();
+}
+
+void
+parallelForParts(ThreadPool &pool, size_t n, size_t parts,
+                 const std::function<void(size_t, Range)> &body)
+{
+    const auto ranges = splitRange(n, parts);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+        const Range r = ranges[i];
+        pool.submit([&body, i, r] { body(i, r); });
+    }
+    pool.waitIdle();
+}
+
+} // namespace mnnfast::runtime

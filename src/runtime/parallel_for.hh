@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fork-join data-parallel loops over index ranges, built on ThreadPool.
+ */
+
+#ifndef MNNFAST_RUNTIME_PARALLEL_FOR_HH
+#define MNNFAST_RUNTIME_PARALLEL_FOR_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/thread_pool.hh"
+
+namespace mnnfast::runtime {
+
+/** A contiguous half-open index range [begin, end). */
+struct Range
+{
+    size_t begin;
+    size_t end;
+
+    size_t size() const { return end - begin; }
+};
+
+/**
+ * Split [0, n) into at most `parts` near-equal contiguous ranges.
+ * Earlier ranges get the remainder, so sizes differ by at most one.
+ * Empty ranges are never produced (fewer parts are returned when
+ * n < parts).
+ */
+std::vector<Range> splitRange(size_t n, size_t parts);
+
+/**
+ * Run body(range) over a partition of [0, n) on the pool and wait for
+ * completion. The partition has one range per worker (or a single
+ * range in inline mode).
+ */
+void parallelFor(ThreadPool &pool, size_t n,
+                 const std::function<void(Range)> &body);
+
+/**
+ * Run body(part_index, range) over exactly `parts` partitions of
+ * [0, n), regardless of the pool size. Used when the algorithm needs a
+ * fixed chunk decomposition (e.g., one partial result slot per chunk).
+ */
+void parallelForParts(ThreadPool &pool, size_t n, size_t parts,
+                      const std::function<void(size_t, Range)> &body);
+
+} // namespace mnnfast::runtime
+
+#endif // MNNFAST_RUNTIME_PARALLEL_FOR_HH

@@ -1,0 +1,127 @@
+#include "sim/cache_model.hh"
+
+#include "util/logging.hh"
+
+namespace mnnfast::sim {
+
+namespace {
+
+bool
+isPowerOfTwo(size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheConfig &cfg)
+    : cfg(cfg)
+{
+    if (cfg.lineBytes == 0 || !isPowerOfTwo(cfg.lineBytes))
+        fatal("cache line size must be a power of two");
+    if (cfg.associativity == 0)
+        fatal("cache associativity must be nonzero");
+    const size_t lines = cfg.sizeBytes / cfg.lineBytes;
+    if (lines == 0 || lines % cfg.associativity != 0)
+        fatal("cache size %zu not divisible into %zu-way sets",
+              cfg.sizeBytes, cfg.associativity);
+    n_sets = lines / cfg.associativity;
+    ways.resize(n_sets * cfg.associativity);
+}
+
+CacheModel::Way *
+CacheModel::findWay(size_t set, uint64_t tag)
+{
+    Way *base = ways.data() + set * cfg.associativity;
+    for (size_t w = 0; w < cfg.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+const CacheModel::Way *
+CacheModel::findWay(size_t set, uint64_t tag) const
+{
+    const Way *base = ways.data() + set * cfg.associativity;
+    for (size_t w = 0; w < cfg.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+bool
+CacheModel::access(uint64_t addr, bool is_write)
+{
+    const uint64_t line = addr / cfg.lineBytes;
+    const size_t set = static_cast<size_t>(line % n_sets);
+    const uint64_t tag = line / n_sets;
+    ++use_clock;
+
+    if (Way *way = findWay(set, tag)) {
+        way->lastUse = use_clock;
+        way->dirty = way->dirty || is_write;
+        stats_["hits"].add();
+        return true;
+    }
+
+    stats_["misses"].add();
+
+    // Fill: choose an invalid way or the LRU victim.
+    Way *base = ways.data() + set * cfg.associativity;
+    Way *victim = &base[0];
+    for (size_t w = 0; w < cfg.associativity; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid) {
+        stats_["evictions"].add();
+        if (victim->dirty)
+            stats_["writebacks"].add();
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lastUse = use_clock;
+    return false;
+}
+
+bool
+CacheModel::accessNoAllocate(uint64_t addr, bool is_write)
+{
+    const uint64_t line = addr / cfg.lineBytes;
+    const size_t set = static_cast<size_t>(line % n_sets);
+    const uint64_t tag = line / n_sets;
+    ++use_clock;
+
+    if (Way *way = findWay(set, tag)) {
+        way->lastUse = use_clock;
+        way->dirty = way->dirty || is_write;
+        stats_["hits"].add();
+        return true;
+    }
+    stats_["misses"].add();
+    return false;
+}
+
+bool
+CacheModel::probe(uint64_t addr) const
+{
+    const uint64_t line = addr / cfg.lineBytes;
+    const size_t set = static_cast<size_t>(line % n_sets);
+    const uint64_t tag = line / n_sets;
+    return findWay(set, tag) != nullptr;
+}
+
+void
+CacheModel::flush()
+{
+    for (Way &w : ways)
+        w = Way{};
+    use_clock = 0;
+}
+
+} // namespace mnnfast::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A functional set-associative cache model with LRU replacement.
+ *
+ * Used as the shared last-level cache in the CPU memory-system studies
+ * (paper Figs. 3, 4, 10, 11): the traffic generators replay each
+ * dataflow's access stream through this model and the resulting miss
+ * counts feed the bandwidth/timing model.
+ */
+
+#ifndef MNNFAST_SIM_CACHE_MODEL_HH
+#define MNNFAST_SIM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/counter.hh"
+
+namespace mnnfast::sim {
+
+/** Geometry of a CacheModel. */
+struct CacheConfig
+{
+    size_t sizeBytes = 8ull << 20;
+    size_t associativity = 16;
+    size_t lineBytes = 64;
+};
+
+/** Set-associative, write-allocate, LRU cache. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &cfg);
+
+    /**
+     * Access one byte address (the whole line is affected).
+     *
+     * @param addr     Byte address.
+     * @param is_write Marks the line dirty on hit/fill.
+     * @return true on hit, false on miss (the line is filled).
+     */
+    bool access(uint64_t addr, bool is_write = false);
+
+    /**
+     * Access without allocating on miss (non-temporal / cache
+     * bypassing, as with the paper's cache-bypass alternative to the
+     * embedding cache). Hits still refresh LRU.
+     */
+    bool accessNoAllocate(uint64_t addr, bool is_write = false);
+
+    /** True if the line holding `addr` is resident (no LRU update). */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate everything. */
+    void flush();
+
+    /** Counters: "hits", "misses", "evictions", "writebacks". */
+    const stats::CounterGroup &counters() const { return stats_; }
+    stats::CounterGroup &counters() { return stats_; }
+
+    uint64_t hits() const { return stats_.value("hits"); }
+    uint64_t misses() const { return stats_.value("misses"); }
+
+    size_t sets() const { return n_sets; }
+    size_t lineBytes() const { return cfg.lineBytes; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    /** Find the way holding `tag` in `set`, or nullptr. */
+    Way *findWay(size_t set, uint64_t tag);
+    const Way *findWay(size_t set, uint64_t tag) const;
+
+    CacheConfig cfg;
+    size_t n_sets;
+    std::vector<Way> ways; ///< n_sets x associativity, row-major
+    uint64_t use_clock = 0;
+    stats::CounterGroup stats_;
+};
+
+} // namespace mnnfast::sim
+
+#endif // MNNFAST_SIM_CACHE_MODEL_HH

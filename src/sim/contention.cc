@@ -1,0 +1,152 @@
+#include "sim/contention.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "data/zipf.hh"
+#include "util/logging.hh"
+
+namespace mnnfast::sim {
+
+namespace {
+
+constexpr uint64_t kInferenceBase = 1ull << 36;
+constexpr uint64_t kEmbeddingBase = 2ull << 40;
+
+// Cost model for an inference thread: every touched line comes with
+// a fixed amount of useful compute (the dot products / weighted sums
+// on that line's data), and a miss adds the exposed DRAM penalty on
+// top. Compute partially amortizes misses, bounding the worst-case
+// slowdown at (compute + penalty) / compute — the 1.0-2.5x range the
+// paper's Fig. 4 reports.
+constexpr double kComputeCyclesPerLine = 40.0;
+constexpr double kMissPenaltyCycles = 60.0;
+
+/**
+ * One pass of inference + embedding traffic through the shared LLC.
+ *
+ * The inference stream walks its working set cyclically (the chunk
+ * temporaries are re-touched every chunk iteration); after every
+ * inference line each embedding thread issues lookups according to
+ * its rate.
+ */
+struct InterleavedRun
+{
+    uint64_t inf_hits = 0;
+    uint64_t inf_misses = 0;
+    uint64_t emb_hits = 0;
+    uint64_t emb_misses = 0;
+};
+
+InterleavedRun
+runRounds(const ContentionParams &p, CacheModel &llc,
+          size_t rounds, bool measured)
+{
+    InterleavedRun r;
+    const uint64_t line = llc.lineBytes();
+    const uint64_t inf_lines = p.inferenceWorkingSet / line;
+    const size_t table_rows =
+        std::max<size_t>(1, p.embeddingTableBytes / p.embeddingRowBytes);
+
+    data::ZipfGenerator zipf(table_rows, p.zipfS, p.seed);
+    // Accumulates fractional lookups so non-integer rates work.
+    std::vector<double> credit(p.embeddingThreads, 0.0);
+
+    for (size_t round = 0; round < rounds; ++round) {
+        for (uint64_t l = 0; l < inf_lines; ++l) {
+            const bool hit = llc.access(kInferenceBase + l * line);
+            if (measured) {
+                if (hit)
+                    ++r.inf_hits;
+                else
+                    ++r.inf_misses;
+            }
+
+            for (size_t t = 0; t < p.embeddingThreads; ++t) {
+                credit[t] += p.embeddingRate;
+                while (credit[t] >= 1.0) {
+                    credit[t] -= 1.0;
+                    const uint64_t row = zipf.sample();
+                    const uint64_t base =
+                        kEmbeddingBase + row * p.embeddingRowBytes;
+                    for (uint64_t b = 0; b < p.embeddingRowBytes;
+                         b += line) {
+                        bool ehit = false;
+                        switch (p.policy) {
+                          case EmbeddingPolicy::Shared:
+                            ehit = llc.access(base + b);
+                            break;
+                          case EmbeddingPolicy::Bypass:
+                            ehit = llc.accessNoAllocate(base + b);
+                            break;
+                          case EmbeddingPolicy::Dedicated:
+                            // Never touches the shared LLC; hit rate
+                            // is reported by the embedding cache
+                            // model itself (src/fpga).
+                            ehit = true;
+                            break;
+                        }
+                        if (measured) {
+                            if (ehit)
+                                ++r.emb_hits;
+                            else
+                                ++r.emb_misses;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return r;
+}
+
+double
+cyclesOf(uint64_t hits, uint64_t misses)
+{
+    return kComputeCyclesPerLine * static_cast<double>(hits + misses)
+         + kMissPenaltyCycles * static_cast<double>(misses);
+}
+
+} // namespace
+
+ContentionResult
+simulateContention(const ContentionParams &params)
+{
+    if (params.inferenceWorkingSet < params.llc.lineBytes)
+        fatal("inference working set smaller than one cache line");
+
+    // Solo run: inference alone on an identical LLC.
+    ContentionParams solo = params;
+    solo.embeddingThreads = 0;
+    double solo_cycles;
+    {
+        CacheModel llc(solo.llc);
+        runRounds(solo, llc, 2, false); // warmup
+        const auto run = runRounds(solo, llc, solo.rounds, true);
+        solo_cycles = cyclesOf(run.inf_hits, run.inf_misses)
+                    / static_cast<double>(solo.rounds);
+    }
+
+    // Contended run.
+    ContentionResult result;
+    {
+        CacheModel llc(params.llc);
+        runRounds(params, llc, 2, false); // warmup
+        const auto run = runRounds(params, llc, params.rounds, true);
+        const uint64_t inf_total = run.inf_hits + run.inf_misses;
+        const uint64_t emb_total = run.emb_hits + run.emb_misses;
+        result.inferenceHitRate =
+            inf_total ? double(run.inf_hits) / double(inf_total) : 0.0;
+        result.embeddingHitRate =
+            emb_total ? double(run.emb_hits) / double(emb_total) : 0.0;
+        result.inferenceCyclesPerRound =
+            cyclesOf(run.inf_hits, run.inf_misses)
+            / static_cast<double>(params.rounds);
+    }
+
+    result.slowdown = result.inferenceCyclesPerRound / solo_cycles;
+    return result;
+}
+
+} // namespace mnnfast::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared-cache contention study (paper Section 2.2.3, Fig. 4).
+ *
+ * Models the multi-tenant setting where compute-intensive inference
+ * threads (whose chunk temporaries must stay cache-resident) co-run
+ * with memory-intensive embedding threads (whose Zipf-distributed
+ * lookups walk a table far larger than the LLC and pollute it).
+ * The simulator interleaves both access streams into one shared
+ * CacheModel and reports the inference threads' hit rate and the
+ * resulting slowdown versus running alone.
+ *
+ * It also models the two isolation remedies the paper discusses:
+ *  - cache bypassing: embedding accesses use non-allocating loads
+ *    (no pollution, but every embedding access pays DRAM latency);
+ *  - embedding cache: embedding accesses are served by a dedicated
+ *    cache (src/fpga/embedding_cache.hh) and never touch the LLC.
+ */
+
+#ifndef MNNFAST_SIM_CONTENTION_HH
+#define MNNFAST_SIM_CONTENTION_HH
+
+#include <cstdint>
+
+#include "sim/cache_model.hh"
+
+namespace mnnfast::sim {
+
+/** How embedding traffic interacts with the shared LLC. */
+enum class EmbeddingPolicy {
+    /** Embedding lookups allocate in the shared LLC (the problem). */
+    Shared,
+    /** Non-temporal loads: no allocation on miss (cache bypassing). */
+    Bypass,
+    /** A dedicated embedding cache absorbs the traffic. */
+    Dedicated,
+};
+
+/** Parameters of one contention experiment. */
+struct ContentionParams
+{
+    /** Inference working set (chunk temporaries etc.), bytes. */
+    size_t inferenceWorkingSet = 6ull << 20;
+    /** Embedding matrix footprint, bytes (must dwarf the LLC). */
+    size_t embeddingTableBytes = 512ull << 20;
+    /** Bytes per embedding-row lookup (ed * 4). */
+    size_t embeddingRowBytes = 48 * 4;
+    /** Zipf exponent of the word-usage distribution. */
+    double zipfS = 1.0;
+    /** Number of co-running embedding threads. */
+    size_t embeddingThreads = 1;
+    /**
+     * Embedding lookups issued per inference working-set line, per
+     * embedding thread (relative issue rate).
+     */
+    double embeddingRate = 0.05;
+    /** Shared LLC geometry. */
+    CacheConfig llc;
+    /** Rounds of interleaved execution measured (after warmup). */
+    size_t rounds = 24;
+    EmbeddingPolicy policy = EmbeddingPolicy::Shared;
+    uint64_t seed = 42;
+};
+
+/** Outcome of one contention experiment. */
+struct ContentionResult
+{
+    double inferenceHitRate = 0.0;
+    double embeddingHitRate = 0.0;
+    /**
+     * Inference cycles per round: fixed compute per touched line plus
+     * an exposed miss penalty (see contention.cc for the constants).
+     */
+    double inferenceCyclesPerRound = 0.0;
+    /**
+     * Slowdown relative to the same inference stream running alone
+     * on the same LLC (>= 1.0).
+     */
+    double slowdown = 0.0;
+};
+
+/** Run the interleaved contention simulation. */
+ContentionResult simulateContention(const ContentionParams &params);
+
+} // namespace mnnfast::sim
+
+#endif // MNNFAST_SIM_CONTENTION_HH

@@ -1,0 +1,91 @@
+#include "sim/cpu_system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mnnfast::sim {
+
+CpuSystemModel::CpuSystemModel(const CpuSystemConfig &cfg)
+    : cfg(cfg)
+{
+    if (cfg.flopsPerCycle <= 0 || cfg.mlp <= 0)
+        fatal("CPU model parameters must be positive");
+    if (cfg.demandBandwidthEff <= 0 || cfg.demandBandwidthEff > 1.0)
+        fatal("demand bandwidth efficiency must be in (0, 1]");
+}
+
+double
+CpuSystemModel::phaseCycles(const PhaseTraffic &phase,
+                            size_t threads) const
+{
+    mnn_assert(threads > 0, "need at least one thread");
+    const double T = static_cast<double>(threads);
+    const double line = static_cast<double>(cfg.dram.lineBytes);
+    const double agg_bw = cfg.dram.bytesPerCyclePerChannel
+                        * static_cast<double>(cfg.dram.channels);
+
+    const double compute = phase.flops / (cfg.flopsPerCycle * T);
+    const double stall = static_cast<double>(phase.demandMisses)
+                       * cfg.memLatencyCycles / cfg.mlp / T;
+    const double bw =
+        static_cast<double>(phase.demandMisses) * line
+            / (agg_bw * cfg.demandBandwidthEff)
+        + static_cast<double>(phase.prefetchedLines) * line / agg_bw;
+
+    if (phase.overlappable)
+        return std::max(compute, bw);
+    return std::max(compute + stall, bw);
+}
+
+double
+CpuSystemModel::executionCycles(const TrafficResult &traffic,
+                                size_t threads) const
+{
+    double total = 0.0;
+    for (const PhaseTraffic &p : traffic.phases)
+        total += phaseCycles(p, threads);
+    return total;
+}
+
+double
+CpuSystemModel::speedup(const TrafficResult &traffic,
+                        size_t threads) const
+{
+    return executionCycles(traffic, 1) / executionCycles(traffic, threads);
+}
+
+CpuSystemModel::ScaleOutResult
+CpuSystemModel::scaleOut(Dataflow df, const WorkloadParams &wp,
+                         const CacheConfig &llc, size_t nodes,
+                         size_t threads) const
+{
+    mnn_assert(nodes > 0, "need at least one node");
+    if (df == Dataflow::Baseline) {
+        fatal("the baseline dataflow cannot scale out: its layers "
+              "synchronize on O(ns) intermediates (see paper "
+              "Section 3.1)");
+    }
+
+    // The slowest node holds ceil(ns / nodes) sentences.
+    WorkloadParams part = wp;
+    part.ns = (wp.ns + nodes - 1) / nodes;
+    const TrafficResult traffic = simulateDataflow(df, part, llc);
+
+    ScaleOutResult result;
+    // Merge: every node ships its partial output matrix (nq x ed) and
+    // per-question partial sums (nq) to the root.
+    result.mergeBytes = static_cast<double>(nodes)
+                      * static_cast<double>(wp.nq)
+                      * static_cast<double>(wp.ed + 1) * sizeof(float);
+    result.mergeCycles =
+        nodes > 1 ? cfg.interconnectLatencyCycles
+                        + result.mergeBytes
+                              / cfg.interconnectBytesPerCycle
+                  : 0.0;
+    result.cycles =
+        executionCycles(traffic, threads) + result.mergeCycles;
+    return result;
+}
+
+} // namespace mnnfast::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Analytic multicore timing model.
+ *
+ * Converts a dataflow's per-phase traffic (from sim/traffic.hh) into
+ * execution time for a given thread count and DRAM channel count.
+ * This is the model behind the paper's thread-scalability studies
+ * (Figs. 3, 9b, 10): per phase,
+ *
+ *   compute(T)   = flops / (flopsPerCycle * T)
+ *   stall(T)     = demandMisses * latency / mlp / T
+ *   bw           = demandBytes / (aggBW * demandEff)
+ *                + prefetchBytes / aggBW
+ *   time(T)      = max(compute(T) + stall(T), bw)        (blocking)
+ *   time(T)      = max(compute(T), bw)                   (streamed)
+ *
+ * The bandwidth term is a floor shared by all threads: adding threads
+ * divides compute and stall but not bandwidth, which is exactly the
+ * saturation behaviour the paper demonstrates. Demand misses achieve
+ * only `demandBandwidthEff` of peak bandwidth (latency-limited random
+ * access), while streamed prefetches run at peak — the mechanism by
+ * which streaming "reaches the ideal speedup" (Fig. 10b/c).
+ */
+
+#ifndef MNNFAST_SIM_CPU_SYSTEM_HH
+#define MNNFAST_SIM_CPU_SYSTEM_HH
+
+#include "sim/dram_model.hh"
+#include "sim/traffic.hh"
+
+namespace mnnfast::sim {
+
+/** Core and memory-system parameters (defaults: Xeon E5-2650 v4). */
+struct CpuSystemConfig
+{
+    /** Peak single-core FP32 throughput (AVX2 FMA), flops/cycle. */
+    double flopsPerCycle = 32.0;
+    /** Unloaded DRAM access latency in core cycles. */
+    double memLatencyCycles = 220.0;
+    /** Sustainable outstanding misses per core (incl. HW prefetch). */
+    double mlp = 16.0;
+    /** Fraction of peak DRAM bandwidth achieved by demand misses. */
+    double demandBandwidthEff = 0.5;
+    /** DRAM geometry (channels are the experiment variable). */
+    DramConfig dram;
+    /**
+     * Scale-out interconnect (paper Section 3.1: the column algorithm
+     * merges per-node partial results of O(ed), so multi-node scaling
+     * is near-linear). Bytes per core-cycle (~10 GbE at 2.4 GHz) and
+     * a fixed per-merge latency.
+     */
+    double interconnectBytesPerCycle = 0.5;
+    double interconnectLatencyCycles = 5000.0;
+};
+
+/** See file header. */
+class CpuSystemModel
+{
+  public:
+    explicit CpuSystemModel(const CpuSystemConfig &cfg);
+
+    /** Cycles one phase takes with `threads` worker threads. */
+    double phaseCycles(const PhaseTraffic &phase, size_t threads) const;
+
+    /** Cycles for all phases of a dataflow replay, in order. */
+    double executionCycles(const TrafficResult &traffic,
+                           size_t threads) const;
+
+    /**
+     * Speedup of `threads` threads over one thread for the same
+     * traffic (the y-axis of Figs. 3 and 10).
+     */
+    double speedup(const TrafficResult &traffic, size_t threads) const;
+
+    /** Result of a multi-node scale-out projection. */
+    struct ScaleOutResult
+    {
+        double cycles = 0.0;      ///< makespan incl. the final merge
+        double mergeCycles = 0.0; ///< interconnect part of the above
+        double mergeBytes = 0.0;  ///< partial (o, psum) traffic
+    };
+
+    /**
+     * Scale-out projection for the column dataflow (paper Section
+     * 3.1): the knowledge base is partitioned over `nodes`, each node
+     * runs `threads` threads on its own memory system (this model's
+     * DRAM config), and the per-node partial output vectors and
+     * partial sums (O(nq x ed) each) are merged over the
+     * interconnect. The baseline dataflow cannot be split this way
+     * (its layers synchronize on O(ns) intermediates), which is
+     * exactly the paper's argument.
+     *
+     * @param df     Column-family dataflow (fatal on Baseline).
+     * @param wp     Whole-problem workload; ns is divided by nodes.
+     * @param llc    Per-node LLC geometry.
+     */
+    ScaleOutResult scaleOut(Dataflow df, const WorkloadParams &wp,
+                            const CacheConfig &llc, size_t nodes,
+                            size_t threads) const;
+
+    const CpuSystemConfig &config() const { return cfg; }
+
+  private:
+    CpuSystemConfig cfg;
+};
+
+} // namespace mnnfast::sim
+
+#endif // MNNFAST_SIM_CPU_SYSTEM_HH

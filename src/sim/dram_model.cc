@@ -1,0 +1,56 @@
+#include "sim/dram_model.hh"
+
+#include "util/logging.hh"
+
+namespace mnnfast::sim {
+
+DramModel::DramModel(const DramConfig &cfg)
+    : cfg(cfg), per_channel(cfg.channels)
+{
+    if (cfg.channels == 0)
+        fatal("DRAM model needs at least one channel");
+    if (cfg.lineBytes == 0)
+        fatal("DRAM line size must be nonzero");
+}
+
+size_t
+DramModel::recordAccess(uint64_t addr)
+{
+    const uint64_t line = addr / cfg.lineBytes;
+    const size_t ch = static_cast<size_t>(line % cfg.channels);
+    per_channel[ch].add();
+    return ch;
+}
+
+uint64_t
+DramModel::totalLines() const
+{
+    uint64_t total = 0;
+    for (const auto &c : per_channel)
+        total += c.value();
+    return total;
+}
+
+uint64_t
+DramModel::channelLines(size_t ch) const
+{
+    mnn_assert(ch < per_channel.size(), "channel index out of range");
+    return per_channel[ch].value();
+}
+
+double
+DramModel::transferCycles(uint64_t lines) const
+{
+    const double bytes =
+        static_cast<double>(lines) * static_cast<double>(cfg.lineBytes);
+    return bytes / aggregateBandwidth();
+}
+
+void
+DramModel::resetStats()
+{
+    for (auto &c : per_channel)
+        c.reset();
+}
+
+} // namespace mnnfast::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-channel DRAM bandwidth/latency model.
+ *
+ * Address-interleaved channels, each with a fixed peak bandwidth.
+ * Supports both functional counting (which channel served which line,
+ * for Fig. 11-style accounting) and analytic service-time queries used
+ * by the CPU timing model (Figs. 3, 10).
+ */
+
+#ifndef MNNFAST_SIM_DRAM_MODEL_HH
+#define MNNFAST_SIM_DRAM_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/counter.hh"
+
+namespace mnnfast::sim {
+
+/** DRAM geometry and speeds (defaults model DDR4-2400). */
+struct DramConfig
+{
+    size_t channels = 4;
+    /** Peak bandwidth per channel, bytes per core-clock cycle. */
+    double bytesPerCyclePerChannel = 8.0;
+    /** Idle (unloaded) access latency in core cycles. */
+    uint64_t latencyCycles = 200;
+    size_t lineBytes = 64;
+};
+
+/** See file header. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &cfg);
+
+    /** Record one line fetch; returns the serving channel. */
+    size_t recordAccess(uint64_t addr);
+
+    /** Total lines fetched so far. */
+    uint64_t totalLines() const;
+
+    /** Lines fetched on one channel. */
+    uint64_t channelLines(size_t ch) const;
+
+    /**
+     * Cycles to transfer `lines` cache lines at peak aggregate
+     * bandwidth (perfect interleaving across channels).
+     */
+    double transferCycles(uint64_t lines) const;
+
+    /** Aggregate peak bandwidth in bytes/cycle. */
+    double
+    aggregateBandwidth() const
+    {
+        return cfg.bytesPerCyclePerChannel
+             * static_cast<double>(cfg.channels);
+    }
+
+    const DramConfig &config() const { return cfg; }
+
+    /** Reset access counters. */
+    void resetStats();
+
+  private:
+    DramConfig cfg;
+    std::vector<stats::Counter> per_channel;
+};
+
+} // namespace mnnfast::sim
+
+#endif // MNNFAST_SIM_DRAM_MODEL_HH

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace mnnfast::sim {
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    mnn_assert(fn != nullptr, "null event scheduled");
+    mnn_assert(when >= current, "event scheduled in the past");
+    events.push({when, next_seq++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleIn(Tick delta, std::function<void()> fn)
+{
+    schedule(current + delta, std::move(fn));
+}
+
+Tick
+EventQueue::run()
+{
+    while (!events.empty()) {
+        // Copy out before pop: the callback may schedule new events.
+        Entry e = events.top();
+        events.pop();
+        current = e.when;
+        e.fn();
+    }
+    return current;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!events.empty() && events.top().when <= limit) {
+        Entry e = events.top();
+        events.pop();
+        current = e.when;
+        e.fn();
+    }
+    return current;
+}
+
+} // namespace mnnfast::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel (gem5-style tick/event
+ * model): the substrate under the GPU stream simulator and available
+ * to any component that needs ordered time-based callbacks.
+ */
+
+#ifndef MNNFAST_SIM_EVENT_QUEUE_HH
+#define MNNFAST_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mnnfast::sim {
+
+/** Simulation time in abstract ticks. */
+using Tick = uint64_t;
+
+/**
+ * Priority queue of (tick, callback) events. Events at the same tick
+ * fire in scheduling order (FIFO), which makes simulations
+ * deterministic.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule `fn` to run at absolute tick `when` (>= now()). */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule `fn` to run `delta` ticks after now(). */
+    void scheduleIn(Tick delta, std::function<void()> fn);
+
+    /** Current simulation time. */
+    Tick now() const { return current; }
+
+    /** True if no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return events.size(); }
+
+    /** Run until the queue drains; returns the final tick. */
+    Tick run();
+
+    /**
+     * Run events with tick <= limit; returns the tick of the last
+     * event executed (or now() if none ran). Pending later events
+     * remain queued.
+     */
+    Tick runUntil(Tick limit);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    Tick current = 0;
+    uint64_t next_seq = 0;
+};
+
+} // namespace mnnfast::sim
+
+#endif // MNNFAST_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,330 @@
+#include "sim/traffic.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::sim {
+
+namespace {
+
+// Disjoint virtual address regions (64 GiB apart, far beyond any
+// simulated footprint).
+constexpr uint64_t kMinBase = 1ull << 36;
+constexpr uint64_t kMoutBase = 2ull << 36;
+constexpr uint64_t kTinBase = 3ull << 36;
+constexpr uint64_t kPexpBase = 4ull << 36;
+constexpr uint64_t kPBase = 5ull << 36;
+constexpr uint64_t kUBase = 6ull << 36;
+constexpr uint64_t kOutBase = 7ull << 36;
+constexpr uint64_t kScratchBase = 8ull << 36;
+
+/** Approximate flop cost of one exponential evaluation. */
+constexpr double kExpFlops = 20.0;
+
+/**
+ * Drives a phase's accesses into the cache and tallies the traffic.
+ */
+class PhaseRecorder
+{
+  public:
+    PhaseRecorder(CacheModel &cache, PhaseTraffic &phase)
+        : cache(cache), phase(phase)
+    {}
+
+    /** Demand access to one address. */
+    void
+    touch(uint64_t addr, bool write = false)
+    {
+        ++phase.accesses;
+        if (cache.access(addr, write))
+            ++phase.hits;
+        else
+            ++phase.demandMisses;
+    }
+
+    /**
+     * Streamed (prefetched) access: fills the cache like a demand
+     * access, but a miss is counted as a prefetched line (bandwidth
+     * consumed, no stall).
+     */
+    void
+    touchStreamed(uint64_t addr, bool write = false)
+    {
+        ++phase.accesses;
+        if (cache.access(addr, write))
+            ++phase.hits;
+        else
+            ++phase.prefetchedLines;
+    }
+
+    /** Touch a [addr, addr+bytes) range at line granularity. */
+    void
+    touchRange(uint64_t addr, uint64_t bytes, bool write, bool streamed)
+    {
+        const uint64_t line = cache.lineBytes();
+        const uint64_t first = addr / line * line;
+        for (uint64_t a = first; a < addr + bytes; a += line) {
+            if (streamed)
+                touchStreamed(a, write);
+            else
+                touch(a, write);
+        }
+    }
+
+  private:
+    CacheModel &cache;
+    PhaseTraffic &phase;
+};
+
+/**
+ * Baseline dataflow (paper Fig. 5a): three layer-at-a-time passes
+ * with fully materialized T_IN / P_exp / P buffers of nq x ns floats.
+ */
+void
+runBaseline(const WorkloadParams &wp, CacheModel &cache,
+            TrafficResult &result)
+{
+    const uint64_t row_bytes = wp.ed * sizeof(float);
+    const uint64_t vec_elems = uint64_t(wp.nq) * wp.ns;
+
+    // ---- Phase 1: inner product  T_IN[q][i] = u_q . M_IN[i] ----
+    result.phases.push_back({"inner_product", 0, 0, 0, 0, 0, false});
+    {
+        PhaseRecorder rec(cache, result.phases.back());
+        for (uint64_t i = 0; i < wp.ns; ++i) {
+            rec.touchRange(kMinBase + i * row_bytes, row_bytes, false,
+                           false);
+            for (uint64_t q = 0; q < wp.nq; ++q) {
+                // u_q is tiny and stays resident.
+                rec.touch(kUBase + q * row_bytes);
+                rec.touch(kTinBase + (q * wp.ns + i) * sizeof(float),
+                          true);
+            }
+        }
+        result.phases.back().flops = 2.0 * double(vec_elems) * wp.ed;
+    }
+
+    // ---- Phase 2: softmax (exp pass, sum pass, normalize pass) ----
+    result.phases.push_back({"softmax", 0, 0, 0, 0, 0, false});
+    {
+        PhaseRecorder rec(cache, result.phases.back());
+        for (uint64_t q = 0; q < wp.nq; ++q) {
+            const uint64_t off = q * wp.ns * sizeof(float);
+            // 2-1: P_exp = exp(T_IN)
+            for (uint64_t i = 0; i < wp.ns; ++i) {
+                rec.touch(kTinBase + off + i * sizeof(float));
+                rec.touch(kPexpBase + off + i * sizeof(float), true);
+            }
+            // 2-2a: reduce sum(P_exp)
+            for (uint64_t i = 0; i < wp.ns; ++i)
+                rec.touch(kPexpBase + off + i * sizeof(float));
+            // 2-2b: P = P_exp / sum  (ns divisions per question)
+            for (uint64_t i = 0; i < wp.ns; ++i) {
+                rec.touch(kPexpBase + off + i * sizeof(float));
+                rec.touch(kPBase + off + i * sizeof(float), true);
+            }
+        }
+        result.phases.back().flops =
+            double(vec_elems) * (kExpFlops + 2.0);
+    }
+
+    // ---- Phase 3: weighted sum  o_q += P[q][i] * M_OUT[i] ----
+    result.phases.push_back({"weighted_sum", 0, 0, 0, 0, 0, false});
+    {
+        PhaseRecorder rec(cache, result.phases.back());
+        for (uint64_t i = 0; i < wp.ns; ++i) {
+            rec.touchRange(kMoutBase + i * row_bytes, row_bytes, false,
+                           false);
+            for (uint64_t q = 0; q < wp.nq; ++q) {
+                rec.touch(kPBase + (q * wp.ns + i) * sizeof(float));
+                // o accumulators are tiny and resident.
+                rec.touch(kOutBase + q * row_bytes, true);
+            }
+        }
+        result.phases.back().flops = 2.0 * double(vec_elems) * wp.ed;
+    }
+}
+
+/**
+ * Column dataflow (paper Fig. 5b): per chunk, the inner products,
+ * partial softmax and weighted sum run back to back over a reused
+ * O(chunk) scratch buffer; M_IN/M_OUT rows are touched exactly once.
+ * Streamed variants prefetch the chunk rows; MnnFast additionally
+ * skips (1 - keep) of the weighted-sum rows.
+ */
+void
+runColumn(const WorkloadParams &wp, CacheModel &cache,
+          TrafficResult &result, bool streamed, bool zskip)
+{
+    const uint64_t row_bytes = wp.ed * sizeof(float);
+    const uint64_t vec_elems = uint64_t(wp.nq) * wp.ns;
+
+    result.phases.push_back(
+        {"inner_product", 0, 0, 0, 0, 0, streamed});
+    result.phases.push_back({"softmax", 0, 0, 0, 0, 0, streamed});
+    result.phases.push_back(
+        {"weighted_sum", 0, 0, 0, 0, 0, streamed});
+    PhaseTraffic &inner = result.phases[0];
+    PhaseTraffic &softmax = result.phases[1];
+    PhaseTraffic &wsum = result.phases[2];
+
+    // Deterministic choice of kept rows under zero-skipping.
+    XorShiftRng keep_rng(0xC0FFEE);
+
+    for (uint64_t c0 = 0; c0 < wp.ns; c0 += wp.chunkSize) {
+        const uint64_t c1 = std::min<uint64_t>(c0 + wp.chunkSize, wp.ns);
+
+        // Phase 1: inner products over the chunk.
+        {
+            PhaseRecorder rec(cache, inner);
+            for (uint64_t i = c0; i < c1; ++i) {
+                rec.touchRange(kMinBase + i * row_bytes, row_bytes,
+                               false, streamed);
+                for (uint64_t q = 0; q < wp.nq; ++q) {
+                    rec.touch(kUBase + q * row_bytes);
+                    // Chunk scratch is reused across chunks: same
+                    // addresses every iteration -> stays resident.
+                    rec.touch(kScratchBase
+                                  + (q * wp.chunkSize + (i - c0))
+                                        * sizeof(float),
+                              true);
+                }
+            }
+        }
+
+        // Phase 2: partial softmax (exp in place + running sum).
+        {
+            PhaseRecorder rec(cache, softmax);
+            for (uint64_t q = 0; q < wp.nq; ++q) {
+                for (uint64_t i = c0; i < c1; ++i) {
+                    const uint64_t a =
+                        kScratchBase
+                        + (q * wp.chunkSize + (i - c0)) * sizeof(float);
+                    rec.touch(a);
+                    rec.touch(a, true);
+                }
+            }
+        }
+
+        // Phase 3: weighted sum accumulation (with zero-skipping).
+        {
+            PhaseRecorder rec(cache, wsum);
+            for (uint64_t i = c0; i < c1; ++i) {
+                bool row_needed = !zskip;
+                if (zskip) {
+                    // A row is read if any question keeps it.
+                    for (uint64_t q = 0; q < wp.nq && !row_needed; ++q)
+                        row_needed =
+                            keep_rng.chance(wp.zskipKeepFraction);
+                }
+                if (row_needed) {
+                    rec.touchRange(kMoutBase + i * row_bytes, row_bytes,
+                                   false, streamed);
+                }
+                for (uint64_t q = 0; q < wp.nq; ++q) {
+                    rec.touch(kScratchBase
+                              + (q * wp.chunkSize + (i - c0))
+                                    * sizeof(float));
+                    if (row_needed)
+                        rec.touch(kOutBase + q * row_bytes, true);
+                }
+            }
+        }
+    }
+
+    inner.flops = 2.0 * double(vec_elems) * wp.ed;
+    softmax.flops = double(vec_elems) * (kExpFlops + 1.0);
+    const double keep = zskip ? wp.zskipKeepFraction : 1.0;
+    wsum.flops = 2.0 * double(vec_elems) * wp.ed * keep;
+}
+
+} // namespace
+
+const char *
+dataflowName(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::Baseline: return "baseline";
+      case Dataflow::Column: return "column";
+      case Dataflow::ColumnStreaming: return "column+streaming";
+      case Dataflow::MnnFast: return "mnnfast";
+    }
+    panic("unknown Dataflow %d", static_cast<int>(df));
+}
+
+uint64_t
+TrafficResult::demandMisses() const
+{
+    uint64_t n = 0;
+    for (const auto &p : phases)
+        n += p.demandMisses;
+    return n;
+}
+
+uint64_t
+TrafficResult::prefetchedLines() const
+{
+    uint64_t n = 0;
+    for (const auto &p : phases)
+        n += p.prefetchedLines;
+    return n;
+}
+
+uint64_t
+TrafficResult::dramLines() const
+{
+    return demandMisses() + prefetchedLines();
+}
+
+uint64_t
+TrafficResult::accesses() const
+{
+    uint64_t n = 0;
+    for (const auto &p : phases)
+        n += p.accesses;
+    return n;
+}
+
+double
+TrafficResult::flops() const
+{
+    double f = 0.0;
+    for (const auto &p : phases)
+        f += p.flops;
+    return f;
+}
+
+TrafficResult
+simulateDataflow(Dataflow df, const WorkloadParams &params,
+                 const CacheConfig &llc)
+{
+    if (params.ns == 0 || params.ed == 0 || params.nq == 0)
+        fatal("traffic workload dimensions must be nonzero");
+    if (params.chunkSize == 0)
+        fatal("traffic chunk size must be nonzero");
+
+    CacheModel cache(llc);
+    TrafficResult result;
+    result.dataflow = df;
+    result.params = params;
+
+    switch (df) {
+      case Dataflow::Baseline:
+        runBaseline(params, cache, result);
+        break;
+      case Dataflow::Column:
+        runColumn(params, cache, result, false, false);
+        break;
+      case Dataflow::ColumnStreaming:
+        runColumn(params, cache, result, true, false);
+        break;
+      case Dataflow::MnnFast:
+        runColumn(params, cache, result, true, true);
+        break;
+    }
+    return result;
+}
+
+} // namespace mnnfast::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * MemNN dataflow traffic generation.
+ *
+ * Replays the memory access stream of each inference dataflow
+ * (baseline layer-at-a-time, column-based, column+streaming, and
+ * zero-skipping MnnFast) through the shared-LLC CacheModel, producing
+ * per-phase access/miss/byte counts. These feed:
+ *  - Fig. 11 (off-chip accesses per dataflow, normalized to baseline),
+ *  - Figs. 3 and 10 via CpuSystemModel (thread-scaling under a given
+ *    DRAM channel count).
+ *
+ * Streaming semantics: sequential M_IN/M_OUT reads are issued as
+ * software-prefetched lines. Prefetched lines still consume DRAM
+ * bandwidth but do not stall the pipeline, so they are counted in
+ * `prefetchedLines` rather than `demandMisses` — this matches the
+ * paper's accounting where streaming "eliminates off-chip accesses"
+ * from the demand path (Fig. 11).
+ */
+
+#ifndef MNNFAST_SIM_TRAFFIC_HH
+#define MNNFAST_SIM_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache_model.hh"
+
+namespace mnnfast::sim {
+
+/** Which dataflow's access stream to generate. */
+enum class Dataflow {
+    Baseline,
+    Column,
+    ColumnStreaming,
+    /** Column + streaming + zero-skipping. */
+    MnnFast,
+};
+
+/** Display name. */
+const char *dataflowName(Dataflow df);
+
+/** Workload dimensions for traffic generation. */
+struct WorkloadParams
+{
+    size_t ns = 1 << 17;     ///< story sentences
+    size_t ed = 48;          ///< embedding dimension
+    size_t nq = 32;          ///< questions per batch
+    size_t chunkSize = 1000; ///< column-dataflow chunk
+    /**
+     * Fraction of weighted-sum rows kept under zero-skipping
+     * (MnnFast dataflow only). The paper measures ~3-19% kept.
+     */
+    double zskipKeepFraction = 0.1;
+};
+
+/** Per-phase traffic and compute volume. */
+struct PhaseTraffic
+{
+    std::string name;
+    double flops = 0.0;
+    uint64_t accesses = 0;       ///< LLC lookups
+    uint64_t hits = 0;           ///< LLC hits
+    uint64_t demandMisses = 0;   ///< stalling off-chip line fetches
+    uint64_t prefetchedLines = 0;///< streamed (non-stalling) fetches
+    bool overlappable = false;   ///< memory overlaps compute
+};
+
+/** Aggregated result of one dataflow replay. */
+struct TrafficResult
+{
+    Dataflow dataflow = Dataflow::Baseline;
+    WorkloadParams params;
+    std::vector<PhaseTraffic> phases;
+
+    uint64_t demandMisses() const;
+    uint64_t prefetchedLines() const;
+    uint64_t dramLines() const; ///< demand + prefetched
+    uint64_t accesses() const;
+    double flops() const;
+};
+
+/**
+ * Replay `df`'s access stream through a fresh cache of geometry
+ * `llc` and return the per-phase traffic.
+ */
+TrafficResult simulateDataflow(Dataflow df, const WorkloadParams &params,
+                               const CacheConfig &llc);
+
+} // namespace mnnfast::sim
+
+#endif // MNNFAST_SIM_TRAFFIC_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Named statistic counters, in the spirit of gem5's stats package but
+ * deliberately small: the simulators in src/sim and src/fpga expose
+ * their observable behaviour (hits, misses, DRAM lines, skipped MACs)
+ * exclusively through these counters, which keeps the benches and
+ * tests honest — they read the same numbers.
+ */
+
+#ifndef MNNFAST_STATS_COUNTER_HH
+#define MNNFAST_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mnnfast::stats {
+
+/** A simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add n events (default one). */
+    void add(uint64_t n = 1) { total += n; }
+
+    /** Current count. */
+    uint64_t value() const { return total; }
+
+    /** Reset to zero. */
+    void reset() { total = 0; }
+
+    Counter &operator+=(uint64_t n) { total += n; return *this; }
+    Counter &operator++() { ++total; return *this; }
+
+  private:
+    uint64_t total = 0;
+};
+
+/**
+ * A group of named counters. Components own a CounterGroup and register
+ * references into it so all statistics can be dumped uniformly.
+ */
+class CounterGroup
+{
+  public:
+    /** Access (creating on first use) the counter with this name. */
+    Counter &operator[](const std::string &name) { return counters[name]; }
+
+    /** Read-only lookup; returns 0 for unknown names. */
+    uint64_t
+    value(const std::string &name) const
+    {
+        const auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second.value();
+    }
+
+    /** Reset every counter in the group. */
+    void
+    resetAll()
+    {
+        for (auto &kv : counters)
+            kv.second.reset();
+    }
+
+    /** Iterate (name, counter) pairs in name order. */
+    const std::map<std::string, Counter> &all() const { return counters; }
+
+  private:
+    std::map<std::string, Counter> counters;
+};
+
+} // namespace mnnfast::stats
+
+#endif // MNNFAST_STATS_COUNTER_HH

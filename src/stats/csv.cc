@@ -1,0 +1,56 @@
+#include "stats/csv.hh"
+
+#include "util/logging.hh"
+
+namespace mnnfast::stats {
+
+namespace {
+
+std::string
+escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out(path, std::ios::trunc)
+{
+    if (!out)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        out << escape(cells[i]);
+        if (i + 1 < cells.size())
+            out << ',';
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::close()
+{
+    if (out.is_open())
+        out.close();
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+} // namespace mnnfast::stats

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal CSV writer so bench harnesses can optionally dump their data
+ * series for external plotting, alongside the human-readable table.
+ */
+
+#ifndef MNNFAST_STATS_CSV_HH
+#define MNNFAST_STATS_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mnnfast::stats {
+
+/** Writes rows of string cells to a file in RFC-4180-compatible CSV. */
+class CsvWriter
+{
+  public:
+    /** Open (truncate) the target file; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row. Cells containing commas/quotes are quoted. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Flush and close; also done by the destructor. */
+    void close();
+
+    ~CsvWriter();
+
+  private:
+    std::ofstream out;
+};
+
+} // namespace mnnfast::stats
+
+#endif // MNNFAST_STATS_CSV_HH

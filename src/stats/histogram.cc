@@ -1,0 +1,103 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mnnfast::stats {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo(lo), hi(hi), counts(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram needs at least one bin");
+    if (!(lo < hi))
+        fatal("Histogram range is empty: [%g, %g)", lo, hi);
+}
+
+void
+Histogram::add(double sample)
+{
+    ++samples;
+    sum += sample;
+    if (sample < lo) {
+        ++under;
+    } else if (sample >= hi) {
+        ++over;
+    } else {
+        const double frac = (sample - lo) / (hi - lo);
+        size_t idx = static_cast<size_t>(frac * counts.size());
+        idx = std::min(idx, counts.size() - 1);
+        ++counts[idx];
+    }
+}
+
+uint64_t
+Histogram::binCount(size_t i) const
+{
+    mnn_assert(i < counts.size(), "bin index out of range");
+    return counts[i];
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    mnn_assert(i < counts.size(), "bin index out of range");
+    return lo + (hi - lo) * static_cast<double>(i)
+               / static_cast<double>(counts.size());
+}
+
+double
+Histogram::mean() const
+{
+    return samples ? sum / static_cast<double>(samples) : 0.0;
+}
+
+double
+Histogram::fractionBelow(double x) const
+{
+    if (samples == 0)
+        return 0.0;
+    uint64_t below = under;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const double upper_edge =
+            lo + (hi - lo) * static_cast<double>(i + 1)
+               / static_cast<double>(counts.size());
+        if (upper_edge <= x)
+            below += counts[i];
+    }
+    return static_cast<double>(below) / static_cast<double>(samples);
+}
+
+std::string
+Histogram::toString(size_t bar_width) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts)
+        peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const size_t len = static_cast<size_t>(
+            static_cast<double>(counts[i]) / static_cast<double>(peak)
+            * static_cast<double>(bar_width));
+        std::snprintf(line, sizeof(line), "[%10.4g) %10llu |", binLow(i),
+                      static_cast<unsigned long long>(counts[i]));
+        out += line;
+        out.append(len, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    under = over = samples = 0;
+    sum = 0.0;
+}
+
+} // namespace mnnfast::stats

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-bin histogram used by the probability-distribution experiment
+ * (paper Fig. 6) and the simulators' latency distributions.
+ */
+
+#ifndef MNNFAST_STATS_HISTOGRAM_HH
+#define MNNFAST_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnnfast::stats {
+
+/**
+ * A histogram over [lo, hi) with equal-width bins plus underflow and
+ * overflow buckets.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    Lower bound of the tracked range (inclusive).
+     * @param hi    Upper bound of the tracked range (exclusive).
+     * @param bins  Number of equal-width bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Record one sample. */
+    void add(double sample);
+
+    /** Number of samples recorded so far (including under/overflow). */
+    uint64_t count() const { return samples; }
+
+    /** Count in bin i (0 <= i < bins()). */
+    uint64_t binCount(size_t i) const;
+
+    /** Number of regular bins. */
+    size_t bins() const { return counts.size(); }
+
+    /** Lower edge of bin i. */
+    double binLow(size_t i) const;
+
+    /** Samples below lo / at-or-above hi. */
+    uint64_t underflow() const { return under; }
+    uint64_t overflow() const { return over; }
+
+    /** Mean of all recorded samples. */
+    double mean() const;
+
+    /** Fraction of samples falling at or below x (approximate, by bin). */
+    double fractionBelow(double x) const;
+
+    /** Render a compact multi-line ASCII bar chart. */
+    std::string toString(size_t bar_width = 40) const;
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    double lo;
+    double hi;
+    std::vector<uint64_t> counts;
+    uint64_t under = 0;
+    uint64_t over = 0;
+    uint64_t samples = 0;
+    double sum = 0.0;
+};
+
+} // namespace mnnfast::stats
+
+#endif // MNNFAST_STATS_HISTOGRAM_HH

@@ -1,0 +1,83 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mnnfast::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    if (header.empty())
+        fatal("Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header.size()) {
+        fatal("Table row has %zu cells, expected %zu",
+              cells.size(), header.size());
+    }
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::num(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(header);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &row : body)
+        out += render_row(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+} // namespace mnnfast::stats

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Aligned-column text tables. Every bench harness prints its
+ * figure/table rows through this class so outputs have a uniform,
+ * easily diffable format.
+ */
+
+#ifndef MNNFAST_STATS_TABLE_HH
+#define MNNFAST_STATS_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnnfast::stats {
+
+/** A text table with a header row and uniformly padded columns. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format an integer. */
+    static std::string num(uint64_t v);
+
+    /** Render with padding, a header separator, and trailing newline. */
+    std::string toString() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+    /** Number of data rows. */
+    size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace mnnfast::stats
+
+#endif // MNNFAST_STATS_TABLE_HH

@@ -1,0 +1,91 @@
+#include "train/gradcheck.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::train {
+
+namespace {
+
+/**
+ * Probe a few coordinates of one tensor: compare the analytic gradient
+ * against (L(x+eps) - L(x-eps)) / (2 eps).
+ */
+void
+probeTensor(MemNnModel &model, const data::Example &ex,
+            std::vector<float> &tensor, const std::vector<float> &grad,
+            size_t probes, double eps, XorShiftRng &rng,
+            GradCheckResult &result)
+{
+    if (tensor.empty())
+        return;
+    ForwardState state;
+    for (size_t k = 0; k < probes; ++k) {
+        const size_t idx = rng.below(tensor.size());
+        const float saved = tensor[idx];
+
+        tensor[idx] = saved + static_cast<float>(eps);
+        model.forward(ex, state);
+        const double loss_plus = model.loss(state, ex.answer);
+
+        tensor[idx] = saved - static_cast<float>(eps);
+        model.forward(ex, state);
+        const double loss_minus = model.loss(state, ex.answer);
+
+        tensor[idx] = saved;
+
+        const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+        const double analytic = grad[idx];
+        // Forward passes run in fp32: a gradient of ~1e-5 produces a
+        // loss delta below float resolution, so the finite difference
+        // reads 0. The absolute floor in the denominator keeps such
+        // below-noise coordinates from dominating while still
+        // catching sign/scale errors on any meaningful gradient.
+        const double denom =
+            std::max(1e-2, std::abs(numeric) + std::abs(analytic));
+        const double rel = std::abs(numeric - analytic) / denom;
+        result.maxRelativeError = std::max(result.maxRelativeError, rel);
+        ++result.probes;
+    }
+}
+
+} // namespace
+
+GradCheckResult
+checkGradients(MemNnModel &model, const data::Example &ex,
+               size_t probes_per_tensor, double epsilon, uint64_t seed)
+{
+    ParamSet grads;
+    grads.allocate(model.config());
+
+    ForwardState state;
+    model.forward(ex, state);
+    model.backward(ex, state, ex.answer, grads);
+
+    GradCheckResult result;
+    XorShiftRng rng(seed);
+    ParamSet &p = model.mutableParameters();
+
+    probeTensor(model, ex, p.b, grads.b, probes_per_tensor, epsilon, rng,
+                result);
+    probeTensor(model, ex, p.w, grads.w, probes_per_tensor, epsilon, rng,
+                result);
+    for (size_t h = 0; h < model.config().hops; ++h) {
+        probeTensor(model, ex, p.a[h], grads.a[h], probes_per_tensor,
+                    epsilon, rng, result);
+        probeTensor(model, ex, p.c[h], grads.c[h], probes_per_tensor,
+                    epsilon, rng, result);
+        if (model.config().temporal) {
+            probeTensor(model, ex, p.ta[h], grads.ta[h],
+                        probes_per_tensor, epsilon, rng, result);
+            probeTensor(model, ex, p.tc[h], grads.tc[h],
+                        probes_per_tensor, epsilon, rng, result);
+        }
+    }
+    return result;
+}
+
+} // namespace mnnfast::train

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Finite-difference gradient verification for MemNnModel. Lives in the
+ * library (not only in tests) so examples and future training code can
+ * self-check new configurations.
+ */
+
+#ifndef MNNFAST_TRAIN_GRADCHECK_HH
+#define MNNFAST_TRAIN_GRADCHECK_HH
+
+#include "data/babi.hh"
+#include "train/model.hh"
+
+namespace mnnfast::train {
+
+/** Result of a gradient check. */
+struct GradCheckResult
+{
+    /** Largest relative error across all probed coordinates. */
+    double maxRelativeError = 0.0;
+    /** Number of coordinates probed. */
+    size_t probes = 0;
+};
+
+/**
+ * Compare analytic gradients with central finite differences on a
+ * random subset of coordinates of every tensor.
+ *
+ * @param model    The model (parameters are perturbed and restored).
+ * @param ex       Example to compute the loss on.
+ * @param probes_per_tensor  Coordinates probed per parameter tensor.
+ * @param epsilon  Finite-difference step.
+ */
+GradCheckResult checkGradients(MemNnModel &model, const data::Example &ex,
+                               size_t probes_per_tensor = 8,
+                               double epsilon = 1e-3,
+                               uint64_t seed = 1234);
+
+} // namespace mnnfast::train
+
+#endif // MNNFAST_TRAIN_GRADCHECK_HH

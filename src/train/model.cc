@@ -1,0 +1,340 @@
+#include "train/model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/kernels.hh"
+#include "blas/position.hh"
+#include "util/logging.hh"
+
+namespace mnnfast::train {
+
+using data::Example;
+using data::Sentence;
+using data::WordId;
+
+void
+ParamSet::allocate(const ModelConfig &cfg)
+{
+    const size_t ve = cfg.vocabSize * cfg.embeddingDim;
+    const size_t te = cfg.maxStory * cfg.embeddingDim;
+    b.assign(ve, 0.f);
+    w.assign(ve, 0.f);
+    a.assign(cfg.hops, std::vector<float>(ve, 0.f));
+    c.assign(cfg.hops, std::vector<float>(ve, 0.f));
+    ta.assign(cfg.hops, std::vector<float>(te, 0.f));
+    tc.assign(cfg.hops, std::vector<float>(te, 0.f));
+}
+
+void
+ParamSet::zero()
+{
+    auto clear = [](std::vector<float> &v) {
+        std::fill(v.begin(), v.end(), 0.f);
+    };
+    clear(b);
+    clear(w);
+    for (auto &m : a) clear(m);
+    for (auto &m : c) clear(m);
+    for (auto &m : ta) clear(m);
+    for (auto &m : tc) clear(m);
+}
+
+namespace {
+
+double
+sumSquares(const std::vector<float> &v)
+{
+    double s = 0.0;
+    for (float x : v)
+        s += static_cast<double>(x) * x;
+    return s;
+}
+
+void
+addScaledVec(std::vector<float> &dst, const std::vector<float> &src,
+             float scale)
+{
+    mnn_assert(dst.size() == src.size(), "ParamSet shape mismatch");
+    for (size_t i = 0; i < dst.size(); ++i)
+        dst[i] += scale * src[i];
+}
+
+} // namespace
+
+double
+ParamSet::squaredNorm() const
+{
+    double s = sumSquares(b) + sumSquares(w);
+    for (const auto &m : a) s += sumSquares(m);
+    for (const auto &m : c) s += sumSquares(m);
+    for (const auto &m : ta) s += sumSquares(m);
+    for (const auto &m : tc) s += sumSquares(m);
+    return s;
+}
+
+void
+ParamSet::addScaled(const ParamSet &other, float scale)
+{
+    addScaledVec(b, other.b, scale);
+    addScaledVec(w, other.w, scale);
+    for (size_t h = 0; h < a.size(); ++h) {
+        addScaledVec(a[h], other.a[h], scale);
+        addScaledVec(c[h], other.c[h], scale);
+        addScaledVec(ta[h], other.ta[h], scale);
+        addScaledVec(tc[h], other.tc[h], scale);
+    }
+}
+
+MemNnModel::MemNnModel(const ModelConfig &cfg, uint64_t seed)
+    : cfg(cfg)
+{
+    if (cfg.vocabSize == 0 || cfg.embeddingDim == 0)
+        fatal("MemNnModel needs a nonzero vocabulary and embedding dim");
+    if (cfg.hops == 0)
+        fatal("MemNnModel needs at least one hop");
+
+    params.allocate(cfg);
+    XorShiftRng rng(seed);
+    auto init = [&](std::vector<float> &v) {
+        for (float &x : v)
+            x = rng.uniformRange(-cfg.initScale, cfg.initScale);
+    };
+    init(params.b);
+    init(params.w);
+    for (size_t h = 0; h < cfg.hops; ++h) {
+        init(params.a[h]);
+        init(params.c[h]);
+        if (cfg.temporal) {
+            init(params.ta[h]);
+            init(params.tc[h]);
+        }
+    }
+}
+
+void
+MemNnModel::embedInto(const Sentence &s, const std::vector<float> &emb,
+                      float *out) const
+{
+    const size_t ed = cfg.embeddingDim;
+    blas::zero(out, ed);
+    for (size_t j = 0; j < s.size(); ++j) {
+        const WordId w = s[j];
+        mnn_assert(w < cfg.vocabSize, "word id exceeds vocabulary");
+        const float *row = emb.data() + static_cast<size_t>(w) * ed;
+        if (cfg.positionEncoding)
+            blas::axpyPositionEncoded(row, out, j, s.size(), ed);
+        else
+            blas::axpy(1.0f, row, out, ed);
+    }
+}
+
+void
+MemNnModel::forwardImpl(const Example &ex, ForwardState &state,
+                        float skip_threshold, uint64_t *kept_rows,
+                        uint64_t *total_rows) const
+{
+    const size_t ed = cfg.embeddingDim;
+    const size_t ns = ex.story.size();
+    mnn_assert(ns <= cfg.maxStory, "story exceeds configured maxStory");
+
+    state.ns = ns;
+    state.u.assign(cfg.hops + 1, std::vector<float>(ed, 0.f));
+    state.m.assign(cfg.hops, std::vector<float>(ns * ed, 0.f));
+    state.c.assign(cfg.hops, std::vector<float>(ns * ed, 0.f));
+    state.p.assign(cfg.hops, std::vector<float>(ns, 0.f));
+    state.o.assign(cfg.hops, std::vector<float>(ed, 0.f));
+    state.logits.assign(cfg.vocabSize, 0.f);
+
+    embedInto(ex.question, params.b, state.u[0].data());
+
+    for (size_t h = 0; h < cfg.hops; ++h) {
+        float *m = state.m[h].data();
+        float *c = state.c[h].data();
+        for (size_t i = 0; i < ns; ++i) {
+            embedInto(ex.story[i], params.a[h], m + i * ed);
+            embedInto(ex.story[i], params.c[h], c + i * ed);
+            if (cfg.temporal) {
+                blas::axpy(1.0f, params.ta[h].data() + i * ed, m + i * ed,
+                           ed);
+                blas::axpy(1.0f, params.tc[h].data() + i * ed, c + i * ed,
+                           ed);
+            }
+        }
+
+        float *p = state.p[h].data();
+        blas::gemv(m, ns, ed, state.u[h].data(), p);
+        blas::softmax(p, ns);
+
+        float *o = state.o[h].data();
+        blas::zero(o, ed);
+        for (size_t i = 0; i < ns; ++i) {
+            if (total_rows)
+                ++*total_rows;
+            if (skip_threshold > 0.f && p[i] < skip_threshold)
+                continue;
+            if (kept_rows)
+                ++*kept_rows;
+            blas::axpy(p[i], c + i * ed, o, ed);
+        }
+
+        blas::copy(state.u[h].data(), state.u[h + 1].data(), ed);
+        blas::axpy(1.0f, o, state.u[h + 1].data(), ed);
+    }
+
+    blas::gemv(params.w.data(), cfg.vocabSize, ed,
+               state.u[cfg.hops].data(), state.logits.data());
+}
+
+void
+MemNnModel::forward(const Example &ex, ForwardState &state) const
+{
+    forwardImpl(ex, state, 0.f, nullptr, nullptr);
+}
+
+void
+MemNnModel::forwardSkip(const Example &ex, float threshold,
+                        ForwardState &state, uint64_t &kept_rows,
+                        uint64_t &total_rows) const
+{
+    forwardImpl(ex, state, threshold, &kept_rows, &total_rows);
+}
+
+double
+MemNnModel::loss(const ForwardState &state, WordId answer) const
+{
+    mnn_assert(answer < cfg.vocabSize, "answer id exceeds vocabulary");
+    std::vector<float> probs = state.logits;
+    blas::softmax(probs.data(), probs.size());
+    const double p = std::max(1e-12, double(probs[answer]));
+    return -std::log(p);
+}
+
+WordId
+MemNnModel::predict(const ForwardState &state) const
+{
+    size_t best = 0;
+    for (size_t v = 1; v < state.logits.size(); ++v)
+        if (state.logits[v] > state.logits[best])
+            best = v;
+    return static_cast<WordId>(best);
+}
+
+namespace {
+
+/**
+ * Accumulate the gradient flowing into a sentence state back into the
+ * embedding rows of its tokens, mirroring embedInto's (optionally
+ * position-encoded) forward weighting.
+ */
+void
+accumulateEmbeddingGrad(const Sentence &s, const float *dvec,
+                        std::vector<float> &grad, bool position_encoding,
+                        size_t ed)
+{
+    for (size_t j = 0; j < s.size(); ++j) {
+        float *row = grad.data() + static_cast<size_t>(s[j]) * ed;
+        if (position_encoding) {
+            for (size_t k = 0; k < ed; ++k)
+                row[k] += blas::positionWeight(k, j, s.size(), ed)
+                          * dvec[k];
+        } else {
+            blas::axpy(1.0f, dvec, row, ed);
+        }
+    }
+}
+
+} // namespace
+
+void
+MemNnModel::backward(const Example &ex, const ForwardState &state,
+                     WordId answer, ParamSet &grads) const
+{
+    const size_t ed = cfg.embeddingDim;
+    const size_t ns = state.ns;
+    const size_t V = cfg.vocabSize;
+
+    // dL/dlogits = softmax(logits) - onehot(answer)
+    std::vector<float> dlogits = state.logits;
+    blas::softmax(dlogits.data(), V);
+    dlogits[answer] -= 1.0f;
+
+    // W gradient and du at the top.
+    std::vector<float> du(ed, 0.f);
+    const float *u_top = state.u[cfg.hops].data();
+    for (size_t v = 0; v < V; ++v) {
+        const float g = dlogits[v];
+        if (g == 0.f)
+            continue;
+        blas::axpy(g, u_top, grads.w.data() + v * ed, ed);
+        blas::axpy(g, params.w.data() + v * ed, du.data(), ed);
+    }
+
+    std::vector<float> dm_row(ed, 0.f);
+    std::vector<float> dc_row(ed, 0.f);
+    std::vector<float> da(cfg.maxStory, 0.f);
+    std::vector<float> dp(cfg.maxStory, 0.f);
+
+    for (size_t h = cfg.hops; h-- > 0;) {
+        const float *m = state.m[h].data();
+        const float *c = state.c[h].data();
+        const float *p = state.p[h].data();
+        const float *u_h = state.u[h].data();
+
+        // u^{h+1} = u^h + o^h, so do = du and du_h starts equal to du.
+        // dp_i = c_i . do ; softmax backward ; then accumulate into
+        // du_h via the inner-product term.
+        double p_dot_dp = 0.0;
+        for (size_t i = 0; i < ns; ++i) {
+            dp[i] = blas::dot(c + i * ed, du.data(), ed);
+            p_dot_dp += double(p[i]) * dp[i];
+        }
+        for (size_t i = 0; i < ns; ++i)
+            da[i] = p[i] * (dp[i] - static_cast<float>(p_dot_dp));
+
+        // Gradients into embeddings and the next du (du_h).
+        std::vector<float> du_h(du); // residual path
+        for (size_t i = 0; i < ns; ++i) {
+            // dc_i = p_i * do (do == du at this hop's top)
+            for (size_t e = 0; e < ed; ++e)
+                dc_row[e] = p[i] * du[e];
+            // dm_i = da_i * u^h
+            for (size_t e = 0; e < ed; ++e)
+                dm_row[e] = da[i] * u_h[e];
+            // du_h += da_i * m_i
+            blas::axpy(da[i], m + i * ed, du_h.data(), ed);
+
+            accumulateEmbeddingGrad(ex.story[i], dm_row.data(),
+                                    grads.a[h], cfg.positionEncoding,
+                                    ed);
+            accumulateEmbeddingGrad(ex.story[i], dc_row.data(),
+                                    grads.c[h], cfg.positionEncoding,
+                                    ed);
+            if (cfg.temporal) {
+                blas::axpy(1.0f, dm_row.data(),
+                           grads.ta[h].data() + i * ed, ed);
+                blas::axpy(1.0f, dc_row.data(),
+                           grads.tc[h].data() + i * ed, ed);
+            }
+        }
+        du = std::move(du_h);
+    }
+
+    // Question embedding gradient.
+    accumulateEmbeddingGrad(ex.question, du.data(), grads.b,
+                            cfg.positionEncoding, ed);
+}
+
+void
+MemNnModel::sgdStep(const ParamSet &grads, float lr, float clip_norm)
+{
+    float scale = -lr;
+    if (clip_norm > 0.f) {
+        const double norm = std::sqrt(grads.squaredNorm());
+        if (norm > clip_norm)
+            scale *= clip_norm / static_cast<float>(norm);
+    }
+    params.addScaled(grads, scale);
+}
+
+} // namespace mnnfast::train

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Trainable end-to-end memory network (Sukhbaatar et al., 2015),
+ * the network the paper accelerates.
+ *
+ * Architecture (BoW variant, as in the paper's Section 2.1):
+ *   u^0        = sum_{w in question} B[w]
+ *   m_i^h      = sum_{w in sentence_i} A_h[w] + TA_h[i]
+ *   c_i^h      = sum_{w in sentence_i} C_h[w] + TC_h[i]
+ *   p^h        = softmax(u^h . m_i^h)
+ *   o^h        = sum_i p_i^h c_i^h
+ *   u^{h+1}    = u^h + o^h
+ *   logits_v   = W[v] . u^H
+ *
+ * TA/TC are the standard temporal (memory-slot) embeddings; without
+ * them a BoW model cannot represent "the *last* move wins", which the
+ * bAbI-style tasks require. Training is plain SGD on softmax
+ * cross-entropy with exact analytic gradients (verified against finite
+ * differences in tests/train_gradcheck_test.cc).
+ *
+ * The trained weights are exported into core::EmbeddingTable /
+ * core::KnowledgeBase so the inference engines (the paper's subject)
+ * run on *learned* attention distributions — the sparsity that makes
+ * zero-skipping work (paper Figs. 6-7) then emerges from training
+ * rather than being assumed.
+ */
+
+#ifndef MNNFAST_TRAIN_MODEL_HH
+#define MNNFAST_TRAIN_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "data/babi.hh"
+#include "data/vocabulary.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::train {
+
+/** Static hyperparameters of a MemNnModel. */
+struct ModelConfig
+{
+    size_t vocabSize = 0;
+    size_t embeddingDim = 32;
+    size_t hops = 2;
+    /** Maximum story length (sizes the temporal embeddings). */
+    size_t maxStory = 64;
+    /** Scale of the uniform weight initialization. */
+    float initScale = 0.1f;
+    /** Enable temporal embeddings TA/TC. */
+    bool temporal = true;
+    /**
+     * Position encoding (paper footnote 1 / Sukhbaatar et al. eq. 4):
+     * each word's embedding row is weighted by its in-sentence
+     * position before the BoW sum, so word order inside a sentence is
+     * preserved. Off by default (the paper's main configuration is
+     * plain BoW).
+     */
+    bool positionEncoding = false;
+};
+
+/** Per-example activations retained for the backward pass. */
+struct ForwardState
+{
+    /** Number of story sentences. */
+    size_t ns = 0;
+    /** u vectors at each hop boundary; u[0] is the question state. */
+    std::vector<std::vector<float>> u;
+    /** Per hop: ns x ed input-memory rows (flattened). */
+    std::vector<std::vector<float>> m;
+    /** Per hop: ns x ed output-memory rows (flattened). */
+    std::vector<std::vector<float>> c;
+    /** Per hop: ns attention probabilities. */
+    std::vector<std::vector<float>> p;
+    /** Per hop: ed response vector. */
+    std::vector<std::vector<float>> o;
+    /** Vocabulary logits (pre-softmax). */
+    std::vector<float> logits;
+};
+
+/** Flat parameter (or gradient) storage for the model. */
+struct ParamSet
+{
+    std::vector<float> b;               ///< V x ed question embedding
+    std::vector<std::vector<float>> a;  ///< hops x (V x ed)
+    std::vector<std::vector<float>> c;  ///< hops x (V x ed)
+    std::vector<std::vector<float>> ta; ///< hops x (maxStory x ed)
+    std::vector<std::vector<float>> tc; ///< hops x (maxStory x ed)
+    std::vector<float> w;               ///< V x ed output projection
+
+    /** Allocate all tensors (zero-filled) for `cfg`. */
+    void allocate(const ModelConfig &cfg);
+
+    /** Set every element to zero. */
+    void zero();
+
+    /** Sum of squares of every parameter (for clipping / tests). */
+    double squaredNorm() const;
+
+    /** this += scale * other (elementwise, matching shapes). */
+    void addScaled(const ParamSet &other, float scale);
+};
+
+/**
+ * The trainable end-to-end MemNN. See file header for the equations.
+ */
+class MemNnModel
+{
+  public:
+    /** Construct with random (uniform) initialization. */
+    MemNnModel(const ModelConfig &cfg, uint64_t seed);
+
+    /** Run the forward pass, retaining activations in `state`. */
+    void forward(const data::Example &ex, ForwardState &state) const;
+
+    /**
+     * Forward pass with zero-skipping applied to every hop's weighted
+     * sum: contributions with p_i < threshold are dropped (without
+     * renormalization, matching the paper's Algorithm 1).
+     *
+     * @param kept_rows  Incremented by the number of weighted-sum rows
+     *                   actually computed.
+     * @param total_rows Incremented by the number of rows a full
+     *                   computation would use.
+     */
+    void forwardSkip(const data::Example &ex, float threshold,
+                     ForwardState &state, uint64_t &kept_rows,
+                     uint64_t &total_rows) const;
+
+    /** Cross-entropy loss of a completed forward pass. */
+    double loss(const ForwardState &state, data::WordId answer) const;
+
+    /** Arg-max prediction of a completed forward pass. */
+    data::WordId predict(const ForwardState &state) const;
+
+    /**
+     * Accumulate exact gradients of loss(ex) into `grads`
+     * (grads must be allocated for the same config; it is NOT zeroed).
+     */
+    void backward(const data::Example &ex, const ForwardState &state,
+                  data::WordId answer, ParamSet &grads) const;
+
+    /** params += -lr * grads, with global-norm gradient clipping. */
+    void sgdStep(const ParamSet &grads, float lr, float clip_norm);
+
+    const ModelConfig &config() const { return cfg; }
+    const ParamSet &parameters() const { return params; }
+    ParamSet &mutableParameters() { return params; }
+
+    /** Embed a sentence with embedding matrix `emb` into out[ed]. */
+    void embedInto(const data::Sentence &s, const std::vector<float> &emb,
+                   float *out) const;
+
+  private:
+    void forwardImpl(const data::Example &ex, ForwardState &state,
+                     float skip_threshold, uint64_t *kept_rows,
+                     uint64_t *total_rows) const;
+
+    ModelConfig cfg;
+    ParamSet params;
+};
+
+} // namespace mnnfast::train
+
+#endif // MNNFAST_TRAIN_MODEL_HH

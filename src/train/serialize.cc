@@ -1,0 +1,173 @@
+#include "train/serialize.hh"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace mnnfast::train {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'N', 'N', 'F'};
+constexpr uint32_t kVersion = 1;
+
+void
+writeU32(std::ofstream &out, uint32_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU64(std::ofstream &out, uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeF32(std::ofstream &out, float v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeTensor(std::ofstream &out, const std::vector<float> &t)
+{
+    writeU64(out, t.size());
+    out.write(reinterpret_cast<const char *>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+uint32_t
+readU32(std::ifstream &in, const std::string &path)
+{
+    uint32_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        fatal("truncated model file '%s'", path.c_str());
+    return v;
+}
+
+uint64_t
+readU64(std::ifstream &in, const std::string &path)
+{
+    uint64_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        fatal("truncated model file '%s'", path.c_str());
+    return v;
+}
+
+float
+readF32(std::ifstream &in, const std::string &path)
+{
+    float v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        fatal("truncated model file '%s'", path.c_str());
+    return v;
+}
+
+void
+readTensor(std::ifstream &in, std::vector<float> &t,
+           const std::string &path)
+{
+    const uint64_t n = readU64(in, path);
+    if (n != t.size()) {
+        fatal("model file '%s': tensor of %llu elements where %zu "
+              "expected", path.c_str(),
+              static_cast<unsigned long long>(n), t.size());
+    }
+    in.read(reinterpret_cast<char *>(t.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in)
+        fatal("truncated model file '%s'", path.c_str());
+}
+
+} // namespace
+
+void
+saveModel(const MemNnModel &model, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+
+    const ModelConfig &cfg = model.config();
+    out.write(kMagic, sizeof(kMagic));
+    writeU32(out, kVersion);
+    writeU64(out, cfg.vocabSize);
+    writeU64(out, cfg.embeddingDim);
+    writeU64(out, cfg.hops);
+    writeU64(out, cfg.maxStory);
+    writeF32(out, cfg.initScale);
+    const uint8_t temporal = cfg.temporal ? 1 : 0;
+    const uint8_t pe = cfg.positionEncoding ? 1 : 0;
+    out.write(reinterpret_cast<const char *>(&temporal), 1);
+    out.write(reinterpret_cast<const char *>(&pe), 1);
+
+    const ParamSet &p = model.parameters();
+    writeTensor(out, p.b);
+    writeTensor(out, p.w);
+    for (size_t h = 0; h < cfg.hops; ++h)
+        writeTensor(out, p.a[h]);
+    for (size_t h = 0; h < cfg.hops; ++h)
+        writeTensor(out, p.c[h]);
+    for (size_t h = 0; h < cfg.hops; ++h)
+        writeTensor(out, p.ta[h]);
+    for (size_t h = 0; h < cfg.hops; ++h)
+        writeTensor(out, p.tc[h]);
+
+    if (!out)
+        fatal("write failed for '%s'", path.c_str());
+}
+
+MemNnModel
+loadModel(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open model file '%s'", path.c_str());
+
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'%s' is not a MnnFast model file", path.c_str());
+    const uint32_t version = readU32(in, path);
+    if (version != kVersion) {
+        fatal("model file '%s' has version %u, expected %u",
+              path.c_str(), version, kVersion);
+    }
+
+    ModelConfig cfg;
+    cfg.vocabSize = readU64(in, path);
+    cfg.embeddingDim = readU64(in, path);
+    cfg.hops = readU64(in, path);
+    cfg.maxStory = readU64(in, path);
+    cfg.initScale = readF32(in, path);
+    uint8_t temporal = 0, pe = 0;
+    in.read(reinterpret_cast<char *>(&temporal), 1);
+    in.read(reinterpret_cast<char *>(&pe), 1);
+    if (!in)
+        fatal("truncated model file '%s'", path.c_str());
+    cfg.temporal = temporal != 0;
+    cfg.positionEncoding = pe != 0;
+
+    MemNnModel model(cfg, /*seed=*/1);
+    ParamSet &p = model.mutableParameters();
+    readTensor(in, p.b, path);
+    readTensor(in, p.w, path);
+    for (size_t h = 0; h < cfg.hops; ++h)
+        readTensor(in, p.a[h], path);
+    for (size_t h = 0; h < cfg.hops; ++h)
+        readTensor(in, p.c[h], path);
+    for (size_t h = 0; h < cfg.hops; ++h)
+        readTensor(in, p.ta[h], path);
+    for (size_t h = 0; h < cfg.hops; ++h)
+        readTensor(in, p.tc[h], path);
+    return model;
+}
+
+} // namespace mnnfast::train

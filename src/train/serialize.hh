@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Model checkpointing: save/load a trained MemNnModel to a compact
+ * binary file so a QA service can deploy weights without retraining.
+ *
+ * Format (little-endian, fixed-width):
+ *   magic "MNNF", u32 version,
+ *   ModelConfig fields (u64 x 4: vocab, ed, hops, maxStory;
+ *                       f32 initScale; u8 temporal; u8 positionEnc),
+ *   then each tensor as u64 length + raw f32 data, in the fixed
+ *   order: B, W, A[0..hops), C[0..hops), TA[0..hops), TC[0..hops).
+ */
+
+#ifndef MNNFAST_TRAIN_SERIALIZE_HH
+#define MNNFAST_TRAIN_SERIALIZE_HH
+
+#include <string>
+
+#include "train/model.hh"
+
+namespace mnnfast::train {
+
+/**
+ * Write the model's configuration and parameters to `path`.
+ * fatal() if the file cannot be written.
+ */
+void saveModel(const MemNnModel &model, const std::string &path);
+
+/**
+ * Load a model previously written by saveModel().
+ * fatal() on missing file, bad magic, version mismatch, or truncated
+ * tensors.
+ */
+MemNnModel loadModel(const std::string &path);
+
+} // namespace mnnfast::train
+
+#endif // MNNFAST_TRAIN_SERIALIZE_HH

@@ -1,0 +1,80 @@
+#include "train/trainer.hh"
+
+#include "util/logging.hh"
+
+namespace mnnfast::train {
+
+TrainResult
+trainModel(MemNnModel &model, const data::Dataset &train_set,
+           const TrainConfig &cfg)
+{
+    if (train_set.size() == 0)
+        fatal("cannot train on an empty dataset");
+
+    ParamSet grads;
+    grads.allocate(model.config());
+
+    TrainResult result;
+    float lr = cfg.learningRate;
+    ForwardState state;
+
+    for (size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        double epoch_loss = 0.0;
+        for (const data::Example &ex : train_set.examples) {
+            model.forward(ex, state);
+            epoch_loss += model.loss(state, ex.answer);
+            grads.zero();
+            model.backward(ex, state, ex.answer, grads);
+            model.sgdStep(grads, lr, cfg.clipNorm);
+        }
+        epoch_loss /= static_cast<double>(train_set.size());
+        result.finalLoss = epoch_loss;
+        ++result.epochsRun;
+
+        if (cfg.decayEvery > 0 && (epoch + 1) % cfg.decayEvery == 0)
+            lr *= 0.5f;
+        if (cfg.verbose) {
+            inform("epoch %zu: loss %.4f (lr %.4f)", epoch + 1,
+                   epoch_loss, double(lr));
+        }
+    }
+
+    result.trainAccuracy = evaluateAccuracy(model, train_set);
+    return result;
+}
+
+double
+evaluateAccuracy(const MemNnModel &model, const data::Dataset &test_set)
+{
+    if (test_set.size() == 0)
+        return 0.0;
+    ForwardState state;
+    size_t correct = 0;
+    for (const data::Example &ex : test_set.examples) {
+        model.forward(ex, state);
+        if (model.predict(state) == ex.answer)
+            ++correct;
+    }
+    return static_cast<double>(correct)
+         / static_cast<double>(test_set.size());
+}
+
+double
+evaluateAccuracySkip(const MemNnModel &model,
+                     const data::Dataset &test_set, float threshold,
+                     uint64_t &kept_rows, uint64_t &total_rows)
+{
+    if (test_set.size() == 0)
+        return 0.0;
+    ForwardState state;
+    size_t correct = 0;
+    for (const data::Example &ex : test_set.examples) {
+        model.forwardSkip(ex, threshold, state, kept_rows, total_rows);
+        if (model.predict(state) == ex.answer)
+            ++correct;
+    }
+    return static_cast<double>(correct)
+         / static_cast<double>(test_set.size());
+}
+
+} // namespace mnnfast::train

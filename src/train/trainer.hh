@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SGD training loop and evaluation utilities for MemNnModel.
+ */
+
+#ifndef MNNFAST_TRAIN_TRAINER_HH
+#define MNNFAST_TRAIN_TRAINER_HH
+
+#include <cstdint>
+
+#include "data/babi.hh"
+#include "train/model.hh"
+
+namespace mnnfast::train {
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    size_t epochs = 30;
+    float learningRate = 0.02f;
+    /** Global-norm gradient clip; <= 0 disables. */
+    float clipNorm = 10.0f;
+    /** Halve the learning rate every `decayEvery` epochs (0 = never). */
+    size_t decayEvery = 10;
+    /** Log per-epoch progress through inform(). */
+    bool verbose = false;
+};
+
+/** Outcome of a training run. */
+struct TrainResult
+{
+    double finalLoss = 0.0;
+    double trainAccuracy = 0.0;
+    size_t epochsRun = 0;
+};
+
+/**
+ * Plain per-example SGD over the dataset; epochs iterate the set in
+ * order (the generator already randomizes examples).
+ */
+TrainResult trainModel(MemNnModel &model, const data::Dataset &train_set,
+                       const TrainConfig &cfg);
+
+/** Fraction of examples whose arg-max prediction equals the answer. */
+double evaluateAccuracy(const MemNnModel &model,
+                        const data::Dataset &test_set);
+
+/**
+ * Accuracy with zero-skipping at `threshold`; also accumulates the
+ * kept/total weighted-sum row counts so callers can report the
+ * computation-reduction ratio (paper Fig. 7).
+ */
+double evaluateAccuracySkip(const MemNnModel &model,
+                            const data::Dataset &test_set,
+                            float threshold, uint64_t &kept_rows,
+                            uint64_t &total_rows);
+
+} // namespace mnnfast::train
+
+#endif // MNNFAST_TRAIN_TRAINER_HH

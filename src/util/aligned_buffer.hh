@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cache-line-aligned float buffers.
+ *
+ * The compute kernels assume 64-byte alignment so the compiler can emit
+ * aligned vector loads; std::vector<float> gives only 16-byte alignment
+ * on most platforms.
+ */
+
+#ifndef MNNFAST_UTIL_ALIGNED_BUFFER_HH
+#define MNNFAST_UTIL_ALIGNED_BUFFER_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace mnnfast {
+
+/** Cache line size assumed throughout the library (bytes). */
+inline constexpr size_t kCacheLineBytes = 64;
+
+/**
+ * A fixed-capacity, 64-byte-aligned array of trivially-copyable
+ * elements. Movable but not copyable (copies of multi-GB matrices
+ * should always be explicit).
+ */
+template <typename T>
+class AlignedBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "AlignedBuffer only supports trivially copyable types");
+
+  public:
+    AlignedBuffer() = default;
+
+    /** Allocate n elements, zero-initialized. */
+    explicit AlignedBuffer(size_t n) { allocate(n); }
+
+    AlignedBuffer(const AlignedBuffer &) = delete;
+    AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+    AlignedBuffer(AlignedBuffer &&other) noexcept
+        : ptr(std::exchange(other.ptr, nullptr)),
+          count(std::exchange(other.count, 0))
+    {}
+
+    AlignedBuffer &
+    operator=(AlignedBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            ptr = std::exchange(other.ptr, nullptr);
+            count = std::exchange(other.count, 0);
+        }
+        return *this;
+    }
+
+    ~AlignedBuffer() { release(); }
+
+    /** Reallocate to n zero-initialized elements (old contents lost). */
+    void
+    allocate(size_t n)
+    {
+        release();
+        if (n == 0)
+            return;
+        const size_t bytes =
+            (n * sizeof(T) + kCacheLineBytes - 1)
+            / kCacheLineBytes * kCacheLineBytes;
+        void *raw = std::aligned_alloc(kCacheLineBytes, bytes);
+        if (!raw)
+            throw std::bad_alloc();
+        ptr = static_cast<T *>(raw);
+        count = n;
+        zero();
+    }
+
+    /** Set every element to T{}. */
+    void
+    zero()
+    {
+        std::fill(ptr, ptr + count, T{});
+    }
+
+    T *data() { return ptr; }
+    const T *data() const { return ptr; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    T &
+    operator[](size_t i)
+    {
+        mnn_assert(i < count, "AlignedBuffer index out of range");
+        return ptr[i];
+    }
+
+    const T &
+    operator[](size_t i) const
+    {
+        mnn_assert(i < count, "AlignedBuffer index out of range");
+        return ptr[i];
+    }
+
+    T *begin() { return ptr; }
+    T *end() { return ptr + count; }
+    const T *begin() const { return ptr; }
+    const T *end() const { return ptr + count; }
+
+  private:
+    void
+    release()
+    {
+        std::free(ptr);
+        ptr = nullptr;
+        count = 0;
+    }
+
+    T *ptr = nullptr;
+    size_t count = 0;
+};
+
+} // namespace mnnfast
+
+#endif // MNNFAST_UTIL_ALIGNED_BUFFER_HH

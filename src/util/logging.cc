@@ -1,0 +1,92 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace mnnfast {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Normal};
+
+// Serializes multi-part writes so lines from different threads do not
+// interleave mid-line.
+std::mutex g_io_mutex;
+
+void
+emit(const char *prefix, const char *fmt, va_list args)
+{
+    std::lock_guard<std::mutex> lock(g_io_mutex);
+    std::fputs(prefix, stderr);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (logLevel() == LogLevel::Quiet)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+verbose(const char *fmt, ...)
+{
+    if (logLevel() != LogLevel::Verbose)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("debug: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace mnnfast

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Logging and error-reporting primitives, modelled after gem5's
+ * logging.hh conventions.
+ *
+ * Severity levels:
+ *  - inform(): normal operating messages, no connotation of error.
+ *  - warn():   something may be wrong but execution can continue.
+ *  - fatal():  the run cannot continue because of a *user* error
+ *              (bad configuration, invalid arguments); exits with code 1.
+ *  - panic():  an internal invariant was violated (a library bug);
+ *              calls std::abort() so a core dump / debugger is usable.
+ */
+
+#ifndef MNNFAST_UTIL_LOGGING_HH
+#define MNNFAST_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mnnfast {
+
+/** Global verbosity control for inform(); warn and above always print. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Set the global log level. Thread-safe (relaxed atomic store). */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+/** Print an informational message (printf-style) when level >= Normal. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a verbose debug message when level >= Verbose. */
+void verbose(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message. Always printed. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a fatal *user* error and exit(1).
+ * Use for invalid configurations or arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort().
+ * Use for conditions that should be impossible regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an internal invariant with a formatted message; panics on
+ * failure. Unlike NDEBUG-controlled assert(), this is always active:
+ * simulator invariants should hold in release builds too.
+ */
+#define mnn_assert(cond, msg)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::mnnfast::panic("assertion '%s' failed at %s:%d: %s",        \
+                             #cond, __FILE__, __LINE__, (msg));           \
+        }                                                                 \
+    } while (0)
+
+} // namespace mnnfast
+
+#endif // MNNFAST_UTIL_LOGGING_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (dataset generators, weight
+ * initialization, traffic generators) draw from XorShiftRng so runs are
+ * reproducible from a single seed. std::mt19937 is avoided because its
+ * large state makes per-object generators expensive and its stream is
+ * not guaranteed identical across standard library implementations for
+ * the distribution adaptors.
+ */
+
+#ifndef MNNFAST_UTIL_RNG_HH
+#define MNNFAST_UTIL_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace mnnfast {
+
+/**
+ * xorshift64* generator: tiny state, passes BigCrush on the high bits,
+ * and fully deterministic across platforms.
+ */
+class XorShiftRng
+{
+  public:
+    /** Construct from a seed; seed 0 is remapped to a fixed constant. */
+    explicit XorShiftRng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state(seed ? seed : 0x9E3779B97F4A7C15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // Use the high 53 bits for a dyadic rational in [0,1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniformRange(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        mnn_assert(n > 0, "below(0) is undefined");
+        // Modulo bias is negligible for n << 2^64 (all our uses).
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double
+    gaussian()
+    {
+        if (hasSpare) {
+            hasSpare = false;
+            return spare;
+        }
+        double u1 = 0.0;
+        while (u1 == 0.0)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        const double two_pi = 6.283185307179586;
+        spare = mag * std::sin(two_pi * u2);
+        hasSpare = true;
+        return mag * std::cos(two_pi * u2);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Split off an independent generator (for per-thread streams). */
+    XorShiftRng
+    split()
+    {
+        // Decorrelate by hashing the child seed with an odd constant.
+        return XorShiftRng(next() * 0xBF58476D1CE4E5B9ull + 1);
+    }
+
+  private:
+    uint64_t state;
+    double spare = 0.0;
+    bool hasSpare = false;
+};
+
+} // namespace mnnfast
+
+#endif // MNNFAST_UTIL_RNG_HH

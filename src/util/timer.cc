@@ -1,0 +1,18 @@
+#include "util/timer.hh"
+
+namespace mnnfast {
+
+void
+Timer::reset()
+{
+    start = std::chrono::steady_clock::now();
+}
+
+double
+Timer::seconds() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}
+
+} // namespace mnnfast

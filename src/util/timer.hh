@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Wall-clock timing helper for benchmarks and examples.
+ */
+
+#ifndef MNNFAST_UTIL_TIMER_HH
+#define MNNFAST_UTIL_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace mnnfast {
+
+/** A restartable wall-clock stopwatch with nanosecond resolution. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset();
+
+    /** Elapsed time since construction or last reset(), in seconds. */
+    double seconds() const;
+
+    /** Elapsed time in milliseconds. */
+    double millis() const { return seconds() * 1e3; }
+
+    /** Elapsed time in microseconds. */
+    double micros() const { return seconds() * 1e6; }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * Accumulates time across multiple start/stop intervals; used by the
+ * engine instrumentation to attribute latency to individual operators
+ * (inner product, softmax, weighted sum, ...).
+ */
+class PhaseTimer
+{
+  public:
+    /** Begin an interval. */
+    void start() { timer.reset(); running = true; }
+
+    /** End the current interval and add it to the total. */
+    void
+    stop()
+    {
+        if (running) {
+            total += timer.seconds();
+            running = false;
+        }
+    }
+
+    /** Total accumulated seconds across all intervals. */
+    double seconds() const { return total; }
+
+    /** Clear the accumulated total. */
+    void clear() { total = 0.0; running = false; }
+
+  private:
+    Timer timer;
+    double total = 0.0;
+    bool running = false;
+};
+
+} // namespace mnnfast
+
+#endif // MNNFAST_UTIL_TIMER_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the bAbI text-format reader/writer: parsing the canonical
+ * format, round-tripping generated datasets, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/babi.hh"
+#include "data/babi_text.hh"
+
+namespace mnnfast::data {
+namespace {
+
+const char *const kCanonical =
+    "1 Mary moved to the bathroom.\n"
+    "2 John went to the hallway.\n"
+    "3 Where is Mary? \tbathroom\t1\n"
+    "4 Daniel went back to the hallway.\n"
+    "5 Where is Daniel? \thallway\t4\n"
+    "1 Sandra journeyed to the garden.\n"
+    "2 Where is Sandra? \tgarden\t1\n";
+
+TEST(BabiText, ParsesCanonicalFormat)
+{
+    Vocabulary vocab;
+    std::istringstream in(kCanonical);
+    const Dataset set = parseBabi(in, vocab);
+
+    ASSERT_EQ(set.size(), 3u);
+
+    // First question: story of 2 statements seen so far.
+    const Example &q1 = set.examples[0];
+    EXPECT_EQ(q1.story.size(), 2u);
+    EXPECT_EQ(q1.answer, vocab.lookup("bathroom"));
+    ASSERT_EQ(q1.supportingFacts.size(), 1u);
+    EXPECT_EQ(q1.supportingFacts[0], 0u);
+
+    // Second question: cumulative story of 3 statements (block lines
+    // 1, 2 and 4 — line 3 was a question). Supporting fact "4" is a
+    // block *line* number, mapping to story index 2.
+    const Example &q2 = set.examples[1];
+    EXPECT_EQ(q2.story.size(), 3u);
+    EXPECT_EQ(q2.answer, vocab.lookup("hallway"));
+    ASSERT_EQ(q2.supportingFacts.size(), 1u);
+    EXPECT_EQ(q2.supportingFacts[0], 2u);
+
+    // New block resets the story.
+    const Example &q3 = set.examples[2];
+    EXPECT_EQ(q3.story.size(), 1u);
+    EXPECT_EQ(q3.answer, vocab.lookup("garden"));
+}
+
+TEST(BabiText, LowercasesAndStripsPunctuation)
+{
+    Vocabulary vocab;
+    std::istringstream in("1 Mary MOVED to the bathroom.\n"
+                          "2 Where is Mary? \tBathroom\t1\n");
+    const Dataset set = parseBabi(in, vocab);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_TRUE(vocab.contains("mary"));
+    EXPECT_TRUE(vocab.contains("moved"));
+    EXPECT_FALSE(vocab.contains("Mary"));
+    EXPECT_FALSE(vocab.contains("bathroom."));
+    EXPECT_EQ(set.examples[0].answer, vocab.lookup("bathroom"));
+}
+
+TEST(BabiText, MultiWordAnswerUsesFirstToken)
+{
+    Vocabulary vocab;
+    std::istringstream in("1 Daniel took the apple and football.\n"
+                          "2 What is Daniel holding? \tapple,football\t1\n");
+    const Dataset set = parseBabi(in, vocab);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.examples[0].answer, vocab.lookup("apple"));
+}
+
+TEST(BabiText, GeneratedDatasetRoundTrips)
+{
+    Vocabulary vocab;
+    BabiGenerator gen(TaskType::SingleSupportingFact, vocab, 5);
+    const Dataset original = gen.generateSet(20, 6);
+
+    std::ostringstream out;
+    writeBabi(out, original, vocab);
+
+    Vocabulary vocab2;
+    std::istringstream in(out.str());
+    const Dataset parsed = parseBabi(in, vocab2);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        const Example &a = original.examples[i];
+        const Example &b = parsed.examples[i];
+        ASSERT_EQ(a.story.size(), b.story.size()) << "example " << i;
+        // Word identity via spellings (ids differ across vocabs).
+        for (size_t s = 0; s < a.story.size(); ++s) {
+            ASSERT_EQ(a.story[s].size(), b.story[s].size());
+            for (size_t w = 0; w < a.story[s].size(); ++w) {
+                EXPECT_EQ(vocab.wordOf(a.story[s][w]),
+                          vocab2.wordOf(b.story[s][w]));
+            }
+        }
+        EXPECT_EQ(vocab.wordOf(a.answer), vocab2.wordOf(b.answer));
+        EXPECT_EQ(a.supportingFacts, b.supportingFacts);
+    }
+}
+
+TEST(BabiText, UnnumberedLineIsFatal)
+{
+    Vocabulary vocab;
+    std::istringstream in("Mary moved to the bathroom.\n");
+    EXPECT_EXIT(parseBabi(in, vocab), ::testing::ExitedWithCode(1),
+                "line number");
+}
+
+TEST(BabiText, QuestionWithoutAnswerIsFatal)
+{
+    Vocabulary vocab;
+    std::istringstream in("1 Where is Mary?\n");
+    EXPECT_EXIT(parseBabi(in, vocab), ::testing::ExitedWithCode(1),
+                "without");
+}
+
+TEST(BabiText, MissingFileIsFatal)
+{
+    Vocabulary vocab;
+    EXPECT_EXIT(parseBabiFile("/nonexistent/babi.txt", vocab),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(BabiText, EmptyInputGivesEmptyDataset)
+{
+    Vocabulary vocab;
+    std::istringstream in("");
+    EXPECT_EQ(parseBabi(in, vocab).size(), 0u);
+}
+
+} // namespace
+} // namespace mnnfast::data

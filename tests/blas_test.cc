@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit and property tests for src/blas against naive references,
+ * parameterized across sizes including non-multiples of the unroll
+ * and blocking factors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/kernels.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::blas {
+namespace {
+
+std::vector<float>
+randomVec(size_t n, uint64_t seed)
+{
+    XorShiftRng rng(seed);
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = rng.uniformRange(-1.0f, 1.0f);
+    return v;
+}
+
+float
+naiveDot(const std::vector<float> &x, const std::vector<float> &y)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        acc += double(x[i]) * y[i];
+    return static_cast<float>(acc);
+}
+
+class KernelSizes : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(KernelSizes, DotMatchesNaive)
+{
+    const size_t n = GetParam();
+    const auto x = randomVec(n, 1), y = randomVec(n, 2);
+    EXPECT_NEAR(dot(x.data(), y.data(), n), naiveDot(x, y),
+                1e-4 * std::max<size_t>(n, 1));
+}
+
+TEST_P(KernelSizes, AxpyMatchesNaive)
+{
+    const size_t n = GetParam();
+    const auto x = randomVec(n, 3);
+    auto y = randomVec(n, 4);
+    auto expected = y;
+    for (size_t i = 0; i < n; ++i)
+        expected[i] += 2.5f * x[i];
+    axpy(2.5f, x.data(), y.data(), n);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_FLOAT_EQ(y[i], expected[i]);
+}
+
+TEST_P(KernelSizes, ScalScales)
+{
+    const size_t n = GetParam();
+    auto x = randomVec(n, 5);
+    const auto orig = x;
+    scal(-3.0f, x.data(), n);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_FLOAT_EQ(x[i], -3.0f * orig[i]);
+}
+
+TEST_P(KernelSizes, SumMatchesNaive)
+{
+    const size_t n = GetParam();
+    const auto x = randomVec(n, 6);
+    double expected = 0.0;
+    for (float v : x)
+        expected += v;
+    EXPECT_NEAR(sum(x.data(), n), expected,
+                1e-4 * std::max<size_t>(n, 1));
+}
+
+TEST_P(KernelSizes, ZeroAndCopy)
+{
+    const size_t n = GetParam();
+    auto x = randomVec(n, 7);
+    std::vector<float> y(n, -1.0f);
+    copy(x.data(), y.data(), n);
+    EXPECT_EQ(x, y);
+    zero(x.data(), n);
+    for (float v : x)
+        ASSERT_EQ(v, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelSizes,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 15,
+                                           16, 17, 48, 100, 255, 1024));
+
+TEST(MaxElement, FindsMaximum)
+{
+    std::vector<float> v = {-5.f, 2.f, 7.f, 7.f, -1.f};
+    EXPECT_FLOAT_EQ(maxElement(v.data(), v.size()), 7.f);
+}
+
+TEST(MaxElement, SingleElement)
+{
+    float v = -3.f;
+    EXPECT_FLOAT_EQ(maxElement(&v, 1), -3.f);
+}
+
+TEST(MaxElement, EmptyPanics)
+{
+    float v = 0.f;
+    EXPECT_DEATH(maxElement(&v, 0), "maxElement");
+}
+
+struct GemvDims
+{
+    size_t rows;
+    size_t cols;
+};
+
+class GemvTest : public ::testing::TestWithParam<GemvDims>
+{};
+
+TEST_P(GemvTest, MatchesNaive)
+{
+    const auto [rows, cols] = GetParam();
+    const auto a = randomVec(rows * cols, 11);
+    const auto x = randomVec(cols, 12);
+    std::vector<float> y(rows, -9.f);
+    gemv(a.data(), rows, cols, x.data(), y.data());
+    for (size_t r = 0; r < rows; ++r) {
+        double ref = 0.0;
+        for (size_t c = 0; c < cols; ++c)
+            ref += double(a[r * cols + c]) * x[c];
+        ASSERT_NEAR(y[r], ref, 1e-3) << "row " << r;
+    }
+}
+
+TEST_P(GemvTest, TransposedMatchesNaive)
+{
+    const auto [rows, cols] = GetParam();
+    const auto a = randomVec(rows * cols, 13);
+    const auto x = randomVec(rows, 14);
+    std::vector<float> y(cols, -9.f);
+    gemvT(a.data(), rows, cols, x.data(), y.data());
+    for (size_t c = 0; c < cols; ++c) {
+        double ref = 0.0;
+        for (size_t r = 0; r < rows; ++r)
+            ref += double(a[r * cols + c]) * x[r];
+        ASSERT_NEAR(y[c], ref, 1e-3) << "col " << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, GemvTest,
+    ::testing::Values(GemvDims{1, 1}, GemvDims{3, 5}, GemvDims{5, 3},
+                      GemvDims{16, 16}, GemvDims{33, 48},
+                      GemvDims{100, 7}));
+
+struct GemmDims
+{
+    size_t m, k, n;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmDims>
+{};
+
+TEST_P(GemmTest, MatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    const auto a = randomVec(m * k, 21);
+    const auto b = randomVec(k * n, 22);
+    std::vector<float> c(m * n, 99.f);
+    gemm(a.data(), b.data(), c.data(), m, k, n);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double ref = 0.0;
+            for (size_t p = 0; p < k; ++p)
+                ref += double(a[i * k + p]) * b[p * n + j];
+            ASSERT_NEAR(c[i * n + j], ref, 1e-3)
+                << "(" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST_P(GemmTest, AccumulateAddsOntoC)
+{
+    const auto [m, k, n] = GetParam();
+    const auto a = randomVec(m * k, 23);
+    const auto b = randomVec(k * n, 24);
+    std::vector<float> c0(m * n, 0.f);
+    gemm(a.data(), b.data(), c0.data(), m, k, n);
+    std::vector<float> c1(m * n, 1.f);
+    gemm(a.data(), b.data(), c1.data(), m, k, n, true);
+    for (size_t i = 0; i < m * n; ++i)
+        ASSERT_NEAR(c1[i], c0[i] + 1.f, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, GemmTest,
+    ::testing::Values(GemmDims{1, 1, 1}, GemmDims{4, 4, 4},
+                      GemmDims{5, 7, 3}, GemmDims{8, 300, 16},
+                      GemmDims{9, 257, 5}, GemmDims{16, 48, 32}));
+
+TEST(Softmax, SumsToOne)
+{
+    auto x = randomVec(100, 31);
+    softmax(x.data(), x.size());
+    EXPECT_NEAR(sum(x.data(), x.size()), 1.0f, 1e-5);
+    for (float v : x)
+        ASSERT_GT(v, 0.0f);
+}
+
+TEST(Softmax, StableForLargeLogits)
+{
+    std::vector<float> x = {1000.f, 1001.f, 999.f};
+    softmax(x.data(), x.size());
+    EXPECT_NEAR(sum(x.data(), x.size()), 1.0f, 1e-5);
+    EXPECT_GT(x[1], x[0]);
+    EXPECT_GT(x[0], x[2]);
+}
+
+TEST(Softmax, RawMatchesStableForSmallLogits)
+{
+    auto x = randomVec(64, 32);
+    auto y = x;
+    softmax(x.data(), x.size());
+    softmaxRaw(y.data(), y.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        ASSERT_NEAR(x[i], y[i], 1e-6);
+}
+
+TEST(Softmax, UniformInputGivesUniformOutput)
+{
+    std::vector<float> x(10, 0.3f);
+    softmax(x.data(), x.size());
+    for (float v : x)
+        ASSERT_NEAR(v, 0.1f, 1e-6);
+}
+
+TEST(Softmax, EmptyIsNoOp)
+{
+    softmax(nullptr, 0);
+    softmaxRaw(nullptr, 0);
+    SUCCEED();
+}
+
+TEST(Softmax, OrderPreserving)
+{
+    std::vector<float> x = {0.1f, 2.0f, -1.0f, 0.5f};
+    softmax(x.data(), x.size());
+    EXPECT_GT(x[1], x[3]);
+    EXPECT_GT(x[3], x[0]);
+    EXPECT_GT(x[0], x[2]);
+}
+
+TEST(ExpInplace, MatchesStdExp)
+{
+    auto x = randomVec(33, 41);
+    const auto orig = x;
+    expInplace(x.data(), x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        ASSERT_FLOAT_EQ(x[i], std::exp(orig[i]));
+}
+
+} // namespace
+} // namespace mnnfast::blas

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests for the inference engines: algebraic equivalence of the
+ * column-based lazy softmax with the baseline dataflow, chunk-size
+ * invariance, streaming equivalence, zero-skipping safety, online
+ * normalization, threading, and the per-engine statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "blas/kernels.hh"
+#include "core/baseline_engine.hh"
+#include "core/column_engine.hh"
+#include "core/knowledge_base.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::core {
+namespace {
+
+/** Build a KB of ns random sentences with small-magnitude values. */
+KnowledgeBase
+randomKb(size_t ns, size_t ed, uint64_t seed, float scale = 0.5f)
+{
+    KnowledgeBase kb(ed);
+    kb.reserve(ns);
+    XorShiftRng rng(seed);
+    std::vector<float> min_row(ed), mout_row(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            min_row[e] = rng.uniformRange(-scale, scale);
+            mout_row[e] = rng.uniformRange(-scale, scale);
+        }
+        kb.addSentence(min_row.data(), mout_row.data());
+    }
+    return kb;
+}
+
+std::vector<float>
+randomBatch(size_t nq, size_t ed, uint64_t seed, float scale = 0.5f)
+{
+    XorShiftRng rng(seed);
+    std::vector<float> u(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-scale, scale);
+    return u;
+}
+
+/** Reference: direct softmax-weighted sum in double precision. */
+std::vector<float>
+referenceOutput(const KnowledgeBase &kb, const float *u, size_t nq)
+{
+    const size_t ns = kb.size();
+    const size_t ed = kb.dim();
+    std::vector<float> out(nq * ed, 0.f);
+    std::vector<double> p(ns);
+    for (size_t q = 0; q < nq; ++q) {
+        double s = 0.0;
+        for (size_t i = 0; i < ns; ++i) {
+            double dot = 0.0;
+            for (size_t e = 0; e < ed; ++e)
+                dot += double(u[q * ed + e]) * kb.minRow(i)[e];
+            p[i] = std::exp(dot);
+            s += p[i];
+        }
+        for (size_t i = 0; i < ns; ++i) {
+            const double w = p[i] / s;
+            for (size_t e = 0; e < ed; ++e)
+                out[q * ed + e] +=
+                    static_cast<float>(w * kb.moutRow(i)[e]);
+        }
+    }
+    return out;
+}
+
+void
+expectClose(const std::vector<float> &a, const std::vector<float> &b,
+            double tol = 1e-4)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR(a[i], b[i], tol) << "index " << i;
+}
+
+TEST(BaselineEngine, MatchesReference)
+{
+    const size_t ns = 500, ed = 16, nq = 3;
+    const KnowledgeBase kb = randomKb(ns, ed, 1);
+    const auto u = randomBatch(nq, ed, 2);
+
+    EngineConfig cfg;
+    BaselineEngine engine(kb, cfg);
+    std::vector<float> o(nq * ed);
+    engine.inferBatch(u.data(), nq, o.data());
+
+    expectClose(o, referenceOutput(kb, u.data(), nq));
+}
+
+TEST(BaselineEngine, EmptyKbPanics)
+{
+    KnowledgeBase kb(8);
+    EngineConfig cfg;
+    BaselineEngine engine(kb, cfg);
+    std::vector<float> u(8, 0.f), o(8);
+    EXPECT_DEATH(engine.inferBatch(u.data(), 1, o.data()), "empty");
+}
+
+struct ColumnCase
+{
+    size_t ns;
+    size_t ed;
+    size_t nq;
+    size_t chunk;
+    size_t threads;
+};
+
+class ColumnEquivalence : public ::testing::TestWithParam<ColumnCase>
+{};
+
+TEST_P(ColumnEquivalence, MatchesBaselineDataflow)
+{
+    const auto c = GetParam();
+    const KnowledgeBase kb = randomKb(c.ns, c.ed, 3);
+    const auto u = randomBatch(c.nq, c.ed, 4);
+
+    EngineConfig base_cfg;
+    BaselineEngine baseline(kb, base_cfg);
+    std::vector<float> o_base(c.nq * c.ed);
+    baseline.inferBatch(u.data(), c.nq, o_base.data());
+
+    EngineConfig col_cfg;
+    col_cfg.chunkSize = c.chunk;
+    col_cfg.threads = c.threads;
+    ColumnEngine column(kb, col_cfg);
+    std::vector<float> o_col(c.nq * c.ed);
+    column.inferBatch(u.data(), c.nq, o_col.data());
+
+    expectClose(o_base, o_col);
+}
+
+TEST_P(ColumnEquivalence, StreamingDoesNotChangeResults)
+{
+    const auto c = GetParam();
+    const KnowledgeBase kb = randomKb(c.ns, c.ed, 5);
+    const auto u = randomBatch(c.nq, c.ed, 6);
+
+    EngineConfig plain_cfg;
+    plain_cfg.chunkSize = c.chunk;
+    plain_cfg.threads = c.threads;
+    ColumnEngine plain(kb, plain_cfg);
+
+    EngineConfig stream_cfg = plain_cfg;
+    stream_cfg.streaming = true;
+    ColumnEngine streaming(kb, stream_cfg);
+
+    std::vector<float> o_plain(c.nq * c.ed), o_stream(c.nq * c.ed);
+    plain.inferBatch(u.data(), c.nq, o_plain.data());
+    streaming.inferBatch(u.data(), c.nq, o_stream.data());
+    expectClose(o_plain, o_stream, 1e-6);
+}
+
+TEST_P(ColumnEquivalence, OnlineNormalizeMatchesPlain)
+{
+    const auto c = GetParam();
+    const KnowledgeBase kb = randomKb(c.ns, c.ed, 7);
+    const auto u = randomBatch(c.nq, c.ed, 8);
+
+    EngineConfig plain_cfg;
+    plain_cfg.chunkSize = c.chunk;
+    plain_cfg.threads = c.threads;
+    ColumnEngine plain(kb, plain_cfg);
+
+    EngineConfig online_cfg = plain_cfg;
+    online_cfg.onlineNormalize = true;
+    ColumnEngine online(kb, online_cfg);
+
+    std::vector<float> o_plain(c.nq * c.ed), o_online(c.nq * c.ed);
+    plain.inferBatch(u.data(), c.nq, o_plain.data());
+    online.inferBatch(u.data(), c.nq, o_online.data());
+    expectClose(o_plain, o_online, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ColumnEquivalence,
+    ::testing::Values(ColumnCase{100, 8, 1, 100, 0},   // one chunk
+                      ColumnCase{100, 8, 1, 7, 0},     // ragged chunks
+                      ColumnCase{1000, 16, 4, 128, 0}, // batch
+                      ColumnCase{1000, 16, 4, 128, 3}, // threads
+                      ColumnCase{997, 25, 2, 100, 2},  // prime ns
+                      ColumnCase{64, 48, 8, 1, 0}));   // chunk of 1
+
+TEST(ColumnEngine, ChunkSizeInvariance)
+{
+    const size_t ns = 777, ed = 12, nq = 2;
+    const KnowledgeBase kb = randomKb(ns, ed, 9);
+    const auto u = randomBatch(nq, ed, 10);
+
+    std::vector<float> first;
+    for (size_t chunk : {1ul, 10ul, 100ul, 777ul, 10000ul}) {
+        EngineConfig cfg;
+        cfg.chunkSize = chunk;
+        ColumnEngine engine(kb, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        if (first.empty())
+            first = o;
+        else
+            expectClose(first, o, 1e-5);
+    }
+}
+
+TEST(ColumnEngine, ThreadCountInvariance)
+{
+    const size_t ns = 2048, ed = 16, nq = 3;
+    const KnowledgeBase kb = randomKb(ns, ed, 11);
+    const auto u = randomBatch(nq, ed, 12);
+
+    std::vector<float> first;
+    for (size_t threads : {0ul, 1ul, 2ul, 5ul}) {
+        EngineConfig cfg;
+        cfg.chunkSize = 100;
+        cfg.threads = threads;
+        ColumnEngine engine(kb, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        if (first.empty())
+            first = o;
+        else
+            expectClose(first, o, 1e-5);
+    }
+}
+
+TEST(ColumnEngine, OnlineNormalizeSurvivesLargeLogits)
+{
+    // Scale 8 gives dot products around +-100: raw exp overflows to
+    // inf, online rescaling must stay finite and match a double-
+    // precision stable reference.
+    const size_t ns = 300, ed = 16, nq = 2;
+    const KnowledgeBase kb = randomKb(ns, ed, 13, /*scale=*/8.f);
+    const auto u = randomBatch(nq, ed, 14, /*scale=*/8.f);
+
+    EngineConfig cfg;
+    cfg.chunkSize = 64;
+    cfg.onlineNormalize = true;
+    ColumnEngine engine(kb, cfg);
+    std::vector<float> o(nq * ed);
+    engine.inferBatch(u.data(), nq, o.data());
+
+    // Stable double-precision reference with max subtraction.
+    const size_t q = 0;
+    std::vector<double> dots(ns);
+    double m = -1e300;
+    for (size_t i = 0; i < ns; ++i) {
+        double d = 0.0;
+        for (size_t e = 0; e < ed; ++e)
+            d += double(u[q * ed + e]) * kb.minRow(i)[e];
+        dots[i] = d;
+        m = std::max(m, d);
+    }
+    double s = 0.0;
+    for (size_t i = 0; i < ns; ++i)
+        s += std::exp(dots[i] - m);
+    std::vector<double> ref(ed, 0.0);
+    for (size_t i = 0; i < ns; ++i) {
+        const double w = std::exp(dots[i] - m) / s;
+        for (size_t e = 0; e < ed; ++e)
+            ref[e] += w * kb.moutRow(i)[e];
+    }
+    for (size_t e = 0; e < ed; ++e) {
+        ASSERT_TRUE(std::isfinite(o[e]));
+        ASSERT_NEAR(o[e], ref[e], 1e-3);
+    }
+}
+
+TEST(ColumnEngine, ZeroSkipIsConservative)
+{
+    // Every row skipped by the engine must have true probability
+    // below the threshold (the running-sum test can only under-skip).
+    const size_t ns = 2000, ed = 16, nq = 1;
+    const KnowledgeBase kb = randomKb(ns, ed, 15, /*scale=*/1.5f);
+    const auto u = randomBatch(nq, ed, 16, /*scale=*/1.5f);
+    const float th = 0.001f;
+
+    EngineConfig cfg;
+    cfg.chunkSize = 100;
+    cfg.skipThreshold = th;
+    ColumnEngine engine(kb, cfg);
+    std::vector<float> o(nq * ed);
+    engine.inferBatch(u.data(), nq, o.data());
+
+    const uint64_t skipped = engine.counters().value("rows_skipped");
+    const uint64_t kept = engine.counters().value("rows_kept");
+    EXPECT_EQ(skipped + kept, ns);
+    EXPECT_GT(skipped, 0u) << "test needs some skipping to be useful";
+
+    // Count rows whose true probability is >= th; the engine must
+    // have kept at least all of them.
+    std::vector<double> p(ns);
+    double s = 0.0;
+    for (size_t i = 0; i < ns; ++i) {
+        double d = 0.0;
+        for (size_t e = 0; e < ed; ++e)
+            d += double(u[e]) * kb.minRow(i)[e];
+        p[i] = std::exp(d);
+        s += p[i];
+    }
+    uint64_t must_keep = 0;
+    for (size_t i = 0; i < ns; ++i)
+        must_keep += p[i] / s >= th;
+    EXPECT_GE(kept, must_keep);
+}
+
+TEST(ColumnEngine, ZeroSkipOutputStaysCloseToExact)
+{
+    const size_t ns = 2000, ed = 16, nq = 2;
+    const KnowledgeBase kb = randomKb(ns, ed, 17, 1.5f);
+    const auto u = randomBatch(nq, ed, 18, 1.5f);
+
+    EngineConfig exact_cfg;
+    exact_cfg.chunkSize = 100;
+    ColumnEngine exact(kb, exact_cfg);
+    std::vector<float> o_exact(nq * ed);
+    exact.inferBatch(u.data(), nq, o_exact.data());
+
+    EngineConfig skip_cfg = exact_cfg;
+    skip_cfg.skipThreshold = 1e-4f;
+    ColumnEngine skip(kb, skip_cfg);
+    std::vector<float> o_skip(nq * ed);
+    skip.inferBatch(u.data(), nq, o_skip.data());
+
+    // Dropped mass is at most ns * th of the total, so outputs agree
+    // to roughly that order.
+    expectClose(o_exact, o_skip, 0.3);
+}
+
+TEST(ColumnEngine, DivisionCountIsEmbeddingDimensional)
+{
+    const size_t ns = 4096, ed = 24, nq = 2;
+    const KnowledgeBase kb = randomKb(ns, ed, 19);
+    const auto u = randomBatch(nq, ed, 20);
+
+    EngineConfig base_cfg;
+    BaselineEngine baseline(kb, base_cfg);
+    std::vector<float> o(nq * ed);
+    baseline.inferBatch(u.data(), nq, o.data());
+    EXPECT_EQ(baseline.counters().value("div_ops"), nq * ns);
+
+    EngineConfig col_cfg;
+    ColumnEngine column(kb, col_cfg);
+    column.inferBatch(u.data(), nq, o.data());
+    EXPECT_EQ(column.counters().value("div_ops"), nq * ed);
+}
+
+TEST(ColumnEngine, IntermediateFootprintIsChunkSized)
+{
+    const size_t ns = 50000, ed = 16, nq = 4;
+    const KnowledgeBase kb = randomKb(ns, ed, 21);
+    const auto u = randomBatch(nq, ed, 22);
+    std::vector<float> o(nq * ed);
+
+    EngineConfig base_cfg;
+    BaselineEngine baseline(kb, base_cfg);
+    baseline.inferBatch(u.data(), nq, o.data());
+
+    EngineConfig col_cfg;
+    col_cfg.chunkSize = 1000;
+    ColumnEngine column(kb, col_cfg);
+    column.inferBatch(u.data(), nq, o.data());
+
+    const uint64_t base_bytes =
+        baseline.counters().value("intermediate_bytes");
+    const uint64_t col_bytes =
+        column.counters().value("intermediate_bytes");
+    EXPECT_EQ(base_bytes, 3ull * nq * ns * sizeof(float));
+    EXPECT_EQ(col_bytes, uint64_t(nq) * 1000 * sizeof(float));
+    EXPECT_LT(col_bytes * 10, base_bytes);
+}
+
+TEST(ColumnEngine, ChunkCounterMatchesGeometry)
+{
+    const size_t ns = 1050;
+    const KnowledgeBase kb = randomKb(ns, 8, 23);
+    const auto u = randomBatch(1, 8, 24);
+    std::vector<float> o(8);
+
+    EngineConfig cfg;
+    cfg.chunkSize = 100;
+    ColumnEngine engine(kb, cfg);
+    engine.inferBatch(u.data(), 1, o.data());
+    EXPECT_EQ(engine.counters().value("chunks_processed"), 11u);
+}
+
+TEST(ColumnEngine, NamesReflectConfiguration)
+{
+    const KnowledgeBase kb = randomKb(10, 4, 25);
+    EngineConfig cfg;
+    EXPECT_STREQ(ColumnEngine(kb, cfg).name(), "column");
+    cfg.streaming = true;
+    EXPECT_STREQ(ColumnEngine(kb, cfg).name(), "column+streaming");
+    cfg.skipThreshold = 0.1f;
+    EXPECT_STREQ(ColumnEngine(kb, cfg).name(), "mnnfast");
+    cfg.streaming = false;
+    EXPECT_STREQ(ColumnEngine(kb, cfg).name(), "column+zskip");
+}
+
+TEST(ColumnEngine, BreakdownCoversAllPhases)
+{
+    const KnowledgeBase kb = randomKb(20000, 32, 26);
+    const auto u = randomBatch(2, 32, 27);
+    std::vector<float> o(2 * 32);
+
+    EngineConfig cfg;
+    cfg.chunkSize = 500;
+    ColumnEngine engine(kb, cfg);
+    engine.inferBatch(u.data(), 2, o.data());
+
+    const OpBreakdown &bd = engine.breakdown();
+    EXPECT_GT(bd.innerProduct, 0.0);
+    EXPECT_GT(bd.softmax, 0.0);
+    EXPECT_GT(bd.weightedSum, 0.0);
+    EXPECT_GT(bd.total(), 0.0);
+
+    engine.clearBreakdown();
+    EXPECT_EQ(engine.breakdown().total(), 0.0);
+}
+
+TEST(KnowledgeBase, GrowsAndPreservesRows)
+{
+    KnowledgeBase kb(4);
+    std::vector<float> a = {1, 2, 3, 4}, b = {5, 6, 7, 8};
+    for (int i = 0; i < 100; ++i) {
+        kb.addSentence(a.data(), b.data());
+        a[0] += 1.f;
+    }
+    EXPECT_EQ(kb.size(), 100u);
+    EXPECT_FLOAT_EQ(kb.minRow(0)[0], 1.f);
+    EXPECT_FLOAT_EQ(kb.minRow(99)[0], 100.f);
+    EXPECT_FLOAT_EQ(kb.moutRow(50)[3], 8.f);
+    kb.clear();
+    EXPECT_EQ(kb.size(), 0u);
+}
+
+TEST(KnowledgeBase, RowOutOfRangePanics)
+{
+    KnowledgeBase kb(4);
+    EXPECT_DEATH(kb.minRow(0), "out of range");
+}
+
+} // namespace
+} // namespace mnnfast::core

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the data substrate: vocabulary, Zipf sampling, BoW
+ * canonicalization, and the synthetic bAbI task generators (including
+ * semantic answer-consistency checks that re-derive the answer from
+ * the generated story text).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/babi.hh"
+#include "data/bow.hh"
+#include "data/vocabulary.hh"
+#include "data/zipf.hh"
+
+namespace mnnfast::data {
+namespace {
+
+TEST(Vocabulary, AssignsDenseIdsInInsertionOrder)
+{
+    Vocabulary v;
+    EXPECT_EQ(v.add("apple"), 0u);
+    EXPECT_EQ(v.add("banana"), 1u);
+    EXPECT_EQ(v.add("apple"), 0u); // idempotent
+    EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Vocabulary, LookupAndContains)
+{
+    Vocabulary v;
+    v.add("word");
+    EXPECT_EQ(v.lookup("word"), 0u);
+    EXPECT_EQ(v.lookup("missing"), kNoWord);
+    EXPECT_TRUE(v.contains("word"));
+    EXPECT_FALSE(v.contains("missing"));
+}
+
+TEST(Vocabulary, WordOfRoundTrips)
+{
+    Vocabulary v;
+    const WordId id = v.add("roundtrip");
+    EXPECT_EQ(v.wordOf(id), "roundtrip");
+}
+
+TEST(Vocabulary, WordOfOutOfRangePanics)
+{
+    Vocabulary v;
+    EXPECT_DEATH(v.wordOf(5), "out of range");
+}
+
+TEST(Zipf, ProbabilitiesSumToOne)
+{
+    ZipfGenerator z(100, 1.0, 1);
+    double total = 0.0;
+    for (size_t k = 0; k < z.items(); ++k)
+        total += z.probability(k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ProbabilityIsMonotoneDecreasing)
+{
+    ZipfGenerator z(50, 1.2, 2);
+    for (size_t k = 1; k < z.items(); ++k)
+        EXPECT_LT(z.probability(k), z.probability(k - 1));
+}
+
+TEST(Zipf, SamplingMatchesTheory)
+{
+    ZipfGenerator z(1000, 1.0, 3);
+    const int n = 100000;
+    std::map<size_t, int> counts;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample()];
+    // Rank 0 should appear with roughly its theoretical mass.
+    const double p0 = z.probability(0);
+    EXPECT_NEAR(double(counts[0]) / n, p0, 0.01);
+    // Head heavier than tail.
+    EXPECT_GT(counts[0], counts.count(500) ? counts[500] : 0);
+}
+
+TEST(Zipf, SamplesAreInRange)
+{
+    ZipfGenerator z(10, 1.0, 4);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(z.sample(), 10u);
+}
+
+TEST(Zipf, UniformWhenExponentZero)
+{
+    ZipfGenerator z(4, 0.0, 5);
+    for (size_t k = 0; k < 4; ++k)
+        EXPECT_NEAR(z.probability(k), 0.25, 1e-9);
+}
+
+TEST(BagOfWords, MergesDuplicatesSorted)
+{
+    const Sentence s = {5, 3, 5, 5, 1};
+    const BagOfWords bow = toBagOfWords(s);
+    ASSERT_EQ(bow.size(), 3u);
+    EXPECT_EQ(bow[0], (BowTerm{1, 1}));
+    EXPECT_EQ(bow[1], (BowTerm{3, 1}));
+    EXPECT_EQ(bow[2], (BowTerm{5, 3}));
+    EXPECT_EQ(bowTokenCount(bow), 5u);
+}
+
+TEST(BagOfWords, EmptySentence)
+{
+    EXPECT_TRUE(toBagOfWords({}).empty());
+    EXPECT_EQ(bowTokenCount({}), 0u);
+}
+
+/// Fixture generating examples for every task family.
+class BabiTasks : public ::testing::TestWithParam<TaskType>
+{
+  protected:
+    Vocabulary vocab;
+};
+
+TEST_P(BabiTasks, GeneratesRequestedStoryLength)
+{
+    BabiGenerator gen(GetParam(), vocab, 7);
+    for (size_t len : {2ul, 5ul, 20ul, 50ul}) {
+        const Example ex = gen.generate(len);
+        EXPECT_EQ(ex.story.size(), len);
+        EXPECT_FALSE(ex.question.empty());
+    }
+}
+
+TEST_P(BabiTasks, AnswerIsACandidate)
+{
+    BabiGenerator gen(GetParam(), vocab, 8);
+    const auto &cands = gen.answerCandidates();
+    for (int i = 0; i < 50; ++i) {
+        const Example ex = gen.generate(12);
+        EXPECT_NE(std::find(cands.begin(), cands.end(), ex.answer),
+                  cands.end())
+            << "answer '" << vocab.wordOf(ex.answer)
+            << "' not in candidate set";
+    }
+}
+
+TEST_P(BabiTasks, SupportingFactsAreValidIndices)
+{
+    BabiGenerator gen(GetParam(), vocab, 9);
+    for (int i = 0; i < 50; ++i) {
+        const Example ex = gen.generate(10);
+        EXPECT_FALSE(ex.supportingFacts.empty() &&
+                     GetParam() != TaskType::Counting)
+            << "non-counting tasks must cite support";
+        for (size_t f : ex.supportingFacts)
+            EXPECT_LT(f, ex.story.size());
+    }
+}
+
+TEST_P(BabiTasks, AllWordsAreInVocabulary)
+{
+    BabiGenerator gen(GetParam(), vocab, 10);
+    const Example ex = gen.generate(15);
+    for (const Sentence &s : ex.story)
+        for (WordId w : s)
+            EXPECT_LT(w, vocab.size());
+    for (WordId w : ex.question)
+        EXPECT_LT(w, vocab.size());
+    EXPECT_LT(ex.answer, vocab.size());
+}
+
+TEST_P(BabiTasks, DeterministicForSameSeed)
+{
+    Vocabulary va, vb;
+    BabiGenerator ga(GetParam(), va, 99);
+    BabiGenerator gb(GetParam(), vb, 99);
+    const Example a = ga.generate(10);
+    const Example b = gb.generate(10);
+    EXPECT_EQ(a.story, b.story);
+    EXPECT_EQ(a.question, b.question);
+    EXPECT_EQ(a.answer, b.answer);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, BabiTasks,
+    ::testing::ValuesIn(allTasks()),
+    [](const ::testing::TestParamInfo<TaskType> &info) {
+        std::string name = taskName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/**
+ * Semantic check for the single-supporting-fact task: replay the
+ * story's movement sentences and verify the cited fact really is the
+ * actor's last move and names the answer location.
+ */
+TEST(BabiSemantics, SingleFactAnswerMatchesLastMove)
+{
+    Vocabulary vocab;
+    BabiGenerator gen(TaskType::SingleSupportingFact, vocab, 31);
+    const WordId went = vocab.lookup("went");
+
+    for (int trial = 0; trial < 100; ++trial) {
+        const Example ex = gen.generate(15);
+        ASSERT_EQ(ex.supportingFacts.size(), 1u);
+        const Sentence &fact = ex.story[ex.supportingFacts[0]];
+        // Question is {where, is, actor}; fact is
+        // {actor, went, to, the, location}.
+        const WordId actor = ex.question[2];
+        ASSERT_EQ(fact[0], actor);
+        ASSERT_EQ(fact[1], went);
+        EXPECT_EQ(fact.back(), ex.answer);
+        // No later movement sentence for this actor exists.
+        for (size_t i = ex.supportingFacts[0] + 1; i < ex.story.size();
+             ++i) {
+            const Sentence &s = ex.story[i];
+            if (s.size() >= 2 && s[0] == actor && s[1] == went)
+                FAIL() << "found a later move of the queried actor";
+        }
+    }
+}
+
+TEST(BabiSemantics, YesNoAnswersAreConsistent)
+{
+    Vocabulary vocab;
+    BabiGenerator gen(TaskType::YesNo, vocab, 32);
+    const WordId yes = vocab.lookup("yes");
+    const WordId no = vocab.lookup("no");
+    int yes_count = 0, no_count = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const Example ex = gen.generate(12);
+        ASSERT_TRUE(ex.answer == yes || ex.answer == no);
+        // Question: {is, actor, in, the, location}; the supporting
+        // fact names the actor's true location.
+        const Sentence &fact = ex.story[ex.supportingFacts[0]];
+        const WordId true_loc = fact.back();
+        const WordId asked_loc = ex.question.back();
+        EXPECT_EQ(ex.answer == yes, true_loc == asked_loc);
+        (ex.answer == yes ? yes_count : no_count)++;
+    }
+    // Both outcomes must actually occur.
+    EXPECT_GT(yes_count, 10);
+    EXPECT_GT(no_count, 10);
+}
+
+TEST(BabiSemantics, NegationAnswerFollowsLatestFactPolarity)
+{
+    Vocabulary vocab;
+    BabiGenerator gen(TaskType::Negation, vocab, 41);
+    const WordId yes = vocab.lookup("yes");
+    const WordId no = vocab.lookup("no");
+    const WordId not_id = vocab.lookup("not");
+
+    int yes_count = 0, no_count = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const Example ex = gen.generate(12);
+        ASSERT_EQ(ex.supportingFacts.size(), 1u);
+        const Sentence &fact = ex.story[ex.supportingFacts[0]];
+        const bool negative =
+            std::find(fact.begin(), fact.end(), not_id) != fact.end();
+        EXPECT_EQ(ex.answer, negative ? no : yes);
+        // The question names the fact's actor and location.
+        EXPECT_EQ(ex.question[1], fact[0]);
+        EXPECT_EQ(ex.question.back(), fact.back());
+        // No later fact about this actor exists.
+        for (size_t i = ex.supportingFacts[0] + 1; i < ex.story.size();
+             ++i)
+            EXPECT_NE(ex.story[i][0], fact[0]);
+        (ex.answer == yes ? yes_count : no_count)++;
+    }
+    EXPECT_GT(yes_count, 20);
+    EXPECT_GT(no_count, 20);
+}
+
+TEST(BabiSemantics, ConjunctionMovesBothActors)
+{
+    Vocabulary vocab;
+    BabiGenerator gen(TaskType::Conjunction, vocab, 42);
+    const WordId and_id = vocab.lookup("and");
+
+    int joint_supports = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        const Example ex = gen.generate(12);
+        ASSERT_EQ(ex.supportingFacts.size(), 1u);
+        const Sentence &fact = ex.story[ex.supportingFacts[0]];
+        // The supporting fact mentions the queried actor and names
+        // the answer location.
+        const WordId actor = ex.question[2];
+        EXPECT_TRUE(fact[0] == actor
+                    || (fact.size() >= 3 && fact[1] == and_id
+                        && fact[2] == actor));
+        EXPECT_EQ(fact.back(), ex.answer);
+        // No later sentence moves this actor.
+        for (size_t i = ex.supportingFacts[0] + 1; i < ex.story.size();
+             ++i) {
+            const Sentence &s = ex.story[i];
+            EXPECT_FALSE(s[0] == actor
+                         || (s.size() >= 3 && s[1] == and_id
+                             && s[2] == actor))
+                << "later move at " << i;
+        }
+        joint_supports +=
+            std::find(fact.begin(), fact.end(), and_id) != fact.end();
+    }
+    // Joint moves must actually occur as supporting facts.
+    EXPECT_GT(joint_supports, 20);
+}
+
+TEST(BabiGenerator, GenerateSetProducesDistinctExamples)
+{
+    Vocabulary vocab;
+    BabiGenerator gen(TaskType::SingleSupportingFact, vocab, 33);
+    const Dataset set = gen.generateSet(20, 8);
+    EXPECT_EQ(set.size(), 20u);
+    std::set<Sentence> first_sentences;
+    for (const Example &ex : set.examples)
+        first_sentences.insert(ex.story[0]);
+    EXPECT_GT(first_sentences.size(), 1u);
+}
+
+TEST(BabiGenerator, SharedVocabularyAcrossTasks)
+{
+    Vocabulary vocab;
+    BabiGenerator g1(TaskType::SingleSupportingFact, vocab, 1);
+    const size_t after_first = vocab.size();
+    BabiGenerator g2(TaskType::Counting, vocab, 2);
+    // Same entity/action words: no duplicate inserts.
+    EXPECT_EQ(vocab.size(), after_first);
+}
+
+} // namespace
+} // namespace mnnfast::data

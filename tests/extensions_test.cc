@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the extension features: position encoding (paper footnote
+ * 1), model serialization, and the GPU zero-skipping analysis model
+ * (paper Section 4.1.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "blas/position.hh"
+#include "core/mnnfast.hh"
+#include "data/babi.hh"
+#include "gpu/zskip_model.hh"
+#include "train/gradcheck.hh"
+#include "train/model.hh"
+#include "train/serialize.hh"
+#include "train/trainer.hh"
+
+namespace mnnfast {
+namespace {
+
+// ---------------------------------------------------------------
+// Position encoding
+// ---------------------------------------------------------------
+
+TEST(PositionEncoding, WeightsMatchClosedForm)
+{
+    // l_kj = (1 - j/J) - (k/d)(1 - 2j/J), 1-based j and k.
+    const size_t J = 4, d = 8;
+    for (size_t j = 0; j < J; ++j) {
+        for (size_t k = 0; k < d; ++k) {
+            const float jf = float(j + 1), kf = float(k + 1);
+            const float expected =
+                (1.f - jf / J) - (kf / d) * (1.f - 2.f * jf / J);
+            EXPECT_FLOAT_EQ(blas::positionWeight(k, j, J, d), expected);
+        }
+    }
+}
+
+TEST(PositionEncoding, MiddleWordOfOddSentenceIsHalfWeighted)
+{
+    // For j at the exact middle (j+1 = J/2 with the 1-based formula
+    // j/J = 0.5), l_kj = 0.5 for every k.
+    const size_t J = 2, d = 4; // j=0 -> (j+1)/J = 0.5
+    for (size_t k = 0; k < d; ++k)
+        EXPECT_FLOAT_EQ(blas::positionWeight(k, 0, J, d), 0.5f);
+}
+
+TEST(PositionEncoding, MakesEmbeddingOrderSensitive)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            1);
+
+    train::ModelConfig cfg;
+    cfg.vocabSize = vocab.size();
+    cfg.embeddingDim = 8;
+    cfg.hops = 1;
+    cfg.maxStory = 8;
+    cfg.positionEncoding = true;
+    train::MemNnModel model(cfg, 2);
+
+    std::vector<float> fwd(8), rev(8);
+    const data::Sentence s = {0, 1, 2, 3};
+    const data::Sentence r = {3, 2, 1, 0};
+    model.embedInto(s, model.parameters().b, fwd.data());
+    model.embedInto(r, model.parameters().b, rev.data());
+    bool differs = false;
+    for (size_t e = 0; e < 8; ++e)
+        differs = differs || fwd[e] != rev[e];
+    EXPECT_TRUE(differs) << "PE embedding must depend on word order";
+
+    // Plain BoW must not.
+    cfg.positionEncoding = false;
+    train::MemNnModel bow(cfg, 2);
+    bow.embedInto(s, bow.parameters().b, fwd.data());
+    bow.embedInto(r, bow.parameters().b, rev.data());
+    for (size_t e = 0; e < 8; ++e)
+        EXPECT_FLOAT_EQ(fwd[e], rev[e]);
+}
+
+TEST(PositionEncoding, GradientsStillCheckOut)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            3);
+    train::ModelConfig cfg;
+    cfg.vocabSize = vocab.size();
+    cfg.embeddingDim = 8;
+    cfg.hops = 2;
+    cfg.maxStory = 16;
+    cfg.positionEncoding = true;
+    train::MemNnModel model(cfg, 4);
+    const data::Example ex = gen.generate(5);
+    const auto result = train::checkGradients(model, ex, 12, 1e-3);
+    EXPECT_LT(result.maxRelativeError, 2e-2);
+}
+
+TEST(PositionEncoding, FacadeMatchesTrainerWithPe)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            5);
+    train::ModelConfig cfg;
+    cfg.vocabSize = vocab.size();
+    cfg.embeddingDim = 16;
+    cfg.hops = 2;
+    cfg.maxStory = 16;
+    cfg.positionEncoding = true;
+    train::MemNnModel model(cfg, 6);
+
+    core::EngineConfig ecfg;
+    ecfg.chunkSize = 4;
+    auto system = core::MnnFastSystem::fromTrained(
+        model, core::EngineKind::Column, ecfg);
+    EXPECT_TRUE(system.config().positionEncoding);
+
+    train::ForwardState state;
+    for (int trial = 0; trial < 10; ++trial) {
+        const data::Example ex = gen.generate(8);
+        model.forward(ex, state);
+        system.clearStory();
+        for (const auto &s : ex.story)
+            system.addStorySentence(s);
+        EXPECT_EQ(system.ask(ex.question), model.predict(state))
+            << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------
+
+TEST(Serialize, RoundTripPreservesEverything)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::Counting, vocab, 7);
+    train::ModelConfig cfg;
+    cfg.vocabSize = vocab.size();
+    cfg.embeddingDim = 12;
+    cfg.hops = 2;
+    cfg.maxStory = 16;
+    cfg.positionEncoding = true;
+    train::MemNnModel model(cfg, 8);
+
+    const std::string path = ::testing::TempDir() + "model_rt.mnnf";
+    train::saveModel(model, path);
+    train::MemNnModel loaded = train::loadModel(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.config().vocabSize, cfg.vocabSize);
+    EXPECT_EQ(loaded.config().embeddingDim, cfg.embeddingDim);
+    EXPECT_EQ(loaded.config().hops, cfg.hops);
+    EXPECT_EQ(loaded.config().maxStory, cfg.maxStory);
+    EXPECT_TRUE(loaded.config().positionEncoding);
+
+    const auto &a = model.parameters();
+    const auto &b = loaded.parameters();
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.w, b.w);
+    for (size_t h = 0; h < cfg.hops; ++h) {
+        EXPECT_EQ(a.a[h], b.a[h]);
+        EXPECT_EQ(a.c[h], b.c[h]);
+        EXPECT_EQ(a.ta[h], b.ta[h]);
+        EXPECT_EQ(a.tc[h], b.tc[h]);
+    }
+}
+
+TEST(Serialize, LoadedModelPredictsIdentically)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            9);
+    const data::Dataset set = gen.generateSet(150, 6);
+    train::ModelConfig cfg;
+    cfg.vocabSize = vocab.size();
+    cfg.embeddingDim = 16;
+    cfg.hops = 1;
+    cfg.maxStory = 8;
+    train::MemNnModel model(cfg, 10);
+    train::TrainConfig tc;
+    tc.epochs = 8;
+    train::trainModel(model, set, tc);
+
+    const std::string path = ::testing::TempDir() + "model_pred.mnnf";
+    train::saveModel(model, path);
+    train::MemNnModel loaded = train::loadModel(path);
+    std::remove(path.c_str());
+
+    train::ForwardState s1, s2;
+    for (int i = 0; i < 20; ++i) {
+        const data::Example ex = gen.generate(6);
+        model.forward(ex, s1);
+        loaded.forward(ex, s2);
+        EXPECT_EQ(model.predict(s1), loaded.predict(s2));
+    }
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    EXPECT_EXIT(train::loadModel("/nonexistent/nope.mnnf"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Serialize, GarbageFileIsFatal)
+{
+    const std::string path = ::testing::TempDir() + "garbage.mnnf";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("not a model", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(train::loadModel(path), ::testing::ExitedWithCode(1),
+                "not a MnnFast model");
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// GPU zero-skipping analysis (Section 4.1.2)
+// ---------------------------------------------------------------
+
+gpu::GpuWorkload
+zskipWorkload()
+{
+    gpu::GpuWorkload wl;
+    wl.ns = 4'000'000;
+    wl.ed = 64;
+    wl.nq = 64;
+    return wl;
+}
+
+TEST(GpuZskip, WarpSkipIsNearUselessAtModerateSparsity)
+{
+    gpu::GpuZskipModel model{gpu::GpuConfig{}, gpu::ZskipParams{}};
+    const auto out = model.warpSkip(zskipWorkload(), 0.1);
+    // (1-0.1)^32 = 3.4% of warps retire early.
+    EXPECT_GT(out.relativeToDense, 0.9);
+}
+
+TEST(GpuZskip, WarpSkipHelpsOnlyAtExtremeSparsity)
+{
+    gpu::GpuZskipModel model{gpu::GpuConfig{}, gpu::ZskipParams{}};
+    const auto out = model.warpSkip(zskipWorkload(), 0.001);
+    EXPECT_LT(out.relativeToDense, 0.2);
+}
+
+TEST(GpuZskip, CompactionTransformComparableToWsum)
+{
+    gpu::GpuZskipModel model{gpu::GpuConfig{}, gpu::ZskipParams{}};
+    const auto wl = zskipWorkload();
+    const double dense = model.denseWsumSeconds(wl);
+    const auto comp = model.compaction(wl, 0.1);
+    // The paper: "the transformation latency is comparable to
+    // weighted sum's latency".
+    EXPECT_GT(comp.transformSeconds, dense * 0.3);
+    EXPECT_LT(comp.transformSeconds, dense * 3.0);
+}
+
+TEST(GpuZskip, CompactionIsHarmfulAtLowSparsity)
+{
+    gpu::GpuZskipModel model{gpu::GpuConfig{}, gpu::ZskipParams{}};
+    const auto comp = model.compaction(zskipWorkload(), 0.5);
+    EXPECT_GT(comp.relativeToDense, 1.0);
+}
+
+TEST(GpuZskip, OutcomesAreMonotoneInKeepFraction)
+{
+    gpu::GpuZskipModel model{gpu::GpuConfig{}, gpu::ZskipParams{}};
+    const auto wl = zskipWorkload();
+    double prev_warp = 2.0, prev_comp = 10.0;
+    for (double keep : {0.5, 0.2, 0.1, 0.05, 0.01}) {
+        const double w = model.warpSkip(wl, keep).relativeToDense;
+        const double c = model.compaction(wl, keep).relativeToDense;
+        EXPECT_LE(w, prev_warp + 1e-12);
+        EXPECT_LE(c, prev_comp + 1e-12);
+        prev_warp = w;
+        prev_comp = c;
+    }
+}
+
+TEST(GpuZskip, InvalidKeepFractionPanics)
+{
+    gpu::GpuZskipModel model{gpu::GpuConfig{}, gpu::ZskipParams{}};
+    EXPECT_DEATH(model.warpSkip(zskipWorkload(), 1.5), "keep");
+}
+
+} // namespace
+} // namespace mnnfast

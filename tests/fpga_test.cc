@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the FPGA accelerator model: functional correctness against
+ * the CPU engines, cycle-count orderings across the optimization
+ * ladder (paper Fig. 13), the embedding cache (Fig. 14), DDR3 cost
+ * model, and the energy comparison (Section 5.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/column_engine.hh"
+#include "data/zipf.hh"
+#include "fpga/accelerator.hh"
+#include "fpga/embedding_cache.hh"
+#include "fpga/energy_model.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::fpga {
+namespace {
+
+core::KnowledgeBase
+randomKb(size_t ns, size_t ed, uint64_t seed)
+{
+    core::KnowledgeBase kb(ed);
+    mnnfast::XorShiftRng rng(seed);
+    std::vector<float> a(ed), b(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            a[e] = rng.uniformRange(-0.5f, 0.5f);
+            b[e] = rng.uniformRange(-0.5f, 0.5f);
+        }
+        kb.addSentence(a.data(), b.data());
+    }
+    return kb;
+}
+
+FpgaConfig
+paperConfig()
+{
+    FpgaConfig cfg; // Table 1 FPGA column: ed 25, ns 1000, chunk 25
+    return cfg;
+}
+
+TEST(EmbeddingCache, EntryCountFromGeometry)
+{
+    EmbeddingCacheConfig cfg;
+    cfg.sizeBytes = 32 << 10;
+    cfg.embeddingDim = 256; // 1 KiB per entry
+    EmbeddingCache cache(cfg);
+    EXPECT_EQ(cache.entries(), 32u);
+}
+
+TEST(EmbeddingCache, HitAfterFill)
+{
+    EmbeddingCacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.embeddingDim = 16; // 64 entries
+    EmbeddingCache cache(cfg);
+    EXPECT_FALSE(cache.lookup(5));
+    EXPECT_TRUE(cache.lookup(5));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(EmbeddingCache, DirectMappedConflictEvicts)
+{
+    EmbeddingCacheConfig cfg;
+    cfg.sizeBytes = 4096;
+    cfg.embeddingDim = 16; // 64 entries
+    EmbeddingCache cache(cfg);
+    cache.lookup(3);
+    cache.lookup(3 + 64); // same slot, evicts word 3
+    EXPECT_FALSE(cache.probe(3));
+    EXPECT_TRUE(cache.probe(3 + 64));
+}
+
+TEST(EmbeddingCache, FlushInvalidates)
+{
+    EmbeddingCacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.embeddingDim = 4;
+    EmbeddingCache cache(cfg);
+    cache.lookup(1);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(1));
+}
+
+TEST(EmbeddingCache, ZipfStreamHitRateGrowsWithCapacity)
+{
+    // Paper Fig. 14 mechanism: bigger cache -> higher hit rate under
+    // a word-frequency (Zipf) stream.
+    data::ZipfGenerator zipf(10000, 1.0, 7);
+    std::vector<data::WordId> stream(50000);
+    for (auto &w : stream)
+        w = static_cast<data::WordId>(zipf.sample());
+
+    double prev = 0.0;
+    for (size_t kb : {32ul, 64ul, 128ul, 256ul}) {
+        EmbeddingCacheConfig cfg;
+        cfg.sizeBytes = kb << 10;
+        cfg.embeddingDim = 256;
+        EmbeddingCache cache(cfg);
+        for (data::WordId w : stream)
+            cache.lookup(w);
+        EXPECT_GT(cache.hitRate(), prev) << kb << "KB";
+        prev = cache.hitRate();
+    }
+    EXPECT_GT(prev, 0.3); // 256KB must capture the hot head
+}
+
+TEST(Ddr3Model, BurstCostIsLatencyPlusTransfer)
+{
+    Ddr3Config cfg;
+    cfg.bytesPerCycle = 32.0;
+    cfg.latencyCycles = 10;
+    Ddr3Model ddr(cfg);
+    EXPECT_EQ(ddr.burstCycles(64), 10u + 2u);
+    EXPECT_EQ(ddr.totalBytes(), 64u);
+    EXPECT_EQ(ddr.bursts(), 1u);
+    EXPECT_DOUBLE_EQ(ddr.streamCycles(320), 10.0);
+}
+
+TEST(Accelerator, ColumnOutputMatchesCpuColumnEngine)
+{
+    const size_t ns = 1000, ed = 25, nq = 3;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 1);
+    mnnfast::XorShiftRng rng(2);
+    std::vector<float> u(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-0.5f, 0.5f);
+
+    core::EngineConfig ecfg;
+    ecfg.chunkSize = 25;
+    core::ColumnEngine cpu(kb, ecfg);
+    std::vector<float> o_cpu(nq * ed);
+    cpu.inferBatch(u.data(), nq, o_cpu.data());
+
+    FpgaAccelerator fpga(paperConfig());
+    std::vector<float> o_fpga(nq * ed);
+    fpga.runInference(u.data(), nq, kb, o_fpga.data());
+
+    for (size_t i = 0; i < o_cpu.size(); ++i)
+        ASSERT_NEAR(o_cpu[i], o_fpga[i], 1e-4);
+}
+
+TEST(Accelerator, BaselineOutputMatchesColumnOutput)
+{
+    const size_t ns = 500, ed = 25, nq = 2;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 3);
+    mnnfast::XorShiftRng rng(4);
+    std::vector<float> u(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-0.5f, 0.5f);
+
+    FpgaConfig base_cfg = paperConfig();
+    base_cfg.columnMode = false;
+    FpgaAccelerator baseline(base_cfg);
+    std::vector<float> o_base(nq * ed);
+    baseline.runInference(u.data(), nq, kb, o_base.data());
+
+    FpgaAccelerator column(paperConfig());
+    std::vector<float> o_col(nq * ed);
+    column.runInference(u.data(), nq, kb, o_col.data());
+
+    for (size_t i = 0; i < o_base.size(); ++i)
+        ASSERT_NEAR(o_base[i], o_col[i], 1e-4);
+}
+
+TEST(Accelerator, OptimizationLadderReducesCycles)
+{
+    // Fig. 13 ordering: baseline > column > column+streaming >
+    // MnnFast (with zero-skipping).
+    const size_t ns = 1000, ed = 25, nq = 4;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 5);
+    mnnfast::XorShiftRng rng(6);
+    std::vector<float> u(nq * ed), o(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-0.5f, 0.5f);
+
+    FpgaConfig cfg = paperConfig();
+    cfg.columnMode = false;
+    const auto base =
+        FpgaAccelerator(cfg).runInference(u.data(), nq, kb, o.data());
+
+    cfg.columnMode = true;
+    const auto col =
+        FpgaAccelerator(cfg).runInference(u.data(), nq, kb, o.data());
+
+    cfg.streaming = true;
+    const auto str =
+        FpgaAccelerator(cfg).runInference(u.data(), nq, kb, o.data());
+
+    cfg.skipThreshold = 1.0f; // exp-domain: skips e < 1 (dot < 0)
+    const auto mnn =
+        FpgaAccelerator(cfg).runInference(u.data(), nq, kb, o.data());
+
+    EXPECT_LT(col.totalCycles, base.totalCycles);
+    EXPECT_LT(str.totalCycles, col.totalCycles);
+    EXPECT_LT(mnn.totalCycles, str.totalCycles);
+    EXPECT_GT(mnn.wsumRowsSkipped, 0u);
+    EXPECT_EQ(mnn.wsumRowsSkipped + mnn.wsumRowsKept,
+              uint64_t(ns) * nq);
+}
+
+TEST(Accelerator, ColumnMovesFarFewerDdrBytesThanBaseline)
+{
+    const size_t ns = 1000, ed = 25;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 7);
+    std::vector<float> u(ed, 0.1f), o(ed);
+
+    FpgaConfig cfg = paperConfig();
+    cfg.columnMode = false;
+    const auto base =
+        FpgaAccelerator(cfg).runInference(u.data(), 1, kb, o.data());
+    cfg.columnMode = true;
+    const auto col =
+        FpgaAccelerator(cfg).runInference(u.data(), 1, kb, o.data());
+
+    // Baseline spills T_IN/P_exp/P to DDR; column only streams
+    // M_IN/M_OUT.
+    EXPECT_EQ(col.ddrBytes, 2ull * ns * ed * sizeof(float));
+    EXPECT_GT(base.ddrBytes, col.ddrBytes);
+}
+
+TEST(Accelerator, StreamingOverlapsMemoryWithCompute)
+{
+    const size_t ns = 1000, ed = 25;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 8);
+    std::vector<float> u(ed, 0.1f), o(ed);
+
+    FpgaConfig cfg = paperConfig();
+    const auto blocking =
+        FpgaAccelerator(cfg).runInference(u.data(), 1, kb, o.data());
+    cfg.streaming = true;
+    const auto streaming =
+        FpgaAccelerator(cfg).runInference(u.data(), 1, kb, o.data());
+
+    EXPECT_LT(streaming.totalCycles, blocking.totalCycles);
+    // Blocking total is exactly memory + compute; streaming must beat
+    // the sum but cannot beat max(memory, compute).
+    EXPECT_EQ(blocking.totalCycles,
+              blocking.memoryCycles + blocking.computeCycles);
+    EXPECT_GE(streaming.totalCycles,
+              std::max(blocking.memoryCycles, blocking.computeCycles)
+                  / 2);
+}
+
+TEST(Accelerator, EmbeddingPhaseFasterWithCache)
+{
+    FpgaConfig cfg = paperConfig();
+    cfg.embeddingDim = 256;
+
+    data::ZipfGenerator zipf(5000, 1.0, 9);
+    std::vector<data::Sentence> sentences(200);
+    for (auto &s : sentences) {
+        s.resize(8);
+        for (auto &w : s)
+            w = static_cast<data::WordId>(zipf.sample());
+    }
+
+    FpgaAccelerator fpga(cfg);
+    const auto no_cache = fpga.runEmbedding(sentences, nullptr);
+
+    EmbeddingCacheConfig ccfg;
+    ccfg.sizeBytes = 128 << 10;
+    ccfg.embeddingDim = 256;
+    EmbeddingCache cache(ccfg);
+    const auto cached = fpga.runEmbedding(sentences, &cache);
+
+    EXPECT_EQ(no_cache.words, cached.words);
+    EXPECT_LT(cached.cycles, no_cache.cycles);
+    EXPECT_GT(cached.cacheHits, 0u);
+}
+
+TEST(Accelerator, EmbeddingLatencyMonotoneInCacheSize)
+{
+    FpgaConfig cfg = paperConfig();
+    cfg.embeddingDim = 256;
+    FpgaAccelerator fpga(cfg);
+
+    data::ZipfGenerator zipf(10000, 1.0, 10);
+    std::vector<data::Sentence> sentences(500);
+    for (auto &s : sentences) {
+        s.resize(8);
+        for (auto &w : s)
+            w = static_cast<data::WordId>(zipf.sample());
+    }
+
+    uint64_t prev = ~uint64_t{0};
+    for (size_t kb : {32ul, 64ul, 128ul, 256ul}) {
+        EmbeddingCacheConfig ccfg;
+        ccfg.sizeBytes = kb << 10;
+        ccfg.embeddingDim = 256;
+        EmbeddingCache cache(ccfg);
+        const auto r = fpga.runEmbedding(sentences, &cache);
+        EXPECT_LT(r.cycles, prev) << kb << "KB";
+        prev = r.cycles;
+    }
+}
+
+TEST(Accelerator, BatchModeMatchesSequentialOutputs)
+{
+    const size_t ns = 600, ed = 25, nq = 5;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 21);
+    mnnfast::XorShiftRng rng(22);
+    std::vector<float> u(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-0.5f, 0.5f);
+
+    FpgaConfig seq_cfg = paperConfig();
+    std::vector<float> o_seq(nq * ed);
+    FpgaAccelerator(seq_cfg).runInference(u.data(), nq, kb,
+                                          o_seq.data());
+
+    FpgaConfig batch_cfg = paperConfig();
+    batch_cfg.batchQuestions = true;
+    std::vector<float> o_batch(nq * ed);
+    FpgaAccelerator(batch_cfg).runInference(u.data(), nq, kb,
+                                            o_batch.data());
+
+    for (size_t i = 0; i < o_seq.size(); ++i)
+        ASSERT_NEAR(o_seq[i], o_batch[i], 1e-4);
+}
+
+TEST(Accelerator, BatchModeAmortizesDdrTraffic)
+{
+    const size_t ns = 1000, ed = 25, nq = 8;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 23);
+    std::vector<float> u(nq * ed, 0.1f), o(nq * ed);
+
+    FpgaConfig seq_cfg = paperConfig();
+    const auto seq = FpgaAccelerator(seq_cfg).runInference(
+        u.data(), nq, kb, o.data());
+
+    FpgaConfig batch_cfg = paperConfig();
+    batch_cfg.batchQuestions = true;
+    const auto batch = FpgaAccelerator(batch_cfg).runInference(
+        u.data(), nq, kb, o.data());
+
+    // Sequential mode re-streams the KB per question; batch mode
+    // loads it once.
+    EXPECT_EQ(seq.ddrBytes, uint64_t(nq) * 2 * ns * ed * 4);
+    EXPECT_EQ(batch.ddrBytes, 2ull * ns * ed * 4);
+    EXPECT_LT(batch.totalCycles, seq.totalCycles);
+}
+
+TEST(Accelerator, BatchModeSkipCountsMatchSequential)
+{
+    const size_t ns = 500, ed = 25, nq = 4;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 24);
+    std::vector<float> u(nq * ed, 0.2f), o(nq * ed);
+
+    FpgaConfig cfg = paperConfig();
+    cfg.skipThreshold = 1.0f;
+    const auto seq =
+        FpgaAccelerator(cfg).runInference(u.data(), nq, kb, o.data());
+    cfg.batchQuestions = true;
+    const auto batch =
+        FpgaAccelerator(cfg).runInference(u.data(), nq, kb, o.data());
+
+    EXPECT_EQ(seq.wsumRowsKept, batch.wsumRowsKept);
+    EXPECT_EQ(seq.wsumRowsSkipped, batch.wsumRowsSkipped);
+}
+
+TEST(Accelerator, StreamOverlapEfficiencyBoundsStreamingGain)
+{
+    const size_t ns = 1000, ed = 25;
+    const core::KnowledgeBase kb = randomKb(ns, ed, 25);
+    std::vector<float> u(ed, 0.1f), o(ed);
+
+    FpgaConfig cfg = paperConfig();
+    const auto blocking =
+        FpgaAccelerator(cfg).runInference(u.data(), 1, kb, o.data());
+
+    cfg.streaming = true;
+    cfg.streamOverlapEff = 0.0; // no overlap achieved
+    const auto none =
+        FpgaAccelerator(cfg).runInference(u.data(), 1, kb, o.data());
+    cfg.streamOverlapEff = 1.0; // perfect double buffering
+    const auto perfect =
+        FpgaAccelerator(cfg).runInference(u.data(), 1, kb, o.data());
+
+    // eff=0 degenerates to blocking; eff=1 is the max() bound.
+    EXPECT_EQ(none.totalCycles, blocking.totalCycles);
+    EXPECT_LT(perfect.totalCycles, blocking.totalCycles);
+    EXPECT_GE(perfect.totalCycles,
+              std::max(blocking.memoryCycles, blocking.computeCycles));
+}
+
+TEST(Accelerator, MismatchedKbDimPanics)
+{
+    const core::KnowledgeBase kb = randomKb(10, 16, 11);
+    FpgaConfig cfg = paperConfig(); // ed 25
+    FpgaAccelerator fpga(cfg);
+    std::vector<float> u(16, 0.f), o(16);
+    EXPECT_DEATH(fpga.runInference(u.data(), 1, kb, o.data()),
+                 "mismatch");
+}
+
+TEST(EnergyModel, RatioReflectsPowerAndTime)
+{
+    EnergyConfig cfg;
+    cfg.cpuWatts = 170.0;
+    cfg.fpgaWatts = 2.6;
+    EnergyModel em(cfg);
+    EXPECT_DOUBLE_EQ(em.cpuJoules(2.0), 340.0);
+    EXPECT_DOUBLE_EQ(em.fpgaJoules(2.0), 5.2);
+    // Same time on both -> ratio is the power ratio.
+    EXPECT_NEAR(em.efficiencyGain(1.0, 1.0), 170.0 / 2.6, 1e-9);
+    // FPGA 10x slower still wins by ~6.5x.
+    EXPECT_NEAR(em.efficiencyGain(1.0, 10.0), 170.0 / 26.0, 1e-9);
+}
+
+} // namespace
+} // namespace mnnfast::fpga

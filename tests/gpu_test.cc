@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the GPU analytic models: roofline kernel timing, PCIe bus
+ * serialization, CUDA-stream overlap, and multi-GPU contention —
+ * the machinery behind paper Fig. 12.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device_model.hh"
+#include "gpu/pcie_bus.hh"
+#include "gpu/stream_sim.hh"
+
+namespace mnnfast::gpu {
+namespace {
+
+TEST(DeviceModel, ComputeBoundKernel)
+{
+    GpuConfig cfg;
+    cfg.peakFlops = 1e12;
+    cfg.computeEfficiency = 1.0;
+    cfg.memBandwidth = 1e12;
+    cfg.memEfficiency = 1.0;
+    cfg.launchOverhead = 0.0;
+    GpuDeviceModel dev(cfg);
+    // 1e9 flops, negligible bytes -> 1 ms.
+    EXPECT_NEAR(dev.kernelSeconds({1e9, 1.0}), 1e-3, 1e-9);
+}
+
+TEST(DeviceModel, MemoryBoundKernel)
+{
+    GpuConfig cfg;
+    cfg.peakFlops = 1e15;
+    cfg.computeEfficiency = 1.0;
+    cfg.memBandwidth = 1e9;
+    cfg.memEfficiency = 1.0;
+    cfg.launchOverhead = 0.0;
+    GpuDeviceModel dev(cfg);
+    // 1e6 bytes at 1 GB/s -> 1 ms.
+    EXPECT_NEAR(dev.kernelSeconds({1.0, 1e6}), 1e-3, 1e-9);
+}
+
+TEST(DeviceModel, LaunchOverheadAdds)
+{
+    GpuConfig cfg;
+    cfg.launchOverhead = 7e-6;
+    GpuDeviceModel dev(cfg);
+    EXPECT_GE(dev.kernelSeconds({0.0, 0.0}), 7e-6);
+}
+
+TEST(PcieBus, TransfersSerialize)
+{
+    PcieConfig cfg;
+    cfg.bandwidth = 1e9;
+    cfg.setupLatency = 0.0;
+    PcieBus bus(cfg);
+    const double t1 = bus.transfer(0.0, 1e6); // 1 ms
+    const double t2 = bus.transfer(0.0, 1e6); // queued behind t1
+    EXPECT_NEAR(t1, 1e-3, 1e-9);
+    EXPECT_NEAR(t2, 2e-3, 1e-9);
+    EXPECT_EQ(bus.transfers(), 2u);
+    EXPECT_DOUBLE_EQ(bus.totalBytes(), 2e6);
+}
+
+TEST(PcieBus, LateRequestStartsLate)
+{
+    PcieConfig cfg;
+    cfg.bandwidth = 1e9;
+    cfg.setupLatency = 0.0;
+    PcieBus bus(cfg);
+    const double done = bus.transfer(5.0, 1e6);
+    EXPECT_NEAR(done, 5.001, 1e-9);
+}
+
+TEST(PcieBus, ResetClearsState)
+{
+    PcieBus bus(PcieConfig{});
+    bus.transfer(0.0, 1e6);
+    bus.reset();
+    EXPECT_DOUBLE_EQ(bus.busyUntil(), 0.0);
+    EXPECT_EQ(bus.transfers(), 0u);
+}
+
+GpuWorkload
+testWorkload()
+{
+    GpuWorkload wl;
+    wl.ns = 8'000'000;
+    wl.ed = 64;
+    wl.nq = 128;
+    wl.chunkSize = 500'000;
+    return wl;
+}
+
+TEST(StreamSim, ChunkBytesAndKernels)
+{
+    const GpuWorkload wl = testWorkload();
+    EXPECT_DOUBLE_EQ(wl.chunkBytes(), 2.0 * 500'000 * 64 * 4);
+    const auto kernels = wl.chunkKernels();
+    ASSERT_EQ(kernels.size(), 3u);
+    EXPECT_GT(kernels[0].flops, 0.0);
+    EXPECT_GT(kernels[1].flops, 0.0);
+    EXPECT_GT(kernels[2].flops, 0.0);
+}
+
+TEST(StreamSim, TwoStreamsBeatOneStream)
+{
+    CudaStreamSim sim(GpuConfig{}, PcieConfig{});
+    const GpuWorkload wl = testWorkload();
+    const double one = sim.runSingleGpu(wl, 1).makespan;
+    const double two = sim.runSingleGpu(wl, 2).makespan;
+    // Overlap of copy and kernel must help (paper: 1.33x).
+    EXPECT_LT(two, one * 0.95);
+}
+
+TEST(StreamSim, ManyStreamsPlateau)
+{
+    // memcpy is the critical path: going from 2 to 8 streams barely
+    // helps (paper Fig. 12a).
+    CudaStreamSim sim(GpuConfig{}, PcieConfig{});
+    const GpuWorkload wl = testWorkload();
+    const double two = sim.runSingleGpu(wl, 2).makespan;
+    const double eight = sim.runSingleGpu(wl, 8).makespan;
+    EXPECT_GT(eight, two * 0.9);
+}
+
+TEST(StreamSim, MakespanBoundedBelowByCopyTime)
+{
+    CudaStreamSim sim(GpuConfig{}, PcieConfig{});
+    const GpuWorkload wl = testWorkload();
+    const auto r = sim.runSingleGpu(wl, 4);
+    const size_t chunks = (wl.ns + wl.chunkSize - 1) / wl.chunkSize;
+    const double copy_floor =
+        double(chunks) * wl.chunkBytes() / PcieConfig{}.bandwidth;
+    EXPECT_GE(r.makespan, copy_floor);
+}
+
+TEST(StreamSim, MultiGpuScalesUntilBusContention)
+{
+    CudaStreamSim sim(GpuConfig{}, PcieConfig{});
+    const GpuWorkload wl = testWorkload();
+    const double one = sim.runMultiGpu(wl, 1, 2, true).makespan;
+    const double two = sim.runMultiGpu(wl, 2, 2, true).makespan;
+    const double four = sim.runMultiGpu(wl, 4, 2, true).makespan;
+    EXPECT_LT(two, one);
+    EXPECT_LT(four, two);
+}
+
+TEST(StreamSim, IdealBusIsNeverSlower)
+{
+    CudaStreamSim sim(GpuConfig{}, PcieConfig{});
+    const GpuWorkload wl = testWorkload();
+    for (size_t g : {1ul, 2ul, 4ul}) {
+        const double worst = sim.runMultiGpu(wl, g, 2, true).makespan;
+        const double ideal = sim.runMultiGpu(wl, g, 2, false).makespan;
+        EXPECT_LE(ideal, worst * 1.0001) << g << " GPUs";
+    }
+}
+
+TEST(StreamSim, ContentionGapGrowsWithGpuCount)
+{
+    // Paper Fig. 12b: the H2D difference between worst and ideal
+    // grows as GPUs are added.
+    CudaStreamSim sim(GpuConfig{}, PcieConfig{});
+    const GpuWorkload wl = testWorkload();
+    auto gap = [&](size_t g) {
+        const auto worst = sim.runMultiGpu(wl, g, 2, true);
+        const auto ideal = sim.runMultiGpu(wl, g, 2, false);
+        double w = 0, i = 0;
+        for (const auto &lat : worst.perGpu)
+            w = std::max(w, lat.h2dSeconds);
+        for (const auto &lat : ideal.perGpu)
+            i = std::max(i, lat.h2dSeconds);
+        return w - i;
+    };
+    EXPECT_GT(gap(4), gap(2));
+    EXPECT_GE(gap(2), gap(1) - 1e-12);
+}
+
+TEST(StreamSim, PerGpuLatenciesAreReported)
+{
+    CudaStreamSim sim(GpuConfig{}, PcieConfig{});
+    const auto r = sim.runMultiGpu(testWorkload(), 4, 2, true);
+    ASSERT_EQ(r.perGpu.size(), 4u);
+    for (const auto &lat : r.perGpu) {
+        EXPECT_GT(lat.h2dSeconds, 0.0);
+        EXPECT_GT(lat.kernelSeconds, 0.0);
+        EXPECT_GE(lat.doneAt, lat.h2dSeconds);
+        EXPECT_LE(lat.doneAt, r.makespan);
+    }
+}
+
+TEST(StreamSim, WorkPartitionCoversAllSentences)
+{
+    // 3 GPUs over a non-divisible sentence count: kernels must cover
+    // all chunks (sum of per-GPU kernel time ~ single-GPU total).
+    CudaStreamSim sim(GpuConfig{}, PcieConfig{});
+    GpuWorkload wl = testWorkload();
+    wl.ns = 7'000'001;
+    const auto single = sim.runSingleGpu(wl, 1);
+    const auto multi = sim.runMultiGpu(wl, 3, 1, false);
+    double total = 0;
+    for (const auto &lat : multi.perGpu)
+        total += lat.kernelSeconds;
+    EXPECT_NEAR(total, single.perGpu[0].kernelSeconds,
+                single.perGpu[0].kernelSeconds * 0.02);
+}
+
+} // namespace
+} // namespace mnnfast::gpu

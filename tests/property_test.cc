@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Randomized property tests: the inference engines are fuzzed against
+ * a double-precision reference across random shapes and
+ * configurations, and the cache model is swept across geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/baseline_engine.hh"
+#include "core/column_engine.hh"
+#include "sim/cache_model.hh"
+#include "util/rng.hh"
+
+namespace mnnfast {
+namespace {
+
+/** Double-precision stable reference for o = softmax(u M_IN^T) M_OUT. */
+std::vector<float>
+reference(const core::KnowledgeBase &kb, const float *u, size_t nq)
+{
+    const size_t ns = kb.size(), ed = kb.dim();
+    std::vector<float> out(nq * ed, 0.f);
+    std::vector<double> dots(ns);
+    for (size_t q = 0; q < nq; ++q) {
+        double m = -1e300;
+        for (size_t i = 0; i < ns; ++i) {
+            double d = 0.0;
+            for (size_t e = 0; e < ed; ++e)
+                d += double(u[q * ed + e]) * kb.minRow(i)[e];
+            dots[i] = d;
+            m = std::max(m, d);
+        }
+        double s = 0.0;
+        for (size_t i = 0; i < ns; ++i)
+            s += std::exp(dots[i] - m);
+        for (size_t i = 0; i < ns; ++i) {
+            const double w = std::exp(dots[i] - m) / s;
+            for (size_t e = 0; e < ed; ++e)
+                out[q * ed + e] +=
+                    static_cast<float>(w * kb.moutRow(i)[e]);
+        }
+    }
+    return out;
+}
+
+/** One fuzz iteration: random shape/config, all engines vs reference. */
+void
+fuzzOnce(uint64_t seed)
+{
+    XorShiftRng rng(seed);
+    const size_t ns = 1 + rng.below(3000);
+    const size_t ed = 1 + rng.below(64);
+    const size_t nq = 1 + rng.below(6);
+    const size_t chunk = 1 + rng.below(ns + 100);
+    const size_t threads = rng.below(4);
+    const float scale = rng.uniformRange(0.05f, 1.2f);
+
+    core::KnowledgeBase kb(ed);
+    kb.reserve(ns);
+    std::vector<float> a(ed), b(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            a[e] = rng.uniformRange(-scale, scale);
+            b[e] = rng.uniformRange(-scale, scale);
+        }
+        kb.addSentence(a.data(), b.data());
+    }
+    std::vector<float> u(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-scale, scale);
+
+    const auto ref = reference(kb, u.data(), nq);
+
+    const std::string ctx = "seed=" + std::to_string(seed)
+                          + " ns=" + std::to_string(ns)
+                          + " ed=" + std::to_string(ed)
+                          + " nq=" + std::to_string(nq)
+                          + " chunk=" + std::to_string(chunk);
+
+    // Baseline.
+    {
+        core::EngineConfig cfg;
+        cfg.threads = threads;
+        core::BaselineEngine engine(kb, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        for (size_t i = 0; i < o.size(); ++i)
+            ASSERT_NEAR(o[i], ref[i], 2e-3) << ctx;
+    }
+    // Column variants (plain, streaming, online-normalized).
+    for (int variant = 0; variant < 3; ++variant) {
+        core::EngineConfig cfg;
+        cfg.chunkSize = chunk;
+        cfg.threads = threads;
+        cfg.streaming = variant == 1;
+        cfg.onlineNormalize = variant == 2;
+        core::ColumnEngine engine(kb, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        for (size_t i = 0; i < o.size(); ++i)
+            ASSERT_NEAR(o[i], ref[i], 2e-3)
+                << ctx << " variant=" << variant;
+    }
+}
+
+class EngineFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(EngineFuzz, AllEnginesMatchReference)
+{
+    fuzzOnce(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// ---------------------------------------------------------------
+// Cache model geometry sweep
+// ---------------------------------------------------------------
+
+struct CacheGeometry
+{
+    size_t sizeKb;
+    size_t assoc;
+};
+
+class CacheSweep : public ::testing::TestWithParam<CacheGeometry>
+{};
+
+TEST_P(CacheSweep, ResidentWorkingSetAlwaysHits)
+{
+    const auto [size_kb, assoc] = GetParam();
+    sim::CacheConfig cfg;
+    cfg.sizeBytes = size_kb << 10;
+    cfg.associativity = assoc;
+    sim::CacheModel cache(cfg);
+
+    // Walk a working set of exactly the cache capacity twice; the
+    // second pass must be all hits under LRU with a cyclic pattern
+    // that maps uniformly over sets.
+    const uint64_t lines = cfg.sizeBytes / cfg.lineBytes;
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t l = 0; l < lines; ++l)
+            cache.access(l * cfg.lineBytes);
+    EXPECT_EQ(cache.misses(), lines);
+    EXPECT_EQ(cache.hits(), lines);
+}
+
+TEST_P(CacheSweep, HitRateDegradesGracefullyPastCapacity)
+{
+    const auto [size_kb, assoc] = GetParam();
+    sim::CacheConfig cfg;
+    cfg.sizeBytes = size_kb << 10;
+    cfg.associativity = assoc;
+
+    // Cyclic overflow (2x capacity) thrashes true LRU completely.
+    sim::CacheModel over(cfg);
+    const uint64_t lines = 2 * cfg.sizeBytes / cfg.lineBytes;
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t l = 0; l < lines; ++l)
+            over.access(l * cfg.lineBytes);
+    EXPECT_EQ(over.hits(), 0u);
+}
+
+TEST_P(CacheSweep, RandomAccessHitRateMatchesCapacityRatio)
+{
+    const auto [size_kb, assoc] = GetParam();
+    sim::CacheConfig cfg;
+    cfg.sizeBytes = size_kb << 10;
+    cfg.associativity = assoc;
+    sim::CacheModel cache(cfg);
+
+    // Uniform random lines over a 4x-capacity footprint: steady-state
+    // hit rate approaches capacity / footprint = 25%.
+    const uint64_t footprint_lines = 4 * cfg.sizeBytes / cfg.lineBytes;
+    XorShiftRng rng(size_kb * 131 + assoc);
+    for (int i = 0; i < 60000; ++i)
+        cache.access(rng.below(footprint_lines) * cfg.lineBytes);
+
+    cache.counters().resetAll();
+    for (int i = 0; i < 60000; ++i)
+        cache.access(rng.below(footprint_lines) * cfg.lineBytes);
+    const double hr = double(cache.hits())
+                    / double(cache.hits() + cache.misses());
+    EXPECT_NEAR(hr, 0.25, 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(CacheGeometry{64, 4}, CacheGeometry{64, 16},
+                      CacheGeometry{256, 8}, CacheGeometry{1024, 16},
+                      CacheGeometry{512, 1}),
+    [](const ::testing::TestParamInfo<CacheGeometry> &info) {
+        return std::to_string(info.param.sizeKb) + "KB_"
+             + std::to_string(info.param.assoc) + "way";
+    });
+
+} // namespace
+} // namespace mnnfast

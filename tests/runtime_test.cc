@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the thread pool and parallel-for runtime, including the
+ * inline (0-thread) mode used by single-thread benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/parallel_for.hh"
+#include "runtime/thread_pool.hh"
+
+namespace mnnfast::runtime {
+namespace {
+
+TEST(SplitRange, EmptyInputGivesNoRanges)
+{
+    EXPECT_TRUE(splitRange(0, 4).empty());
+}
+
+TEST(SplitRange, FewerItemsThanParts)
+{
+    const auto r = splitRange(3, 8);
+    ASSERT_EQ(r.size(), 3u);
+    for (const Range &x : r)
+        EXPECT_EQ(x.size(), 1u);
+}
+
+class SplitRangeProperty
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{};
+
+TEST_P(SplitRangeProperty, CoversExactlyOnceAndBalanced)
+{
+    const auto [n, parts] = GetParam();
+    const auto ranges = splitRange(n, parts);
+
+    // Contiguous, ordered, covering [0, n).
+    size_t expected_begin = 0;
+    size_t min_size = n, max_size = 0;
+    for (const Range &r : ranges) {
+        EXPECT_EQ(r.begin, expected_begin);
+        EXPECT_GT(r.end, r.begin);
+        expected_begin = r.end;
+        min_size = std::min(min_size, r.size());
+        max_size = std::max(max_size, r.size());
+    }
+    EXPECT_EQ(expected_begin, n);
+    if (n > 0)
+        EXPECT_LE(max_size - min_size, 1u);
+    EXPECT_LE(ranges.size(), parts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SplitRangeProperty,
+    ::testing::Values(std::pair<size_t, size_t>{0, 1},
+                      std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{10, 3},
+                      std::pair<size_t, size_t>{100, 7},
+                      std::pair<size_t, size_t>{7, 100},
+                      std::pair<size_t, size_t>{1024, 16}));
+
+TEST(ThreadPool, InlineModeRunsOnCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 0u);
+    std::thread::id id;
+    pool.submit([&] { id = std::this_thread::get_id(); });
+    EXPECT_EQ(id, std::this_thread::get_id());
+    pool.waitIdle(); // no-op, must not hang
+}
+
+TEST(ThreadPool, ExecutesAllSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&] { count.fetch_add(1); });
+        pool.waitIdle();
+        EXPECT_EQ(count.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { count.fetch_add(1); });
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, ComputesCorrectSum)
+{
+    ThreadPool pool(4);
+    std::vector<int> data(10000);
+    std::iota(data.begin(), data.end(), 0);
+    std::atomic<long long> total{0};
+    parallelFor(pool, data.size(), [&](Range r) {
+        long long local = 0;
+        for (size_t i = r.begin; i < r.end; ++i)
+            local += data[i];
+        total.fetch_add(local);
+    });
+    EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ParallelFor, InlineModeCoversRange)
+{
+    ThreadPool pool(0);
+    std::vector<bool> seen(100, false);
+    parallelFor(pool, seen.size(), [&](Range r) {
+        for (size_t i = r.begin; i < r.end; ++i)
+            seen[i] = true;
+    });
+    for (bool b : seen)
+        EXPECT_TRUE(b);
+}
+
+TEST(ParallelFor, EmptyRangeRunsNothing)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    parallelFor(pool, 0, [&](Range) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForParts, ProducesRequestedPartition)
+{
+    ThreadPool pool(2);
+    std::vector<int> part_of(100, -1);
+    parallelForParts(pool, 100, 7, [&](size_t part, Range r) {
+        for (size_t i = r.begin; i < r.end; ++i)
+            part_of[i] = static_cast<int>(part);
+    });
+    // Every element assigned, parts contiguous and ascending.
+    for (int p : part_of)
+        EXPECT_GE(p, 0);
+    EXPECT_TRUE(std::is_sorted(part_of.begin(), part_of.end()));
+    EXPECT_EQ(part_of.back(), 6);
+}
+
+TEST(ParallelForParts, MorePartsThanItems)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    parallelForParts(pool, 3, 10, [&](size_t, Range r) {
+        EXPECT_EQ(r.size(), 1u);
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 3);
+}
+
+} // namespace
+} // namespace mnnfast::runtime

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the QA-server simulation: conservation, latency bounds,
+ * batching behaviour under load, and the throughput benefit of
+ * batch-amortized knowledge-base streaming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/qa_server.hh"
+
+namespace mnnfast::serve {
+namespace {
+
+ServerConfig
+baseConfig()
+{
+    ServerConfig cfg;
+    cfg.arrivalRate = 2000.0;
+    cfg.maxBatch = 32;
+    cfg.batchTimeout = 2e-3;
+    cfg.batchBaseSeconds = 1e-3;
+    cfg.perQuestionSeconds = 4e-5;
+    cfg.simSeconds = 3.0;
+    return cfg;
+}
+
+TEST(QaServer, EveryArrivalCompletes)
+{
+    const auto stats = simulateServer(baseConfig());
+    EXPECT_GT(stats.arrived, 1000u);
+    EXPECT_EQ(stats.completed, stats.arrived);
+}
+
+TEST(QaServer, UnderloadedThroughputTracksArrivalRate)
+{
+    auto cfg = baseConfig();
+    cfg.arrivalRate = 500.0; // far below capacity
+    const auto stats = simulateServer(cfg);
+    EXPECT_NEAR(stats.throughputQps, 500.0, 75.0);
+    EXPECT_LT(stats.utilization, 0.9);
+}
+
+TEST(QaServer, LatencyIsAtLeastTheServiceTime)
+{
+    const auto stats = simulateServer(baseConfig());
+    EXPECT_GE(stats.p50Latency, baseConfig().batchBaseSeconds);
+    EXPECT_LE(stats.p50Latency, stats.p95Latency);
+    EXPECT_LE(stats.p95Latency, stats.p99Latency);
+}
+
+TEST(QaServer, TimeoutBoundsLatencyAtLowLoad)
+{
+    auto cfg = baseConfig();
+    cfg.arrivalRate = 100.0; // batches rarely fill: timeout path
+    const auto stats = simulateServer(cfg);
+    // Wait (<= timeout) + service of a small batch + slack.
+    const double bound = cfg.batchTimeout + cfg.batchBaseSeconds
+                       + cfg.maxBatch * cfg.perQuestionSeconds + 1e-3;
+    EXPECT_LE(stats.p99Latency, bound);
+    // Mostly-singleton batches at this load.
+    EXPECT_LT(stats.meanBatchSize, 4.0);
+}
+
+TEST(QaServer, LoadIncreasesLatency)
+{
+    auto low = baseConfig();
+    low.arrivalRate = 500.0;
+    auto high = baseConfig();
+    high.arrivalRate = 15000.0;
+    EXPECT_GT(simulateServer(high).p95Latency,
+              simulateServer(low).p95Latency);
+}
+
+TEST(QaServer, BatchingRaisesOverloadThroughput)
+{
+    // Capacity with batch n is n / (base + n*per): heavily batched
+    // service amortizes the shared KB stream. At an overload rate,
+    // the batched server must complete far more questions/sec.
+    auto batched = baseConfig();
+    batched.arrivalRate = 20000.0;
+    batched.maxBatch = 32;
+
+    auto serial = batched;
+    serial.maxBatch = 1;
+
+    const auto b = simulateServer(batched);
+    const auto s = simulateServer(serial);
+    EXPECT_GT(b.throughputQps, s.throughputQps * 3.0);
+    EXPECT_GT(b.meanBatchSize, 8.0);
+    EXPECT_NEAR(s.meanBatchSize, 1.0, 1e-9);
+}
+
+TEST(QaServer, MoreWorkersHelpUnderOverload)
+{
+    auto one = baseConfig();
+    one.arrivalRate = 20000.0;
+    auto two = one;
+    two.workers = 2;
+    EXPECT_GT(simulateServer(two).throughputQps,
+              simulateServer(one).throughputQps * 1.3);
+}
+
+TEST(QaServer, UtilizationSaturatesUnderOverload)
+{
+    auto cfg = baseConfig();
+    cfg.arrivalRate = 50000.0;
+    const auto stats = simulateServer(cfg);
+    EXPECT_GT(stats.utilization, 0.95);
+    EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+}
+
+TEST(QaServer, DeterministicForSameSeed)
+{
+    const auto a = simulateServer(baseConfig());
+    const auto b = simulateServer(baseConfig());
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_DOUBLE_EQ(a.p99Latency, b.p99Latency);
+}
+
+TEST(QaServer, InvalidConfigIsFatal)
+{
+    auto cfg = baseConfig();
+    cfg.maxBatch = 0;
+    EXPECT_EXIT(simulateServer(cfg), ::testing::ExitedWithCode(1),
+                "batch cap");
+    auto cfg2 = baseConfig();
+    cfg2.arrivalRate = 0.0;
+    EXPECT_EXIT(simulateServer(cfg2), ::testing::ExitedWithCode(1),
+                "arrival rate");
+}
+
+} // namespace
+} // namespace mnnfast::serve

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the set-associative cache model: hit/miss behaviour, LRU
+ * replacement, associativity conflicts, bypass mode, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache_model.hh"
+
+namespace mnnfast::sim {
+namespace {
+
+CacheConfig
+smallCache(size_t size_bytes = 4096, size_t assoc = 2,
+           size_t line = 64)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = size_bytes;
+    cfg.associativity = assoc;
+    cfg.lineBytes = line;
+    return cfg;
+}
+
+TEST(CacheModel, GeometryIsDerivedCorrectly)
+{
+    CacheModel c(smallCache(4096, 2, 64));
+    // 4096 / 64 = 64 lines; 2-way => 32 sets.
+    EXPECT_EQ(c.sets(), 32u);
+    EXPECT_EQ(c.lineBytes(), 64u);
+}
+
+TEST(CacheModel, FirstAccessMissesSecondHits)
+{
+    CacheModel c(smallCache());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038)); // same 64B line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheModel, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup)
+{
+    CacheModel c(smallCache(8192, 4));
+    // 8 KiB working set in an 8 KiB cache.
+    for (uint64_t a = 0; a < 8192; a += 64)
+        c.access(a);
+    const uint64_t misses_before = c.misses();
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint64_t a = 0; a < 8192; a += 64)
+            EXPECT_TRUE(c.access(a));
+    EXPECT_EQ(c.misses(), misses_before);
+}
+
+TEST(CacheModel, StreamLargerThanCacheAlwaysMisses)
+{
+    CacheModel c(smallCache(4096, 2));
+    // 64 KiB circular stream through a 4 KiB cache: with true LRU,
+    // every access of every pass misses.
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t a = 0; a < 65536; a += 64)
+            c.access(a);
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 2048u);
+}
+
+TEST(CacheModel, LruEvictsLeastRecentlyUsed)
+{
+    // Direct construction of a conflict set: addresses that map to
+    // set 0 of a 2-way cache with 32 sets stride by 32*64 = 2048.
+    CacheModel c(smallCache(4096, 2));
+    const uint64_t s = 2048;
+    c.access(0 * s); // A
+    c.access(1 * s); // B
+    c.access(0 * s); // A again (B is now LRU)
+    c.access(2 * s); // C evicts B
+    EXPECT_TRUE(c.probe(0 * s));
+    EXPECT_FALSE(c.probe(1 * s));
+    EXPECT_TRUE(c.probe(2 * s));
+}
+
+TEST(CacheModel, AssociativityBoundsConflictMisses)
+{
+    // 4 conflicting lines in a 2-way set thrash; in a 4-way set they
+    // all fit.
+    CacheModel two_way(smallCache(4096, 2));
+    CacheModel four_way(smallCache(4096, 4));
+    const uint64_t stride2 = two_way.sets() * 64;
+    const uint64_t stride4 = four_way.sets() * 64;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (uint64_t i = 0; i < 4; ++i) {
+            two_way.access(i * stride2);
+            four_way.access(i * stride4);
+        }
+    }
+    EXPECT_EQ(four_way.misses(), 4u); // cold only
+    EXPECT_GT(two_way.misses(), four_way.misses());
+}
+
+TEST(CacheModel, NoAllocateDoesNotFill)
+{
+    CacheModel c(smallCache());
+    EXPECT_FALSE(c.accessNoAllocate(0x2000));
+    EXPECT_FALSE(c.probe(0x2000));
+    // A normal access fills; then no-allocate hits.
+    c.access(0x2000);
+    EXPECT_TRUE(c.accessNoAllocate(0x2000));
+}
+
+TEST(CacheModel, WritebacksCountDirtyEvictions)
+{
+    CacheModel c(smallCache(4096, 2));
+    const uint64_t s = 2048;
+    c.access(0 * s, /*is_write=*/true);
+    c.access(1 * s);
+    c.access(2 * s); // evicts the dirty line 0
+    c.access(3 * s); // evicts clean line 1
+    EXPECT_EQ(c.counters().value("writebacks"), 1u);
+    EXPECT_EQ(c.counters().value("evictions"), 2u);
+}
+
+TEST(CacheModel, FlushInvalidatesEverything)
+{
+    CacheModel c(smallCache());
+    c.access(0x3000);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x3000));
+    EXPECT_FALSE(c.access(0x3000));
+}
+
+TEST(CacheModel, BadGeometryIsFatal)
+{
+    CacheConfig cfg = smallCache();
+    cfg.lineBytes = 48; // not a power of two
+    EXPECT_EXIT(CacheModel c(cfg), ::testing::ExitedWithCode(1),
+                "power of two");
+
+    CacheConfig cfg2 = smallCache();
+    cfg2.sizeBytes = 0;
+    EXPECT_EXIT(CacheModel c2(cfg2), ::testing::ExitedWithCode(1),
+                "divisible");
+}
+
+} // namespace
+} // namespace mnnfast::sim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel and the DRAM channel model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/dram_bank_model.hh"
+#include "sim/dram_model.hh"
+#include "sim/event_queue.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    const Tick end = q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(end, 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] { ++fired; });
+    });
+    const Tick end = q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(end, 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] { ++fired; });
+    q.schedule(15, [&] { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueue, EmptyAndPendingReflectState)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.schedule(1, [] {});
+    EXPECT_FALSE(q.empty());
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(DramModel, InterleavesLinesAcrossChannels)
+{
+    DramConfig cfg;
+    cfg.channels = 4;
+    DramModel dram(cfg);
+    for (uint64_t line = 0; line < 16; ++line)
+        dram.recordAccess(line * cfg.lineBytes);
+    for (size_t ch = 0; ch < 4; ++ch)
+        EXPECT_EQ(dram.channelLines(ch), 4u);
+    EXPECT_EQ(dram.totalLines(), 16u);
+}
+
+TEST(DramModel, SameLineSameChannel)
+{
+    DramConfig cfg;
+    cfg.channels = 4;
+    DramModel dram(cfg);
+    const size_t c1 = dram.recordAccess(0x100);
+    const size_t c2 = dram.recordAccess(0x13F); // same 64B line
+    EXPECT_EQ(c1, c2);
+}
+
+TEST(DramModel, TransferCyclesScaleWithChannels)
+{
+    DramConfig one;
+    one.channels = 1;
+    DramConfig four;
+    four.channels = 4;
+    DramModel d1(one), d4(four);
+    EXPECT_DOUBLE_EQ(d1.transferCycles(1000),
+                     4.0 * d4.transferCycles(1000));
+}
+
+TEST(DramModel, ResetClearsCounters)
+{
+    DramModel dram(DramConfig{});
+    dram.recordAccess(0);
+    dram.resetStats();
+    EXPECT_EQ(dram.totalLines(), 0u);
+}
+
+TEST(DramModel, AggregateBandwidth)
+{
+    DramConfig cfg;
+    cfg.channels = 2;
+    cfg.bytesPerCyclePerChannel = 8.0;
+    DramModel dram(cfg);
+    EXPECT_DOUBLE_EQ(dram.aggregateBandwidth(), 16.0);
+}
+
+// ---------------------------------------------------------------
+// Bank/row-buffer model
+// ---------------------------------------------------------------
+
+TEST(DramBankModel, SequentialStreamMostlyRowHits)
+{
+    DramConfig dram;
+    dram.channels = 4;
+    DramBankModel model(dram, DramBankConfig{});
+    std::vector<uint64_t> addrs(50000);
+    for (size_t i = 0; i < addrs.size(); ++i)
+        addrs[i] = uint64_t(i) * 64;
+    const auto s = model.replay(addrs);
+    EXPECT_EQ(s.lines, addrs.size());
+    EXPECT_GT(double(s.rowHits) / double(s.lines), 0.95);
+    EXPECT_GT(s.efficiency, 0.8);
+}
+
+TEST(DramBankModel, RandomStreamPaysConflicts)
+{
+    DramConfig dram;
+    dram.channels = 4;
+    DramBankModel model(dram, DramBankConfig{});
+    mnnfast::XorShiftRng rng(3);
+    std::vector<uint64_t> addrs(50000);
+    for (auto &a : addrs)
+        a = rng.below((1ull << 30) / 64) * 64;
+    const auto s = model.replay(addrs);
+    EXPECT_GT(double(s.rowConflicts) / double(s.lines), 0.5);
+    EXPECT_LT(s.efficiency, 0.6);
+}
+
+TEST(DramBankModel, SequentialBeatsRandom)
+{
+    DramConfig dram;
+    dram.channels = 2;
+    DramBankModel model(dram, DramBankConfig{});
+
+    std::vector<uint64_t> seq(20000);
+    for (size_t i = 0; i < seq.size(); ++i)
+        seq[i] = uint64_t(i) * 64;
+    mnnfast::XorShiftRng rng(5);
+    std::vector<uint64_t> rnd(20000);
+    for (auto &a : rnd)
+        a = rng.below((1ull << 28) / 64) * 64;
+
+    EXPECT_GT(model.replay(seq).bytesPerCycle,
+              model.replay(rnd).bytesPerCycle * 1.3);
+}
+
+TEST(DramBankModel, RowStateAccounting)
+{
+    DramConfig dram;
+    dram.channels = 1;
+    DramBankConfig banks;
+    banks.banksPerChannel = 1;
+    banks.rowBytes = 128; // two lines per row
+    DramBankModel model(dram, banks);
+
+    // line0 (miss: bank closed), line1 same row (hit),
+    // line at a different row (conflict), back (conflict).
+    const auto s = model.replay({0, 64, 4096, 0});
+    EXPECT_EQ(s.rowMisses, 1u);
+    EXPECT_EQ(s.rowHits, 1u);
+    EXPECT_EQ(s.rowConflicts, 2u);
+}
+
+TEST(DramBankModel, EmptyStreamIsZero)
+{
+    DramBankModel model(DramConfig{}, DramBankConfig{});
+    const auto s = model.replay({});
+    EXPECT_EQ(s.lines, 0u);
+    EXPECT_DOUBLE_EQ(s.cycles, 0.0);
+}
+
+TEST(DramBankModel, BadGeometryIsFatal)
+{
+    DramBankConfig banks;
+    banks.rowBytes = 16; // smaller than a line
+    EXPECT_EXIT(DramBankModel(DramConfig{}, banks),
+                ::testing::ExitedWithCode(1), "row size");
+}
+
+} // namespace
+} // namespace mnnfast::sim

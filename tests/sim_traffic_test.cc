@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the dataflow traffic generator, the CPU timing model, and
+ * the cache-contention simulator — the machinery behind paper Figs.
+ * 3, 4, 10, and 11. Sizes are scaled down for test speed; the
+ * *relationships* under test are size-independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/contention.hh"
+#include "sim/cpu_system.hh"
+#include "sim/traffic.hh"
+
+namespace mnnfast::sim {
+namespace {
+
+WorkloadParams
+testWorkload()
+{
+    WorkloadParams wp;
+    wp.ns = 16384;
+    wp.ed = 16;
+    wp.nq = 8;
+    wp.chunkSize = 256;
+    return wp;
+}
+
+CacheConfig
+testLlc()
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 256 << 10; // small LLC so intermediates spill
+    cfg.associativity = 16;
+    return cfg;
+}
+
+TEST(Traffic, BaselineHasThreePhases)
+{
+    const auto r =
+        simulateDataflow(Dataflow::Baseline, testWorkload(), testLlc());
+    ASSERT_EQ(r.phases.size(), 3u);
+    EXPECT_EQ(r.phases[0].name, "inner_product");
+    EXPECT_EQ(r.phases[1].name, "softmax");
+    EXPECT_EQ(r.phases[2].name, "weighted_sum");
+    EXPECT_GT(r.demandMisses(), 0u);
+    EXPECT_EQ(r.prefetchedLines(), 0u);
+}
+
+TEST(Traffic, ColumnSpillsFarLessThanBaseline)
+{
+    const auto wp = testWorkload();
+    const auto llc = testLlc();
+    const auto base = simulateDataflow(Dataflow::Baseline, wp, llc);
+    const auto col = simulateDataflow(Dataflow::Column, wp, llc);
+
+    // The column dataflow keeps intermediates chunk-resident: its
+    // demand misses must be far below the baseline's (Fig. 11).
+    EXPECT_LT(col.demandMisses() * 2, base.demandMisses());
+    // And they should be close to the compulsory M_IN + M_OUT lines.
+    const uint64_t compulsory = 2ull * wp.ns * wp.ed * 4 / 64;
+    EXPECT_LT(col.demandMisses(),
+              compulsory + compulsory / 5 + 1000);
+}
+
+TEST(Traffic, StreamingConvertsDemandToPrefetch)
+{
+    const auto wp = testWorkload();
+    const auto llc = testLlc();
+    const auto col = simulateDataflow(Dataflow::Column, wp, llc);
+    const auto str =
+        simulateDataflow(Dataflow::ColumnStreaming, wp, llc);
+
+    // Same total DRAM lines, but streaming moves them off the demand
+    // path.
+    EXPECT_NEAR(double(str.dramLines()), double(col.dramLines()),
+                double(col.dramLines()) * 0.05);
+    EXPECT_LT(str.demandMisses() * 5, col.demandMisses());
+    EXPECT_GT(str.prefetchedLines(), 0u);
+    for (const auto &p : str.phases)
+        EXPECT_TRUE(p.overlappable);
+}
+
+TEST(Traffic, ZeroSkipReducesWeightedSumTraffic)
+{
+    auto wp = testWorkload();
+    wp.zskipKeepFraction = 0.1;
+    const auto llc = testLlc();
+    const auto str =
+        simulateDataflow(Dataflow::ColumnStreaming, wp, llc);
+    const auto mnn = simulateDataflow(Dataflow::MnnFast, wp, llc);
+
+    // With nq questions, an M_OUT row is fetched when ANY question
+    // keeps it, so the traffic reduction is 1 - (1 - keep)^nq per
+    // row (~43% fewer rows at keep=0.1, nq=8); the compute reduction
+    // is the full per-question keep fraction.
+    const auto &str_wsum = str.phases[2];
+    const auto &mnn_wsum = mnn.phases[2];
+    EXPECT_LT(mnn_wsum.prefetchedLines + mnn_wsum.demandMisses,
+              (str_wsum.prefetchedLines + str_wsum.demandMisses) * 3
+                  / 4);
+    EXPECT_LT(mnn_wsum.flops, str_wsum.flops * 0.2);
+}
+
+TEST(Traffic, FlopsMatchAnalyticCounts)
+{
+    const auto wp = testWorkload();
+    const auto r =
+        simulateDataflow(Dataflow::Baseline, wp, testLlc());
+    const double expected_inner = 2.0 * wp.nq * wp.ns * wp.ed;
+    EXPECT_DOUBLE_EQ(r.phases[0].flops, expected_inner);
+    EXPECT_DOUBLE_EQ(r.phases[2].flops, expected_inner);
+}
+
+TEST(Traffic, ResultAccessorsSumPhases)
+{
+    const auto r =
+        simulateDataflow(Dataflow::Column, testWorkload(), testLlc());
+    uint64_t demand = 0, acc = 0;
+    for (const auto &p : r.phases) {
+        demand += p.demandMisses;
+        acc += p.accesses;
+    }
+    EXPECT_EQ(r.demandMisses(), demand);
+    EXPECT_EQ(r.accesses(), acc);
+    EXPECT_EQ(r.dramLines(), r.demandMisses() + r.prefetchedLines());
+}
+
+// ---------------------------------------------------------------
+// CPU timing model
+// ---------------------------------------------------------------
+
+CpuSystemConfig
+cpuConfig(size_t channels)
+{
+    CpuSystemConfig cfg;
+    cfg.dram.channels = channels;
+    return cfg;
+}
+
+TEST(CpuModel, SpeedupIsMonotonicInThreads)
+{
+    const auto traffic =
+        simulateDataflow(Dataflow::Baseline, testWorkload(), testLlc());
+    CpuSystemModel model(cpuConfig(4));
+    double prev = 0.0;
+    for (size_t t = 1; t <= 20; ++t) {
+        const double s = model.speedup(traffic, t);
+        EXPECT_GE(s, prev - 1e-9) << "threads " << t;
+        EXPECT_LE(s, double(t) + 1e-9) << "superlinear at " << t;
+        prev = s;
+    }
+}
+
+TEST(CpuModel, MoreChannelsSaturateLater)
+{
+    const auto traffic =
+        simulateDataflow(Dataflow::Baseline, testWorkload(), testLlc());
+    CpuSystemModel one(cpuConfig(1));
+    CpuSystemModel four(cpuConfig(4));
+    // At 20 threads the 4-channel system must be meaningfully more
+    // scalable (paper Fig. 3).
+    EXPECT_GT(four.speedup(traffic, 20),
+              one.speedup(traffic, 20) * 1.5);
+}
+
+TEST(CpuModel, StreamingScalesBetterThanBlocking)
+{
+    const auto wp = testWorkload();
+    const auto llc = testLlc();
+    const auto col = simulateDataflow(Dataflow::Column, wp, llc);
+    const auto str =
+        simulateDataflow(Dataflow::ColumnStreaming, wp, llc);
+    CpuSystemModel model(cpuConfig(4));
+
+    // Streaming must be at least as fast at every thread count
+    // (paper Fig. 10).
+    for (size_t t : {1ul, 4ul, 10ul, 20ul}) {
+        EXPECT_LE(model.executionCycles(str, t),
+                  model.executionCycles(col, t) * 1.001)
+            << "threads " << t;
+    }
+}
+
+TEST(CpuModel, ExecutionTimeDecreasesWithThreads)
+{
+    const auto traffic =
+        simulateDataflow(Dataflow::Column, testWorkload(), testLlc());
+    CpuSystemModel model(cpuConfig(4));
+    EXPECT_LT(model.executionCycles(traffic, 8),
+              model.executionCycles(traffic, 1));
+}
+
+TEST(CpuModel, InvalidConfigIsFatal)
+{
+    CpuSystemConfig cfg;
+    cfg.demandBandwidthEff = 0.0;
+    EXPECT_EXIT(CpuSystemModel m(cfg), ::testing::ExitedWithCode(1),
+                "efficiency");
+}
+
+// ---------------------------------------------------------------
+// Scale-out (paper Section 3.1)
+// ---------------------------------------------------------------
+
+TEST(ScaleOut, ColumnScalesNearLinearly)
+{
+    const auto wp = testWorkload();
+    const auto llc = testLlc();
+    CpuSystemModel model(cpuConfig(4));
+
+    const double one =
+        model.scaleOut(Dataflow::ColumnStreaming, wp, llc, 1, 8)
+            .cycles;
+    const double four =
+        model.scaleOut(Dataflow::ColumnStreaming, wp, llc, 4, 8)
+            .cycles;
+    const double speedup = one / four;
+    EXPECT_GT(speedup, 2.5);
+    EXPECT_LE(speedup, 4.0 + 1e-9);
+}
+
+TEST(ScaleOut, MergeTrafficIsEmbeddingDimensional)
+{
+    const auto wp = testWorkload();
+    CpuSystemModel model(cpuConfig(4));
+    const auto r =
+        model.scaleOut(Dataflow::Column, wp, testLlc(), 4, 8);
+    // 4 nodes x nq x (ed + 1) floats — independent of ns.
+    EXPECT_DOUBLE_EQ(r.mergeBytes,
+                     4.0 * double(wp.nq) * double(wp.ed + 1) * 4.0);
+    EXPECT_GT(r.mergeCycles, 0.0);
+}
+
+TEST(ScaleOut, SingleNodeHasNoMergeCost)
+{
+    const auto wp = testWorkload();
+    CpuSystemModel model(cpuConfig(4));
+    const auto r =
+        model.scaleOut(Dataflow::Column, wp, testLlc(), 1, 8);
+    EXPECT_DOUBLE_EQ(r.mergeCycles, 0.0);
+}
+
+TEST(ScaleOut, BaselineCannotScaleOut)
+{
+    const auto wp = testWorkload();
+    CpuSystemModel model(cpuConfig(4));
+    EXPECT_EXIT(model.scaleOut(Dataflow::Baseline, wp, testLlc(), 2, 8),
+                ::testing::ExitedWithCode(1), "cannot scale out");
+}
+
+TEST(ScaleOut, MoreNodesNeverSlower)
+{
+    const auto wp = testWorkload();
+    const auto llc = testLlc();
+    CpuSystemModel model(cpuConfig(4));
+    double prev = 1e300;
+    for (size_t nodes : {1ul, 2ul, 4ul, 8ul}) {
+        const double c =
+            model.scaleOut(Dataflow::ColumnStreaming, wp, llc, nodes, 8)
+                .cycles;
+        EXPECT_LE(c, prev * 1.001) << nodes << " nodes";
+        prev = c;
+    }
+}
+
+// ---------------------------------------------------------------
+// Cache contention (Fig. 4)
+// ---------------------------------------------------------------
+
+ContentionParams
+contentionBase()
+{
+    ContentionParams p;
+    p.llc.sizeBytes = 1 << 20;
+    p.llc.associativity = 16;
+    p.inferenceWorkingSet = 768 << 10; // fits alone, fragile shared
+    p.embeddingTableBytes = 64 << 20;
+    p.rounds = 6;
+    return p;
+}
+
+TEST(Contention, SlowdownIsAtLeastOne)
+{
+    auto p = contentionBase();
+    p.embeddingThreads = 2;
+    const auto r = simulateContention(p);
+    EXPECT_GE(r.slowdown, 1.0);
+    EXPECT_GT(r.inferenceHitRate, 0.0);
+    EXPECT_LE(r.inferenceHitRate, 1.0);
+}
+
+TEST(Contention, MoreEmbeddingThreadsMoreSlowdown)
+{
+    auto p = contentionBase();
+    p.embeddingThreads = 1;
+    const double s1 = simulateContention(p).slowdown;
+    p.embeddingThreads = 8;
+    const double s8 = simulateContention(p).slowdown;
+    EXPECT_GT(s8, s1);
+}
+
+TEST(Contention, BypassPollutesLess)
+{
+    auto p = contentionBase();
+    p.embeddingThreads = 4;
+    p.policy = EmbeddingPolicy::Shared;
+    const double shared = simulateContention(p).slowdown;
+    p.policy = EmbeddingPolicy::Bypass;
+    const double bypass = simulateContention(p).slowdown;
+    EXPECT_LT(bypass, shared);
+}
+
+TEST(Contention, DedicatedCacheFullyIsolates)
+{
+    auto p = contentionBase();
+    p.embeddingThreads = 8;
+    p.policy = EmbeddingPolicy::Dedicated;
+    const auto r = simulateContention(p);
+    EXPECT_NEAR(r.slowdown, 1.0, 1e-9);
+}
+
+TEST(Contention, LargerWorkingSetSuffersMore)
+{
+    // The paper's Fig. 4: bigger MemNN scales degrade more.
+    auto small = contentionBase();
+    small.inferenceWorkingSet = 256 << 10;
+    small.embeddingThreads = 4;
+    auto large = contentionBase();
+    large.inferenceWorkingSet = 896 << 10;
+    large.embeddingThreads = 4;
+    EXPECT_GE(simulateContention(large).slowdown,
+              simulateContention(small).slowdown * 0.95);
+}
+
+} // namespace
+} // namespace mnnfast::sim

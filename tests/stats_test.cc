@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for src/stats: counters, histograms, tables, CSV.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/counter.hh"
+#include "stats/csv.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace mnnfast::stats {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(5);
+    ++c;
+    c += 3;
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterGroup, CreatesOnFirstUse)
+{
+    CounterGroup g;
+    g["hits"].add(2);
+    g["misses"].add(1);
+    EXPECT_EQ(g.value("hits"), 2u);
+    EXPECT_EQ(g.value("misses"), 1u);
+    EXPECT_EQ(g.value("unknown"), 0u);
+}
+
+TEST(CounterGroup, ResetAllClearsEverything)
+{
+    CounterGroup g;
+    g["a"].add(7);
+    g["b"].add(9);
+    g.resetAll();
+    EXPECT_EQ(g.value("a"), 0u);
+    EXPECT_EQ(g.value("b"), 0u);
+}
+
+TEST(CounterGroup, IterationIsNameOrdered)
+{
+    CounterGroup g;
+    g["zeta"].add();
+    g["alpha"].add();
+    auto it = g.all().begin();
+    EXPECT_EQ(it->first, "alpha");
+}
+
+TEST(Histogram, BinsCoverRangeEvenly)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.bins(), 10u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLow(5), 5.0);
+}
+
+TEST(Histogram, SamplesLandInCorrectBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);  // bin 0
+    h.add(0.3);  // bin 1
+    h.add(0.55); // bin 2
+    h.add(0.99); // bin 3
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflowTracked)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.5);
+    h.add(1.0); // hi is exclusive
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, MeanIncludesAllSamples)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(2.0);
+    h.add(4.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, FractionBelowByBinEdges)
+{
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i * 0.1 + 0.05); // one sample per bin
+    EXPECT_NEAR(h.fractionBelow(0.5), 0.5, 1e-9);
+    EXPECT_NEAR(h.fractionBelow(1.0), 1.0, 1e-9);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.binCount(1), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ToStringRendersBars)
+{
+    Histogram h(0.0, 1.0, 2);
+    for (int i = 0; i < 8; ++i)
+        h.add(0.25);
+    h.add(0.75);
+    const std::string s = h.toString(8);
+    EXPECT_NE(s.find("########"), std::string::npos);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(uint64_t{42}), "42");
+}
+
+TEST(Table, RowArityMismatchIsFatal)
+{
+    Table t({"a", "b"});
+    EXPECT_EXIT(t.addRow({"only-one"}), ::testing::ExitedWithCode(1),
+                "cells");
+}
+
+TEST(Csv, WritesRowsAndEscapes)
+{
+    const std::string path = ::testing::TempDir() + "csv_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.writeRow({"a", "b,c", "d\"e"});
+        csv.writeRow({"1", "2", "3"});
+    }
+    std::ifstream in(path);
+    std::string line1, line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+    EXPECT_EQ(line2, "1,2,3");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mnnfast::stats

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the trainable end-to-end MemNN: finite-difference gradient
+ * verification, training convergence on the synthetic tasks, and the
+ * zero-skipping forward pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/babi.hh"
+#include "train/gradcheck.hh"
+#include "train/model.hh"
+#include "train/trainer.hh"
+
+namespace mnnfast::train {
+namespace {
+
+ModelConfig
+tinyConfig(size_t vocab, size_t hops)
+{
+    ModelConfig cfg;
+    cfg.vocabSize = vocab;
+    cfg.embeddingDim = 8;
+    cfg.hops = hops;
+    cfg.maxStory = 16;
+    return cfg;
+}
+
+TEST(ParamSet, AllocateShapesMatchConfig)
+{
+    ModelConfig cfg = tinyConfig(20, 2);
+    ParamSet p;
+    p.allocate(cfg);
+    EXPECT_EQ(p.b.size(), 20u * 8);
+    EXPECT_EQ(p.w.size(), 20u * 8);
+    ASSERT_EQ(p.a.size(), 2u);
+    EXPECT_EQ(p.a[0].size(), 20u * 8);
+    EXPECT_EQ(p.ta[0].size(), 16u * 8);
+}
+
+TEST(ParamSet, ZeroAndNormAndAddScaled)
+{
+    ModelConfig cfg = tinyConfig(5, 1);
+    ParamSet p, q;
+    p.allocate(cfg);
+    q.allocate(cfg);
+    p.b[0] = 3.f;
+    q.b[0] = 2.f;
+    EXPECT_DOUBLE_EQ(p.squaredNorm(), 9.0);
+    p.addScaled(q, -0.5f);
+    EXPECT_FLOAT_EQ(p.b[0], 2.f);
+    p.zero();
+    EXPECT_DOUBLE_EQ(p.squaredNorm(), 0.0);
+}
+
+TEST(MemNnModel, ForwardProducesFiniteLogits)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            1);
+    MemNnModel model(tinyConfig(vocab.size(), 1), 2);
+    const data::Example ex = gen.generate(6);
+    ForwardState state;
+    model.forward(ex, state);
+    EXPECT_EQ(state.logits.size(), vocab.size());
+    for (float v : state.logits)
+        ASSERT_TRUE(std::isfinite(v));
+    EXPECT_EQ(state.ns, 6u);
+}
+
+TEST(MemNnModel, AttentionIsANormalizedDistribution)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            2);
+    MemNnModel model(tinyConfig(vocab.size(), 2), 3);
+    const data::Example ex = gen.generate(8);
+    ForwardState state;
+    model.forward(ex, state);
+    for (size_t h = 0; h < 2; ++h) {
+        double total = 0.0;
+        for (float p : state.p[h]) {
+            ASSERT_GE(p, 0.f);
+            total += p;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-5);
+    }
+}
+
+TEST(MemNnModel, LossIsPositiveAndFinite)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::YesNo, vocab, 3);
+    MemNnModel model(tinyConfig(vocab.size(), 1), 4);
+    const data::Example ex = gen.generate(5);
+    ForwardState state;
+    model.forward(ex, state);
+    const double loss = model.loss(state, ex.answer);
+    EXPECT_GT(loss, 0.0);
+    EXPECT_TRUE(std::isfinite(loss));
+}
+
+class GradCheck : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(GradCheck, AnalyticMatchesNumeric)
+{
+    const size_t hops = GetParam();
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            5);
+    MemNnModel model(tinyConfig(vocab.size(), hops), 6);
+    const data::Example ex = gen.generate(5);
+
+    const GradCheckResult result =
+        checkGradients(model, ex, /*probes_per_tensor=*/12,
+                       /*epsilon=*/1e-3);
+    EXPECT_GT(result.probes, 0u);
+    EXPECT_LT(result.maxRelativeError, 2e-2)
+        << "gradient mismatch over " << result.probes << " probes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, GradCheck, ::testing::Values(1, 2, 3));
+
+TEST(GradCheckNoTemporal, AnalyticMatchesNumeric)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::Counting, vocab, 7);
+    ModelConfig cfg = tinyConfig(vocab.size(), 2);
+    cfg.temporal = false;
+    MemNnModel model(cfg, 8);
+    const data::Example ex = gen.generate(5);
+    const GradCheckResult result = checkGradients(model, ex, 10, 1e-3);
+    EXPECT_LT(result.maxRelativeError, 2e-2);
+}
+
+TEST(Trainer, LossDecreasesOverTraining)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            9);
+    const data::Dataset set = gen.generateSet(100, 6);
+
+    ModelConfig mc = tinyConfig(vocab.size(), 1);
+    mc.embeddingDim = 16;
+    MemNnModel model(mc, 10);
+
+    ForwardState state;
+    double initial_loss = 0.0;
+    for (const auto &ex : set.examples) {
+        model.forward(ex, state);
+        initial_loss += model.loss(state, ex.answer);
+    }
+    initial_loss /= set.size();
+
+    TrainConfig tc;
+    tc.epochs = 10;
+    tc.learningRate = 0.05f;
+    const TrainResult result = trainModel(model, set, tc);
+
+    EXPECT_LT(result.finalLoss, initial_loss * 0.8);
+    EXPECT_EQ(result.epochsRun, 10u);
+}
+
+TEST(Trainer, LearnsSingleSupportingFactTask)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            11);
+    const data::Dataset train_set = gen.generateSet(400, 6);
+    const data::Dataset test_set = gen.generateSet(100, 6);
+
+    ModelConfig mc = tinyConfig(vocab.size(), 2);
+    mc.embeddingDim = 20;
+    MemNnModel model(mc, 12);
+
+    TrainConfig tc;
+    tc.epochs = 25;
+    tc.learningRate = 0.03f;
+    trainModel(model, train_set, tc);
+
+    const double acc = evaluateAccuracy(model, test_set);
+    // Eight candidate locations -> chance is 12.5%. A trained model
+    // must do far better.
+    EXPECT_GT(acc, 0.6) << "test accuracy " << acc;
+}
+
+TEST(Trainer, ZeroThresholdSkipMatchesPlainForward)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::YesNo, vocab, 13);
+    MemNnModel model(tinyConfig(vocab.size(), 1), 14);
+    const data::Example ex = gen.generate(6);
+
+    ForwardState plain, skip;
+    model.forward(ex, plain);
+    uint64_t kept = 0, total = 0;
+    model.forwardSkip(ex, 0.f, skip, kept, total);
+    ASSERT_EQ(plain.logits.size(), skip.logits.size());
+    for (size_t i = 0; i < plain.logits.size(); ++i)
+        ASSERT_FLOAT_EQ(plain.logits[i], skip.logits[i]);
+    EXPECT_EQ(kept, total);
+}
+
+TEST(Trainer, SkippingReducesKeptRows)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            15);
+    const data::Dataset set = gen.generateSet(200, 10);
+
+    ModelConfig mc = tinyConfig(vocab.size(), 1);
+    mc.embeddingDim = 16;
+    MemNnModel model(mc, 16);
+    TrainConfig tc;
+    tc.epochs = 15;
+    tc.learningRate = 0.05f;
+    trainModel(model, set, tc);
+
+    uint64_t kept_low = 0, total_low = 0;
+    evaluateAccuracySkip(model, set, 0.01f, kept_low, total_low);
+    uint64_t kept_high = 0, total_high = 0;
+    evaluateAccuracySkip(model, set, 0.1f, kept_high, total_high);
+
+    EXPECT_EQ(total_low, total_high);
+    EXPECT_LE(kept_high, kept_low);
+    // A trained attention is sparse: the 0.1 threshold must skip a
+    // large majority of the rows (paper Fig. 7: ~97% reduction).
+    EXPECT_LT(double(kept_high) / double(total_high), 0.5);
+}
+
+TEST(Trainer, StoryLongerThanMaxStoryPanics)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::YesNo, vocab, 17);
+    ModelConfig cfg = tinyConfig(vocab.size(), 1);
+    cfg.maxStory = 4;
+    MemNnModel model(cfg, 18);
+    const data::Example ex = gen.generate(8);
+    ForwardState state;
+    EXPECT_DEATH(model.forward(ex, state), "maxStory");
+}
+
+TEST(Trainer, EmptyDatasetIsFatal)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::YesNo, vocab, 19);
+    MemNnModel model(tinyConfig(vocab.size(), 1), 20);
+    const data::Dataset empty;
+    TrainConfig tc;
+    EXPECT_EXIT(trainModel(model, empty, tc),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace
+} // namespace mnnfast::train
