@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dram_detail.dir/ablation_dram_detail.cc.o"
+  "CMakeFiles/ablation_dram_detail.dir/ablation_dram_detail.cc.o.d"
+  "ablation_dram_detail"
+  "ablation_dram_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_zskip.dir/ablation_gpu_zskip.cc.o"
+  "CMakeFiles/ablation_gpu_zskip.dir/ablation_gpu_zskip.cc.o.d"
+  "ablation_gpu_zskip"
+  "ablation_gpu_zskip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_zskip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_llc_isolation.dir/ablation_llc_isolation.cc.o"
+  "CMakeFiles/ablation_llc_isolation.dir/ablation_llc_isolation.cc.o.d"
+  "ablation_llc_isolation"
+  "ablation_llc_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_llc_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_membw_scalability.dir/fig03_membw_scalability.cc.o"
+  "CMakeFiles/fig03_membw_scalability.dir/fig03_membw_scalability.cc.o.d"
+  "fig03_membw_scalability"
+  "fig03_membw_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_membw_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

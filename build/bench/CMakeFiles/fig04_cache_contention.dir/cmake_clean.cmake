@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cache_contention.dir/fig04_cache_contention.cc.o"
+  "CMakeFiles/fig04_cache_contention.dir/fig04_cache_contention.cc.o.d"
+  "fig04_cache_contention"
+  "fig04_cache_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cache_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_probability_distribution.dir/fig06_probability_distribution.cc.o"
+  "CMakeFiles/fig06_probability_distribution.dir/fig06_probability_distribution.cc.o.d"
+  "fig06_probability_distribution"
+  "fig06_probability_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_probability_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

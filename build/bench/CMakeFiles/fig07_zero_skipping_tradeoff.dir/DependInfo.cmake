@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_zero_skipping_tradeoff.cc" "bench/CMakeFiles/fig07_zero_skipping_tradeoff.dir/fig07_zero_skipping_tradeoff.cc.o" "gcc" "bench/CMakeFiles/fig07_zero_skipping_tradeoff.dir/fig07_zero_skipping_tradeoff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_zero_skipping_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_offchip_accesses.dir/fig11_offchip_accesses.cc.o"
+  "CMakeFiles/fig11_offchip_accesses.dir/fig11_offchip_accesses.cc.o.d"
+  "fig11_offchip_accesses"
+  "fig11_offchip_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_offchip_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_energy_efficiency.dir/tab_energy_efficiency.cc.o"
+  "CMakeFiles/tab_energy_efficiency.dir/tab_energy_efficiency.cc.o.d"
+  "tab_energy_efficiency"
+  "tab_energy_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_retrieval.dir/kv_retrieval.cpp.o"
+  "CMakeFiles/kv_retrieval.dir/kv_retrieval.cpp.o.d"
+  "kv_retrieval"
+  "kv_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnnfast_cli.dir/mnnfast_cli.cpp.o"
+  "CMakeFiles/mnnfast_cli.dir/mnnfast_cli.cpp.o.d"
+  "mnnfast_cli"
+  "mnnfast_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnnfast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

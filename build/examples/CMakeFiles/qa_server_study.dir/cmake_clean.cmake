@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_server_study.dir/qa_server_study.cpp.o"
+  "CMakeFiles/qa_server_study.dir/qa_server_study.cpp.o.d"
+  "qa_server_study"
+  "qa_server_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_server_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

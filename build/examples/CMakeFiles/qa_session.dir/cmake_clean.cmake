@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_session.dir/qa_session.cpp.o"
+  "CMakeFiles/qa_session.dir/qa_session.cpp.o.d"
+  "qa_session"
+  "qa_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_blas.dir/blas/kernels.cc.o"
+  "CMakeFiles/mnn_blas.dir/blas/kernels.cc.o.d"
+  "libmnn_blas.a"
+  "libmnn_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

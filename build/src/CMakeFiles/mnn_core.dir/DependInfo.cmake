@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_engine.cc" "src/CMakeFiles/mnn_core.dir/core/baseline_engine.cc.o" "gcc" "src/CMakeFiles/mnn_core.dir/core/baseline_engine.cc.o.d"
+  "/root/repo/src/core/column_engine.cc" "src/CMakeFiles/mnn_core.dir/core/column_engine.cc.o" "gcc" "src/CMakeFiles/mnn_core.dir/core/column_engine.cc.o.d"
+  "/root/repo/src/core/embedder.cc" "src/CMakeFiles/mnn_core.dir/core/embedder.cc.o" "gcc" "src/CMakeFiles/mnn_core.dir/core/embedder.cc.o.d"
+  "/root/repo/src/core/embedding_table.cc" "src/CMakeFiles/mnn_core.dir/core/embedding_table.cc.o" "gcc" "src/CMakeFiles/mnn_core.dir/core/embedding_table.cc.o.d"
+  "/root/repo/src/core/knowledge_base.cc" "src/CMakeFiles/mnn_core.dir/core/knowledge_base.cc.o" "gcc" "src/CMakeFiles/mnn_core.dir/core/knowledge_base.cc.o.d"
+  "/root/repo/src/core/mnnfast.cc" "src/CMakeFiles/mnn_core.dir/core/mnnfast.cc.o" "gcc" "src/CMakeFiles/mnn_core.dir/core/mnnfast.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

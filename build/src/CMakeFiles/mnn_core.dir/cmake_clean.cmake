@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_core.dir/core/baseline_engine.cc.o"
+  "CMakeFiles/mnn_core.dir/core/baseline_engine.cc.o.d"
+  "CMakeFiles/mnn_core.dir/core/column_engine.cc.o"
+  "CMakeFiles/mnn_core.dir/core/column_engine.cc.o.d"
+  "CMakeFiles/mnn_core.dir/core/embedder.cc.o"
+  "CMakeFiles/mnn_core.dir/core/embedder.cc.o.d"
+  "CMakeFiles/mnn_core.dir/core/embedding_table.cc.o"
+  "CMakeFiles/mnn_core.dir/core/embedding_table.cc.o.d"
+  "CMakeFiles/mnn_core.dir/core/knowledge_base.cc.o"
+  "CMakeFiles/mnn_core.dir/core/knowledge_base.cc.o.d"
+  "CMakeFiles/mnn_core.dir/core/mnnfast.cc.o"
+  "CMakeFiles/mnn_core.dir/core/mnnfast.cc.o.d"
+  "libmnn_core.a"
+  "libmnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/babi.cc" "src/CMakeFiles/mnn_data.dir/data/babi.cc.o" "gcc" "src/CMakeFiles/mnn_data.dir/data/babi.cc.o.d"
+  "/root/repo/src/data/babi_text.cc" "src/CMakeFiles/mnn_data.dir/data/babi_text.cc.o" "gcc" "src/CMakeFiles/mnn_data.dir/data/babi_text.cc.o.d"
+  "/root/repo/src/data/bow.cc" "src/CMakeFiles/mnn_data.dir/data/bow.cc.o" "gcc" "src/CMakeFiles/mnn_data.dir/data/bow.cc.o.d"
+  "/root/repo/src/data/vocabulary.cc" "src/CMakeFiles/mnn_data.dir/data/vocabulary.cc.o" "gcc" "src/CMakeFiles/mnn_data.dir/data/vocabulary.cc.o.d"
+  "/root/repo/src/data/zipf.cc" "src/CMakeFiles/mnn_data.dir/data/zipf.cc.o" "gcc" "src/CMakeFiles/mnn_data.dir/data/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

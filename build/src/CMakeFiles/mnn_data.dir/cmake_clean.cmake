@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_data.dir/data/babi.cc.o"
+  "CMakeFiles/mnn_data.dir/data/babi.cc.o.d"
+  "CMakeFiles/mnn_data.dir/data/babi_text.cc.o"
+  "CMakeFiles/mnn_data.dir/data/babi_text.cc.o.d"
+  "CMakeFiles/mnn_data.dir/data/bow.cc.o"
+  "CMakeFiles/mnn_data.dir/data/bow.cc.o.d"
+  "CMakeFiles/mnn_data.dir/data/vocabulary.cc.o"
+  "CMakeFiles/mnn_data.dir/data/vocabulary.cc.o.d"
+  "CMakeFiles/mnn_data.dir/data/zipf.cc.o"
+  "CMakeFiles/mnn_data.dir/data/zipf.cc.o.d"
+  "libmnn_data.a"
+  "libmnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

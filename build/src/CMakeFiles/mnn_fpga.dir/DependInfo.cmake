@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/accelerator.cc" "src/CMakeFiles/mnn_fpga.dir/fpga/accelerator.cc.o" "gcc" "src/CMakeFiles/mnn_fpga.dir/fpga/accelerator.cc.o.d"
+  "/root/repo/src/fpga/ddr3_model.cc" "src/CMakeFiles/mnn_fpga.dir/fpga/ddr3_model.cc.o" "gcc" "src/CMakeFiles/mnn_fpga.dir/fpga/ddr3_model.cc.o.d"
+  "/root/repo/src/fpga/embedding_cache.cc" "src/CMakeFiles/mnn_fpga.dir/fpga/embedding_cache.cc.o" "gcc" "src/CMakeFiles/mnn_fpga.dir/fpga/embedding_cache.cc.o.d"
+  "/root/repo/src/fpga/energy_model.cc" "src/CMakeFiles/mnn_fpga.dir/fpga/energy_model.cc.o" "gcc" "src/CMakeFiles/mnn_fpga.dir/fpga/energy_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

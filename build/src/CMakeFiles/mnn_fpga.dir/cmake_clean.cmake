@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_fpga.dir/fpga/accelerator.cc.o"
+  "CMakeFiles/mnn_fpga.dir/fpga/accelerator.cc.o.d"
+  "CMakeFiles/mnn_fpga.dir/fpga/ddr3_model.cc.o"
+  "CMakeFiles/mnn_fpga.dir/fpga/ddr3_model.cc.o.d"
+  "CMakeFiles/mnn_fpga.dir/fpga/embedding_cache.cc.o"
+  "CMakeFiles/mnn_fpga.dir/fpga/embedding_cache.cc.o.d"
+  "CMakeFiles/mnn_fpga.dir/fpga/energy_model.cc.o"
+  "CMakeFiles/mnn_fpga.dir/fpga/energy_model.cc.o.d"
+  "libmnn_fpga.a"
+  "libmnn_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/mnn_fpga.dir/fpga/energy_model.cc.o: \
+ /root/repo/src/fpga/energy_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/fpga/energy_model.hh

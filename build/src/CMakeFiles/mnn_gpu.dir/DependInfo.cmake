@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/device_model.cc" "src/CMakeFiles/mnn_gpu.dir/gpu/device_model.cc.o" "gcc" "src/CMakeFiles/mnn_gpu.dir/gpu/device_model.cc.o.d"
+  "/root/repo/src/gpu/pcie_bus.cc" "src/CMakeFiles/mnn_gpu.dir/gpu/pcie_bus.cc.o" "gcc" "src/CMakeFiles/mnn_gpu.dir/gpu/pcie_bus.cc.o.d"
+  "/root/repo/src/gpu/stream_sim.cc" "src/CMakeFiles/mnn_gpu.dir/gpu/stream_sim.cc.o" "gcc" "src/CMakeFiles/mnn_gpu.dir/gpu/stream_sim.cc.o.d"
+  "/root/repo/src/gpu/zskip_model.cc" "src/CMakeFiles/mnn_gpu.dir/gpu/zskip_model.cc.o" "gcc" "src/CMakeFiles/mnn_gpu.dir/gpu/zskip_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_gpu.dir/gpu/device_model.cc.o"
+  "CMakeFiles/mnn_gpu.dir/gpu/device_model.cc.o.d"
+  "CMakeFiles/mnn_gpu.dir/gpu/pcie_bus.cc.o"
+  "CMakeFiles/mnn_gpu.dir/gpu/pcie_bus.cc.o.d"
+  "CMakeFiles/mnn_gpu.dir/gpu/stream_sim.cc.o"
+  "CMakeFiles/mnn_gpu.dir/gpu/stream_sim.cc.o.d"
+  "CMakeFiles/mnn_gpu.dir/gpu/zskip_model.cc.o"
+  "CMakeFiles/mnn_gpu.dir/gpu/zskip_model.cc.o.d"
+  "libmnn_gpu.a"
+  "libmnn_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

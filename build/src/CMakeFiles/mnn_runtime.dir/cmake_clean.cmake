@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_runtime.dir/runtime/parallel_for.cc.o"
+  "CMakeFiles/mnn_runtime.dir/runtime/parallel_for.cc.o.d"
+  "CMakeFiles/mnn_runtime.dir/runtime/thread_pool.cc.o"
+  "CMakeFiles/mnn_runtime.dir/runtime/thread_pool.cc.o.d"
+  "libmnn_runtime.a"
+  "libmnn_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/qa_server.cc" "src/CMakeFiles/mnn_serve.dir/serve/qa_server.cc.o" "gcc" "src/CMakeFiles/mnn_serve.dir/serve/qa_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_serve.dir/serve/qa_server.cc.o"
+  "CMakeFiles/mnn_serve.dir/serve/qa_server.cc.o.d"
+  "libmnn_serve.a"
+  "libmnn_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

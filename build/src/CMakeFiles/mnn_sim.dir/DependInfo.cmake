@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cc" "src/CMakeFiles/mnn_sim.dir/sim/cache_model.cc.o" "gcc" "src/CMakeFiles/mnn_sim.dir/sim/cache_model.cc.o.d"
+  "/root/repo/src/sim/contention.cc" "src/CMakeFiles/mnn_sim.dir/sim/contention.cc.o" "gcc" "src/CMakeFiles/mnn_sim.dir/sim/contention.cc.o.d"
+  "/root/repo/src/sim/cpu_system.cc" "src/CMakeFiles/mnn_sim.dir/sim/cpu_system.cc.o" "gcc" "src/CMakeFiles/mnn_sim.dir/sim/cpu_system.cc.o.d"
+  "/root/repo/src/sim/dram_bank_model.cc" "src/CMakeFiles/mnn_sim.dir/sim/dram_bank_model.cc.o" "gcc" "src/CMakeFiles/mnn_sim.dir/sim/dram_bank_model.cc.o.d"
+  "/root/repo/src/sim/dram_model.cc" "src/CMakeFiles/mnn_sim.dir/sim/dram_model.cc.o" "gcc" "src/CMakeFiles/mnn_sim.dir/sim/dram_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/mnn_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/mnn_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "src/CMakeFiles/mnn_sim.dir/sim/traffic.cc.o" "gcc" "src/CMakeFiles/mnn_sim.dir/sim/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

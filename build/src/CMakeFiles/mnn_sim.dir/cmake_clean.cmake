@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_sim.dir/sim/cache_model.cc.o"
+  "CMakeFiles/mnn_sim.dir/sim/cache_model.cc.o.d"
+  "CMakeFiles/mnn_sim.dir/sim/contention.cc.o"
+  "CMakeFiles/mnn_sim.dir/sim/contention.cc.o.d"
+  "CMakeFiles/mnn_sim.dir/sim/cpu_system.cc.o"
+  "CMakeFiles/mnn_sim.dir/sim/cpu_system.cc.o.d"
+  "CMakeFiles/mnn_sim.dir/sim/dram_bank_model.cc.o"
+  "CMakeFiles/mnn_sim.dir/sim/dram_bank_model.cc.o.d"
+  "CMakeFiles/mnn_sim.dir/sim/dram_model.cc.o"
+  "CMakeFiles/mnn_sim.dir/sim/dram_model.cc.o.d"
+  "CMakeFiles/mnn_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/mnn_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/mnn_sim.dir/sim/traffic.cc.o"
+  "CMakeFiles/mnn_sim.dir/sim/traffic.cc.o.d"
+  "libmnn_sim.a"
+  "libmnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_stats.dir/stats/csv.cc.o"
+  "CMakeFiles/mnn_stats.dir/stats/csv.cc.o.d"
+  "CMakeFiles/mnn_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/mnn_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/mnn_stats.dir/stats/table.cc.o"
+  "CMakeFiles/mnn_stats.dir/stats/table.cc.o.d"
+  "libmnn_stats.a"
+  "libmnn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

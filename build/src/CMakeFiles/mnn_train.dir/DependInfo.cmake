@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/gradcheck.cc" "src/CMakeFiles/mnn_train.dir/train/gradcheck.cc.o" "gcc" "src/CMakeFiles/mnn_train.dir/train/gradcheck.cc.o.d"
+  "/root/repo/src/train/model.cc" "src/CMakeFiles/mnn_train.dir/train/model.cc.o" "gcc" "src/CMakeFiles/mnn_train.dir/train/model.cc.o.d"
+  "/root/repo/src/train/serialize.cc" "src/CMakeFiles/mnn_train.dir/train/serialize.cc.o" "gcc" "src/CMakeFiles/mnn_train.dir/train/serialize.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/mnn_train.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/mnn_train.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

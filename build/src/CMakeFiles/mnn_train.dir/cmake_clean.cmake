@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_train.dir/train/gradcheck.cc.o"
+  "CMakeFiles/mnn_train.dir/train/gradcheck.cc.o.d"
+  "CMakeFiles/mnn_train.dir/train/model.cc.o"
+  "CMakeFiles/mnn_train.dir/train/model.cc.o.d"
+  "CMakeFiles/mnn_train.dir/train/serialize.cc.o"
+  "CMakeFiles/mnn_train.dir/train/serialize.cc.o.d"
+  "CMakeFiles/mnn_train.dir/train/trainer.cc.o"
+  "CMakeFiles/mnn_train.dir/train/trainer.cc.o.d"
+  "libmnn_train.a"
+  "libmnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

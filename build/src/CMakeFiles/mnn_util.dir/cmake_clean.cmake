@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnn_util.dir/util/logging.cc.o"
+  "CMakeFiles/mnn_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/mnn_util.dir/util/timer.cc.o"
+  "CMakeFiles/mnn_util.dir/util/timer.cc.o.d"
+  "libmnn_util.a"
+  "libmnn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/babi_text_test.cc" "tests/CMakeFiles/mnn_tests.dir/babi_text_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/babi_text_test.cc.o.d"
+  "/root/repo/tests/blas_test.cc" "tests/CMakeFiles/mnn_tests.dir/blas_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/blas_test.cc.o.d"
+  "/root/repo/tests/core_engine_test.cc" "tests/CMakeFiles/mnn_tests.dir/core_engine_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/core_engine_test.cc.o.d"
+  "/root/repo/tests/core_system_test.cc" "tests/CMakeFiles/mnn_tests.dir/core_system_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/core_system_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/mnn_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/mnn_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/fpga_test.cc" "tests/CMakeFiles/mnn_tests.dir/fpga_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/fpga_test.cc.o.d"
+  "/root/repo/tests/gpu_test.cc" "tests/CMakeFiles/mnn_tests.dir/gpu_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/gpu_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/mnn_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/mnn_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/mnn_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/serve_test.cc" "tests/CMakeFiles/mnn_tests.dir/serve_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/serve_test.cc.o.d"
+  "/root/repo/tests/sim_cache_test.cc" "tests/CMakeFiles/mnn_tests.dir/sim_cache_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/sim_cache_test.cc.o.d"
+  "/root/repo/tests/sim_event_dram_test.cc" "tests/CMakeFiles/mnn_tests.dir/sim_event_dram_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/sim_event_dram_test.cc.o.d"
+  "/root/repo/tests/sim_traffic_test.cc" "tests/CMakeFiles/mnn_tests.dir/sim_traffic_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/sim_traffic_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/mnn_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/train_test.cc" "tests/CMakeFiles/mnn_tests.dir/train_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/train_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/mnn_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/mnn_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
