@@ -4,10 +4,18 @@
  * engines are built on, and the engines themselves at small scale.
  * Not a paper figure — these guard against kernel-level regressions
  * that would invalidate the Fig. 9 measurements.
+ *
+ * Each dispatched kernel is benchmarked next to its scalar reference
+ * (the `*Scalar` variants call blas::scalar:: directly, which is the
+ * seed implementation verbatim), so one run quantifies the SIMD
+ * speedup per kernel. Results default to machine-readable JSON in
+ * ./BENCH_kernels.json; pass --benchmark_out=... to override.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "blas/kernels.hh"
@@ -39,7 +47,74 @@ BM_Dot(benchmark::State &state)
         benchmark::DoNotOptimize(blas::dot(x.data(), y.data(), n));
     state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_Dot)->Arg(48)->Arg(256)->Arg(4096);
+BENCHMARK(BM_Dot)->Arg(48)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_DotScalar(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    const auto x = randomVec(n, 1), y = randomVec(n, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            blas::scalar::dot(x.data(), y.data(), n));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DotScalar)->Arg(48)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_DotBatch(benchmark::State &state)
+{
+    const size_t rows = state.range(0), d = 1024;
+    const auto x = randomVec(d, 1);
+    const auto m = randomVec(rows * d, 2);
+    std::vector<float> out(rows);
+    for (auto _ : state) {
+        blas::dotBatch(x.data(), m.data(), rows, d, d, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows * d);
+}
+BENCHMARK(BM_DotBatch)->Arg(64)->Arg(1000);
+
+void
+BM_WeightedSumSkip(benchmark::State &state)
+{
+    // threshold chosen against uniform exp values so roughly the
+    // paper's skip regime (most rows dropped) is exercised.
+    const size_t rows = state.range(0), d = 1024;
+    const float threshold = state.range(1) != 0 ? 0.1f : 0.f;
+    auto e = randomVec(rows, 3);
+    for (float &v : e)
+        v = v * 0.5f + 0.5f; // positive exp-like weights
+    const auto m = randomVec(rows * d, 4);
+    std::vector<float> acc(d, 0.f);
+    for (auto _ : state) {
+        double s = 0.0;
+        uint64_t kept = 0, skipped = 0;
+        blas::weightedSumSkip(e.data(), m.data(), rows, d, d, threshold,
+                              s, acc.data(), kept, skipped);
+        benchmark::DoNotOptimize(acc.data());
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations() * rows * d);
+}
+BENCHMARK(BM_WeightedSumSkip)->Args({1000, 0})->Args({1000, 1});
+
+void
+BM_ExpInplace(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    const auto x = randomVec(n, 5);
+    std::vector<float> work(n);
+    for (auto _ : state) {
+        blas::copy(x.data(), work.data(), n);
+        blas::expInplace(work.data(), n);
+        benchmark::DoNotOptimize(work.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExpInplace)->Arg(1000)->Arg(100000);
 
 void
 BM_Axpy(benchmark::State &state)
@@ -84,6 +159,39 @@ BM_Gemm(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(512);
+
+// gemm with the embedding-sized inner dimension (d=1024): the shape
+// the trainer's projection layers stress.
+void
+BM_Gemm1024(benchmark::State &state)
+{
+    const size_t m = 64, k = 1024, n = 64;
+    const auto a = randomVec(m * k, 7);
+    const auto b = randomVec(k * n, 8);
+    std::vector<float> c(m * n);
+    for (auto _ : state) {
+        blas::gemm(a.data(), b.data(), c.data(), m, k, n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_Gemm1024);
+
+void
+BM_Gemm1024Scalar(benchmark::State &state)
+{
+    const size_t m = 64, k = 1024, n = 64;
+    const auto a = randomVec(m * k, 7);
+    const auto b = randomVec(k * n, 8);
+    std::vector<float> c(m * n);
+    for (auto _ : state) {
+        blas::scalar::gemm(a.data(), b.data(), c.data(), m, k, n,
+                           false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_Gemm1024Scalar);
 
 void
 BM_Softmax(benchmark::State &state)
@@ -175,4 +283,30 @@ BENCHMARK(BM_MnnFastEngine);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+ * ./BENCH_kernels.json (JSON format) so every run leaves a
+ * machine-readable record; explicit --benchmark_out wins.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--benchmark_out", 15) == 0)
+            has_out = true;
+    std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,43 +1,85 @@
+/**
+ * @file
+ * Kernel dispatch layer: binds the public blas:: entry points to the
+ * scalar reference (kernels_scalar.cc) or the AVX2+FMA backend
+ * (kernels_avx2.cc). The backend is chosen exactly once, at first use,
+ * from the host CPU features and the MNNFAST_NO_SIMD environment
+ * variable; composite kernels (gemv, softmax, ...) are built here on
+ * top of the dispatched primitives so both backends share one
+ * definition of the algorithm.
+ */
+
 #include "blas/kernels.hh"
 
-#include <algorithm>
-#include <cmath>
+#include <cstdlib>
 #include <cstring>
 
+#include "blas/kernels_detail.hh"
 #include "util/logging.hh"
 
 namespace mnnfast::blas {
 
+namespace {
+
+detail::KernelTable
+scalarTable()
+{
+    return {
+        "scalar",        scalar::dot,          scalar::axpy,
+        scalar::scal,    scalar::sum,          scalar::maxElement,
+        scalar::dotBatch, scalar::weightedSumSkip,
+        scalar::gemm,    scalar::expInplace,   scalar::expShiftInplace,
+    };
+}
+
+/**
+ * The active backend, resolved once (thread-safe static init).
+ * MNNFAST_NO_SIMD set to anything but "0" or "" pins the scalar path.
+ */
+const detail::KernelTable &
+active()
+{
+    static const detail::KernelTable table = [] {
+        if (const char *env = std::getenv("MNNFAST_NO_SIMD");
+            env && env[0] != '\0' && std::strcmp(env, "0") != 0)
+            return scalarTable();
+        if (const detail::KernelTable *avx2 = detail::avx2Kernels())
+            return *avx2;
+        return scalarTable();
+    }();
+    return table;
+}
+
+} // namespace
+
+bool
+simdActive()
+{
+    return std::strcmp(active().name, "scalar") != 0;
+}
+
+const char *
+kernelBackendName()
+{
+    return active().name;
+}
+
 float
 dot(const float *x, const float *y, size_t n)
 {
-    // Four independent accumulators let the compiler keep four vector
-    // FMA chains in flight instead of serializing on one register.
-    float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-    size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        acc0 += x[i + 0] * y[i + 0];
-        acc1 += x[i + 1] * y[i + 1];
-        acc2 += x[i + 2] * y[i + 2];
-        acc3 += x[i + 3] * y[i + 3];
-    }
-    for (; i < n; ++i)
-        acc0 += x[i] * y[i];
-    return (acc0 + acc1) + (acc2 + acc3);
+    return active().dot(x, y, n);
 }
 
 void
 axpy(float alpha, const float *x, float *y, size_t n)
 {
-    for (size_t i = 0; i < n; ++i)
-        y[i] += alpha * x[i];
+    active().axpy(alpha, x, y, n);
 }
 
 void
 scal(float alpha, float *x, size_t n)
 {
-    for (size_t i = 0; i < n; ++i)
-        x[i] *= alpha;
+    active().scal(alpha, x, n);
 }
 
 void
@@ -55,34 +97,40 @@ copy(const float *src, float *dst, size_t n)
 float
 sum(const float *x, size_t n)
 {
-    float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-    size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        acc0 += x[i + 0];
-        acc1 += x[i + 1];
-        acc2 += x[i + 2];
-        acc3 += x[i + 3];
-    }
-    for (; i < n; ++i)
-        acc0 += x[i];
-    return (acc0 + acc1) + (acc2 + acc3);
+    return active().sum(x, n);
 }
 
 float
 maxElement(const float *x, size_t n)
 {
     mnn_assert(n > 0, "maxElement of empty vector");
-    float m = x[0];
-    for (size_t i = 1; i < n; ++i)
-        m = std::max(m, x[i]);
-    return m;
+    return active().maxElement(x, n);
+}
+
+void
+dotBatch(const float *x, const float *rows, size_t count, size_t n,
+         size_t stride, float *out)
+{
+    mnn_assert(stride >= n, "dotBatch stride shorter than row length");
+    active().dotBatch(x, rows, count, n, stride, out);
+}
+
+void
+weightedSumSkip(const float *e, const float *rows, size_t count,
+                size_t n, size_t stride, float threshold,
+                double &running_sum, float *acc, uint64_t &kept,
+                uint64_t &skipped)
+{
+    mnn_assert(stride >= n,
+               "weightedSumSkip stride shorter than row length");
+    active().weightedSumSkip(e, rows, count, n, stride, threshold,
+                             running_sum, acc, kept, skipped);
 }
 
 void
 gemv(const float *a, size_t rows, size_t cols, const float *x, float *y)
 {
-    for (size_t r = 0; r < rows; ++r)
-        y[r] = dot(a + r * cols, x, cols);
+    active().dotBatch(x, a, rows, cols, cols, y);
 }
 
 void
@@ -90,67 +138,26 @@ gemvT(const float *a, size_t rows, size_t cols, const float *x, float *y)
 {
     zero(y, cols);
     for (size_t r = 0; r < rows; ++r)
-        axpy(x[r], a + r * cols, y, cols);
+        active().axpy(x[r], a + r * cols, y, cols);
 }
-
-namespace {
-
-// Blocked inner kernel: accumulate a (4 x n) strip of C from a
-// (4 x kc) strip of A and a (kc x n) panel of B.
-void
-gemmStrip4(const float *a, const float *b, float *c,
-           size_t kc, size_t n, size_t lda, size_t ldb, size_t ldc)
-{
-    for (size_t p = 0; p < kc; ++p) {
-        const float a0 = a[0 * lda + p];
-        const float a1 = a[1 * lda + p];
-        const float a2 = a[2 * lda + p];
-        const float a3 = a[3 * lda + p];
-        const float *brow = b + p * ldb;
-        for (size_t j = 0; j < n; ++j) {
-            const float bj = brow[j];
-            c[0 * ldc + j] += a0 * bj;
-            c[1 * ldc + j] += a1 * bj;
-            c[2 * ldc + j] += a2 * bj;
-            c[3 * ldc + j] += a3 * bj;
-        }
-    }
-}
-
-} // namespace
 
 void
 gemm(const float *a, const float *b, float *c,
      size_t m, size_t k, size_t n, bool accumulate)
 {
-    if (!accumulate) {
-        for (size_t r = 0; r < m; ++r)
-            zero(c + r * n, n);
-    }
-
-    // Panel size along k chosen so a B panel (kc x n) of a typical
-    // MemNN layer stays resident in L1/L2 while four C rows accumulate.
-    constexpr size_t kc_block = 256;
-
-    size_t r = 0;
-    for (; r + 4 <= m; r += 4) {
-        for (size_t p0 = 0; p0 < k; p0 += kc_block) {
-            const size_t kc = std::min(kc_block, k - p0);
-            gemmStrip4(a + r * k + p0, b + p0 * n, c + r * n,
-                       kc, n, k, n, n);
-        }
-    }
-    for (; r < m; ++r) {
-        for (size_t p = 0; p < k; ++p)
-            axpy(a[r * k + p], b + p * n, c + r * n, n);
-    }
+    active().gemm(a, b, c, m, k, n, accumulate);
 }
 
 void
 expInplace(float *x, size_t n)
 {
-    for (size_t i = 0; i < n; ++i)
-        x[i] = std::exp(x[i]);
+    active().expInplace(x, n);
+}
+
+void
+expShiftInplace(float *x, size_t n, float shift)
+{
+    active().expShiftInplace(x, n, shift);
 }
 
 void
@@ -159,8 +166,7 @@ softmax(float *x, size_t n)
     if (n == 0)
         return;
     const float m = maxElement(x, n);
-    for (size_t i = 0; i < n; ++i)
-        x[i] = std::exp(x[i] - m);
+    expShiftInplace(x, n, m);
     const float s = sum(x, n);
     scal(1.0f / s, x, n);
 }
@@ -170,7 +176,15 @@ softmaxRaw(float *x, size_t n)
 {
     if (n == 0)
         return;
-    expInplace(x, n);
+    // e^x overflows float above ~88.7; past that the raw quotient is
+    // inf/inf = NaN. Route large-logit inputs through the shifted
+    // path, which is the same quotient algebraically.
+    const float m = maxElement(x, n);
+    if (m > 80.0f) {
+        expShiftInplace(x, n, m);
+    } else {
+        expInplace(x, n);
+    }
     const float s = sum(x, n);
     scal(1.0f / s, x, n);
 }

@@ -8,15 +8,26 @@
  * column chunks) run on the *same* kernels — the measured differences
  * then come from dataflow, not from kernel quality differences.
  *
+ * Every primitive has two implementations: a portable scalar reference
+ * (namespace blas::scalar, always compiled) and an AVX2+FMA backend
+ * selected once at startup by runtime CPU-feature dispatch. Setting
+ * the environment variable MNNFAST_NO_SIMD=1 forces the scalar path,
+ * which makes debugging runs reproducible across hosts. See DESIGN.md
+ * ("Kernel architecture & dispatch") for the dispatch policy and the
+ * micro-kernel shapes.
+ *
  * Conventions: all matrices are row-major, dimensions are given as
  * (rows, cols), and vectors are contiguous float arrays. Kernels never
- * allocate; callers own all buffers.
+ * allocate, with one exception: gemm keeps a thread-local packing
+ * buffer for B panels (grows to kc x n floats and is reused across
+ * calls).
  */
 
 #ifndef MNNFAST_BLAS_KERNELS_HH
 #define MNNFAST_BLAS_KERNELS_HH
 
 #include <cstddef>
+#include <cstdint>
 
 namespace mnnfast::blas {
 
@@ -42,8 +53,43 @@ float sum(const float *x, size_t n);
 float maxElement(const float *x, size_t n);
 
 /**
+ * Batched dot products of one vector against a strip of matrix rows:
+ * out[r] = dot(x, rows + r * stride, n) for r in [0, count).
+ *
+ * This is the column engine's phase-1 kernel: the query vector x is
+ * loaded once per register block and reused across four memory rows,
+ * which roughly quarters the x-side load traffic compared with `count`
+ * independent dot() calls. Requires stride >= n.
+ */
+void dotBatch(const float *x, const float *rows, size_t count, size_t n,
+              size_t stride, float *out);
+
+/**
+ * Fused zero-skip weighted sum over a strip of rows (the column
+ * engine's phase-3 kernel):
+ *
+ *   for r in [0, count):
+ *       running_sum += e[r]
+ *       if threshold > 0 and e[r] < threshold * running_sum:
+ *           ++skipped                      // row never touched
+ *       else:
+ *           ++kept; acc += e[r] * rows[r]  // vectorized axpy
+ *
+ * Fusing the conservative skip test with the accumulation means a
+ * skipped row costs one compare — its M_OUT row is never read and acc
+ * is never written — which is what makes zero-skipping profitable on
+ * a bandwidth-bound machine. Requires stride >= n; acc has n elements.
+ * A threshold of 0 keeps every row (plain weighted sum).
+ */
+void weightedSumSkip(const float *e, const float *rows, size_t count,
+                     size_t n, size_t stride, float threshold,
+                     double &running_sum, float *acc, uint64_t &kept,
+                     uint64_t &skipped);
+
+/**
  * Matrix-vector product: y = A * x.
  * A is (rows x cols) row-major; x has cols elements; y has rows.
+ * Dispatches to dotBatch, so the x vector is reused across rows.
  */
 void gemv(const float *a, size_t rows, size_t cols,
           const float *x, float *y);
@@ -60,13 +106,22 @@ void gemvT(const float *a, size_t rows, size_t cols,
 /**
  * General matrix multiply: C = A * B (+ C if accumulate).
  * A is (m x k), B is (k x n), C is (m x n), all row-major.
- * Uses register blocking and k-panel loops; no allocation.
+ * The AVX2 backend packs B into 16-wide column panels and runs a
+ * register-tiled 4x16 FMA micro-kernel; the scalar backend uses the
+ * original 4-row strip blocking.
  */
 void gemm(const float *a, const float *b, float *c,
           size_t m, size_t k, size_t n, bool accumulate = false);
 
 /** Elementwise e^x over a length-n vector, in place. */
 void expInplace(float *x, size_t n);
+
+/**
+ * Elementwise shifted exponential, in place: x_i <- e^{x_i - shift}.
+ * The fused form of the max-subtracted softmax inner loop; the column
+ * engine's online-normalize path uses it with the running max.
+ */
+void expShiftInplace(float *x, size_t n, float shift);
 
 /**
  * Numerically-stable softmax over a length-n vector, in place:
@@ -78,12 +133,56 @@ void expInplace(float *x, size_t n);
 void softmax(float *x, size_t n);
 
 /**
- * Unstable "raw" softmax exactly as in the paper's Fig. 5 dataflow
- * (exp then divide by the plain sum, no max subtraction). Provided so
- * the column-based lazy softmax can be checked for *algebraic*
- * equivalence with the layer-at-a-time pipeline.
+ * "Raw" softmax exactly as in the paper's Fig. 5 dataflow (exp then
+ * divide by the plain sum, no max subtraction). Provided so the
+ * column-based lazy softmax can be checked for *algebraic* equivalence
+ * with the layer-at-a-time pipeline.
+ *
+ * Overflow guard: e^x overflows float above x ~ 88.7, turning the
+ * normalization into inf/inf = NaN. When max(x) exceeds a safe bound
+ * the computation is routed through the max-subtracted path, which is
+ * algebraically identical (the shift cancels in the quotient); below
+ * the bound the historical raw behaviour is bit-preserved.
  */
 void softmaxRaw(float *x, size_t n);
+
+/**
+ * True when the runtime-dispatched SIMD backend is active (the CPU
+ * supports AVX2+FMA and MNNFAST_NO_SIMD is not set).
+ */
+bool simdActive();
+
+/** Name of the active kernel backend: "avx2" or "scalar". */
+const char *kernelBackendName();
+
+/**
+ * Portable reference implementations. Always compiled; the public
+ * kernels above dispatch to either these or the SIMD backend. Exposed
+ * so property tests can compare the two paths directly and so callers
+ * can pin the reference path independently of the dispatch decision.
+ * zero/copy/gemv/gemvT/softmax have no SIMD-specific variant (they are
+ * memset/memcpy or compositions of dispatched primitives) and so have
+ * no entry here.
+ */
+namespace scalar {
+
+float dot(const float *x, const float *y, size_t n);
+void axpy(float alpha, const float *x, float *y, size_t n);
+void scal(float alpha, float *x, size_t n);
+float sum(const float *x, size_t n);
+float maxElement(const float *x, size_t n);
+void dotBatch(const float *x, const float *rows, size_t count, size_t n,
+              size_t stride, float *out);
+void weightedSumSkip(const float *e, const float *rows, size_t count,
+                     size_t n, size_t stride, float threshold,
+                     double &running_sum, float *acc, uint64_t &kept,
+                     uint64_t &skipped);
+void gemm(const float *a, const float *b, float *c,
+          size_t m, size_t k, size_t n, bool accumulate);
+void expInplace(float *x, size_t n);
+void expShiftInplace(float *x, size_t n, float shift);
+
+} // namespace scalar
 
 } // namespace mnnfast::blas
 

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Internal kernel-backend table shared between the dispatch layer
+ * (kernels.cc) and the SIMD translation units. Not installed; include
+ * only from src/blas.
+ */
+
+#ifndef MNNFAST_BLAS_KERNELS_DETAIL_HH
+#define MNNFAST_BLAS_KERNELS_DETAIL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mnnfast::blas::detail {
+
+/** One full set of kernel entry points (see kernels.hh for contracts). */
+struct KernelTable
+{
+    const char *name;
+    float (*dot)(const float *, const float *, size_t);
+    void (*axpy)(float, const float *, float *, size_t);
+    void (*scal)(float, float *, size_t);
+    float (*sum)(const float *, size_t);
+    float (*maxElement)(const float *, size_t);
+    void (*dotBatch)(const float *, const float *, size_t, size_t,
+                     size_t, float *);
+    void (*weightedSumSkip)(const float *, const float *, size_t, size_t,
+                            size_t, float, double &, float *, uint64_t &,
+                            uint64_t &);
+    void (*gemm)(const float *, const float *, float *, size_t, size_t,
+                 size_t, bool);
+    void (*expInplace)(float *, size_t);
+    void (*expShiftInplace)(float *, size_t, float);
+};
+
+/**
+ * The AVX2+FMA backend, or nullptr when the translation unit was built
+ * without AVX2 support or the host CPU lacks the features. Defined in
+ * kernels_avx2.cc (which is compiled with -mavx2 -mfma on x86-64 and
+ * degrades to a nullptr stub elsewhere).
+ */
+const KernelTable *avx2Kernels();
+
+} // namespace mnnfast::blas::detail
+
+#endif // MNNFAST_BLAS_KERNELS_DETAIL_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Portable scalar reference kernels (namespace blas::scalar).
+ *
+ * These are the seed implementations, kept verbatim as the dispatch
+ * fallback and as the ground truth the SIMD backend is property-tested
+ * against. Hand-unrolled four-wide so the compiler can keep multiple
+ * dependency chains in flight even without explicit vector code.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "blas/kernels.hh"
+#include "util/logging.hh"
+
+namespace mnnfast::blas::scalar {
+
+float
+dot(const float *x, const float *y, size_t n)
+{
+    // Four independent accumulators let the compiler keep four vector
+    // FMA chains in flight instead of serializing on one register.
+    float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc0 += x[i + 0] * y[i + 0];
+        acc1 += x[i + 1] * y[i + 1];
+        acc2 += x[i + 2] * y[i + 2];
+        acc3 += x[i + 3] * y[i + 3];
+    }
+    for (; i < n; ++i)
+        acc0 += x[i] * y[i];
+    return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void
+axpy(float alpha, const float *x, float *y, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+scal(float alpha, float *x, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] *= alpha;
+}
+
+float
+sum(const float *x, size_t n)
+{
+    float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc0 += x[i + 0];
+        acc1 += x[i + 1];
+        acc2 += x[i + 2];
+        acc3 += x[i + 3];
+    }
+    for (; i < n; ++i)
+        acc0 += x[i];
+    return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float
+maxElement(const float *x, size_t n)
+{
+    float m = x[0];
+    for (size_t i = 1; i < n; ++i)
+        m = std::max(m, x[i]);
+    return m;
+}
+
+void
+dotBatch(const float *x, const float *rows, size_t count, size_t n,
+         size_t stride, float *out)
+{
+    for (size_t r = 0; r < count; ++r)
+        out[r] = dot(x, rows + r * stride, n);
+}
+
+void
+weightedSumSkip(const float *e, const float *rows, size_t count,
+                size_t n, size_t stride, float threshold,
+                double &running_sum, float *acc, uint64_t &kept,
+                uint64_t &skipped)
+{
+    double s = running_sum;
+    for (size_t r = 0; r < count; ++r) {
+        const float ev = e[r];
+        s += ev;
+        if (threshold > 0.f && double(ev) < double(threshold) * s) {
+            ++skipped;
+            continue;
+        }
+        ++kept;
+        axpy(ev, rows + r * stride, acc, n);
+    }
+    running_sum = s;
+}
+
+namespace {
+
+// Blocked inner kernel: accumulate a (4 x n) strip of C from a
+// (4 x kc) strip of A and a (kc x n) panel of B.
+void
+gemmStrip4(const float *a, const float *b, float *c,
+           size_t kc, size_t n, size_t lda, size_t ldb, size_t ldc)
+{
+    for (size_t p = 0; p < kc; ++p) {
+        const float a0 = a[0 * lda + p];
+        const float a1 = a[1 * lda + p];
+        const float a2 = a[2 * lda + p];
+        const float a3 = a[3 * lda + p];
+        const float *brow = b + p * ldb;
+        for (size_t j = 0; j < n; ++j) {
+            const float bj = brow[j];
+            c[0 * ldc + j] += a0 * bj;
+            c[1 * ldc + j] += a1 * bj;
+            c[2 * ldc + j] += a2 * bj;
+            c[3 * ldc + j] += a3 * bj;
+        }
+    }
+}
+
+} // namespace
+
+void
+gemm(const float *a, const float *b, float *c,
+     size_t m, size_t k, size_t n, bool accumulate)
+{
+    if (!accumulate) {
+        for (size_t r = 0; r < m; ++r)
+            std::memset(c + r * n, 0, n * sizeof(float));
+    }
+
+    // Panel size along k chosen so a B panel (kc x n) of a typical
+    // MemNN layer stays resident in L1/L2 while four C rows accumulate.
+    constexpr size_t kc_block = 256;
+
+    size_t r = 0;
+    for (; r + 4 <= m; r += 4) {
+        for (size_t p0 = 0; p0 < k; p0 += kc_block) {
+            const size_t kc = std::min(kc_block, k - p0);
+            gemmStrip4(a + r * k + p0, b + p0 * n, c + r * n,
+                       kc, n, k, n, n);
+        }
+    }
+    for (; r < m; ++r) {
+        for (size_t p = 0; p < k; ++p)
+            axpy(a[r * k + p], b + p * n, c + r * n, n);
+    }
+}
+
+void
+expInplace(float *x, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = std::exp(x[i]);
+}
+
+void
+expShiftInplace(float *x, size_t n, float shift)
+{
+    for (size_t i = 0; i < n; ++i)
+        x[i] = std::exp(x[i] - shift);
+}
+
+} // namespace mnnfast::blas::scalar

@@ -1,5 +1,6 @@
 #include "core/baseline_engine.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "blas/kernels.hh"
@@ -7,6 +8,17 @@
 #include "util/logging.hh"
 
 namespace mnnfast::core {
+
+namespace {
+
+/**
+ * Rows per dynamically-claimed block in step 1. Small enough that the
+ * cursor balances work, large enough that the batched dot kernel and
+ * the atomic claim amortize.
+ */
+constexpr size_t kStep1Grain = 64;
+
+} // namespace
 
 BaselineEngine::BaselineEngine(const KnowledgeBase &kb,
                                const EngineConfig &cfg)
@@ -29,19 +41,22 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
 
     PhaseTimer timer;
 
-    // Step 1: inner product, parallelized lock-step across M_IN rows.
-    // Each worker reads its row range once and fills a column of T_IN
-    // per question.
+    // Step 1: inner product across M_IN rows. Each claimed row block
+    // is swept once per question with the batched dot kernel (the
+    // query row stays in registers across four M_IN rows), writing a
+    // contiguous T_IN span. Rows are claimed dynamically: every
+    // element is computed independently, so scheduling cannot change
+    // the result.
     timer.start();
     {
         const float *min = kb.minData();
-        runtime::parallelFor(pool, ns, [&](runtime::Range r) {
-            for (size_t i = r.begin; i < r.end; ++i) {
-                const float *row = min + i * ed;
+        runtime::parallelForDynamic(
+            pool, ns, kStep1Grain, [&](size_t, runtime::Range r) {
                 for (size_t q = 0; q < nq; ++q)
-                    tin[q * ns + i] = blas::dot(u + q * ed, row, ed);
-            }
-        });
+                    blas::dotBatch(u + q * ed, min + r.begin * ed,
+                                   r.size(), ed, ed,
+                                   tin.data() + q * ns + r.begin);
+            });
     }
     timer.stop();
     times.innerProduct += timer.seconds();
@@ -56,10 +71,12 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
         float *e_row = pexp.data() + q * ns;
         float *p_row = p.data() + q * ns;
 
-        // Phase 2-1: elementwise exponential into P_exp.
+        // Phase 2-1: elementwise exponential into P_exp (vectorized;
+        // elementwise, so dynamic scheduling is result-neutral).
         runtime::parallelFor(pool, ns, [&](runtime::Range r) {
-            for (size_t i = r.begin; i < r.end; ++i)
-                e_row[i] = std::exp(t_row[i]);
+            std::copy(t_row + r.begin, t_row + r.end,
+                      e_row + r.begin);
+            blas::expInplace(e_row + r.begin, r.size());
         });
         // Phase 2-2a: reduce.
         const float s = blas::sum(e_row, ns);
@@ -67,8 +84,9 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
         // the cost the lazy softmax moves to O(ed)).
         const float inv = 1.0f / s;
         runtime::parallelFor(pool, ns, [&](runtime::Range r) {
-            for (size_t i = r.begin; i < r.end; ++i)
-                p_row[i] = e_row[i] * inv;
+            std::copy(e_row + r.begin, e_row + r.end,
+                      p_row + r.begin);
+            blas::scal(inv, p_row + r.begin, r.size());
         });
         counterGroup["div_ops"].add(ns);
     }

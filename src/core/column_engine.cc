@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
 #include "blas/kernels.hh"
 #include "runtime/parallel_for.hh"
@@ -29,6 +28,18 @@ prefetchBytes(const float *ptr, size_t bytes)
         __builtin_prefetch(p + off, 0 /* read */, 3 /* high locality */);
 }
 
+/**
+ * Rows per strip when interleaving next-chunk prefetch with this
+ * chunk's compute: small enough that prefetch issue is paced across
+ * the chunk (hiding latency under the dot products, as in the paper's
+ * data streaming), large enough that the fused kernels still amortize
+ * their setup.
+ */
+constexpr size_t kStreamStrip = 16;
+
+/** Oversubscription factor for the automatic group count. */
+constexpr size_t kAutoGroupsPerWorker = 4;
+
 } // namespace
 
 ColumnEngine::ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg)
@@ -52,8 +63,8 @@ ColumnEngine::name() const
 
 void
 ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
-                            size_t row_end, Partial &out, uint64_t &kept,
-                            uint64_t &skipped) const
+                            size_t row_end, Partial &out, size_t worker,
+                            uint64_t &kept, uint64_t &skipped) const
 {
     const size_t ed = kb.dim();
     const size_t chunk = cfg.chunkSize;
@@ -70,25 +81,32 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         const size_t c1 = std::min(c0 + chunk, row_end);
         const size_t len = c1 - c0;
 
-        // Streaming: the next chunk's rows are prefetched row-by-row
-        // while this chunk computes, so the prefetch latency hides
-        // under the dot products instead of serializing in a burst.
+        // Streaming: the next chunk's rows are prefetched strip-by-
+        // strip while this chunk computes, so the prefetch latency
+        // hides under the dot products instead of serializing in a
+        // burst. next_len <= len always (a shorter chunk is the last).
         const size_t next_len =
             cfg.streaming && c1 < row_end
                 ? std::min(chunk, row_end - c1)
                 : 0;
 
-        // Phase 1: inner products for this chunk (all questions).
+        // Phase 1: inner products for this chunk (all questions),
+        // batched so each 8-wide load of u feeds four M_IN rows.
         phase_timer.reset();
         for (size_t q = 0; q < nq; ++q) {
             const float *uq = u + q * ed;
             float *tq = t.data() + q * chunk;
-            for (size_t i = 0; i < len; ++i) {
-                if (q == 0 && i < next_len) {
-                    prefetchBytes(min + (c1 + i) * ed,
-                                  ed * sizeof(float));
+            if (q == 0 && next_len > 0) {
+                for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
+                    const size_t s1 = std::min(s0 + kStreamStrip, len);
+                    for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                        prefetchBytes(min + (c1 + i) * ed,
+                                      ed * sizeof(float));
+                    blas::dotBatch(uq, min + (c0 + s0) * ed, s1 - s0,
+                                   ed, ed, tq + s0);
                 }
-                tq[i] = blas::dot(uq, min + (c0 + i) * ed, ed);
+            } else {
+                blas::dotBatch(uq, min + c0 * ed, len, ed, ed, tq);
             }
         }
 
@@ -101,9 +119,8 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         for (size_t q = 0; q < nq; ++q) {
             float *tq = t.data() + q * chunk;
             if (online) {
-                float m = out.runmax[q];
-                for (size_t i = 0; i < len; ++i)
-                    m = std::max(m, tq[i]);
+                const float m =
+                    std::max(out.runmax[q], blas::maxElement(tq, len));
                 if (m > out.runmax[q]) {
                     const float rescale =
                         std::exp(out.runmax[q] - m);
@@ -111,41 +128,43 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
                     blas::scal(rescale, out.o.data() + q * ed, ed);
                     out.runmax[q] = m;
                 }
-                for (size_t i = 0; i < len; ++i)
-                    tq[i] = std::exp(tq[i] - m);
+                blas::expShiftInplace(tq, len, m);
             } else {
-                for (size_t i = 0; i < len; ++i)
-                    tq[i] = std::exp(tq[i]);
+                blas::expInplace(tq, len);
             }
         }
 
         out.tSoftmax += phase_timer.seconds();
 
-        // Phase 3: weighted sum with optional zero-skipping. The sum
-        // is accumulated first so the skip test e < th * S_running is
-        // conservative (see header).
+        // Phase 3: fused weighted sum with optional zero-skipping.
+        // The kernel accumulates the running sum before each skip test
+        // so the test e < th * S_running is conservative (see header);
+        // skipped rows never read M_OUT or write the accumulator.
         phase_timer.reset();
         for (size_t q = 0; q < nq; ++q) {
             float *tq = t.data() + q * chunk;
             float *oq = out.o.data() + q * ed;
             double s = out.psum[q];
-            for (size_t i = 0; i < len; ++i) {
-                if (q == 0 && i < next_len) {
-                    prefetchBytes(mout + (c1 + i) * ed,
-                                  ed * sizeof(float));
+            if (q == 0 && next_len > 0) {
+                for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
+                    const size_t s1 = std::min(s0 + kStreamStrip, len);
+                    for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                        prefetchBytes(mout + (c1 + i) * ed,
+                                      ed * sizeof(float));
+                    blas::weightedSumSkip(tq + s0, mout + (c0 + s0) * ed,
+                                          s1 - s0, ed, ed, th, s, oq,
+                                          kept, skipped);
                 }
-                const float e = tq[i];
-                s += e;
-                if (th > 0.f && double(e) < double(th) * s) {
-                    ++skipped;
-                    continue;
-                }
-                ++kept;
-                blas::axpy(e, mout + (c0 + i) * ed, oq, ed);
+            } else {
+                blas::weightedSumSkip(tq, mout + c0 * ed, len, ed, ed,
+                                      th, s, oq, kept, skipped);
             }
             out.psum[q] = s;
         }
         out.tWsum += phase_timer.seconds();
+
+        if (cfg.chunkObserver)
+            cfg.chunkObserver(worker, c0 / chunk);
     }
 }
 
@@ -160,9 +179,20 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
     counterGroup["intermediate_bytes"].add(
         nq * std::min(cfg.chunkSize, ns) * sizeof(float));
 
-    // One partial-result slot per worker span; inline mode uses one.
-    const size_t parts = std::max<size_t>(1, pool.threadCount());
-    std::vector<Partial> partials(parts);
+    const size_t workers = std::max<size_t>(1, pool.threadCount());
+    const size_t n_chunks = (ns + cfg.chunkSize - 1) / cfg.chunkSize;
+
+    // Fixed group decomposition: a pure function of the chunk count
+    // and configuration, shared by both scheduling policies, so the
+    // schedule can never change the merged result (see header).
+    const size_t want_groups =
+        cfg.scheduleGroups > 0
+            ? cfg.scheduleGroups
+            : (workers > 1 ? workers * kAutoGroupsPerWorker : 1);
+    const auto groups =
+        runtime::splitRange(n_chunks, std::min(n_chunks, want_groups));
+
+    std::vector<Partial> partials(groups.size());
     for (Partial &p : partials) {
         p.o.assign(nq * ed, 0.f);
         p.psum.assign(nq, 0.0);
@@ -170,31 +200,42 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
     }
 
     Timer timer;
-    uint64_t kept_total = 0, skipped_total = 0;
-    std::mutex merge_mutex;
+    // Per-worker slots, indexed by the unique worker/part id, so the
+    // hot path needs no merge lock.
+    std::vector<uint64_t> kept_w(workers, 0), skipped_w(workers, 0);
 
-    // Align worker spans to chunk boundaries so each chunk is owned by
-    // exactly one worker.
-    const size_t n_chunks = (ns + cfg.chunkSize - 1) / cfg.chunkSize;
-    const auto chunk_ranges = runtime::splitRange(n_chunks, parts);
+    auto runGroup = [&](size_t worker, size_t g) {
+        const runtime::Range cr = groups[g];
+        processChunks(u, nq, cr.begin * cfg.chunkSize,
+                      std::min(ns, cr.end * cfg.chunkSize), partials[g],
+                      worker, kept_w[worker], skipped_w[worker]);
+    };
 
-    for (size_t part = 0; part < chunk_ranges.size(); ++part) {
-        const auto cr = chunk_ranges[part];
-        Partial *slot = &partials[part];
-        pool.submit([&, cr, slot] {
-            uint64_t kept = 0, skipped = 0;
-            processChunks(u, nq, cr.begin * cfg.chunkSize,
-                          std::min(ns, cr.end * cfg.chunkSize), *slot,
-                          kept, skipped);
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            kept_total += kept;
-            skipped_total += skipped;
-        });
+    if (cfg.schedule == Schedule::Dynamic) {
+        runtime::parallelForDynamic(
+            pool, groups.size(), 1,
+            [&](size_t worker, runtime::Range r) {
+                for (size_t g = r.begin; g < r.end; ++g)
+                    runGroup(worker, g);
+            });
+    } else {
+        runtime::parallelForParts(
+            pool, groups.size(), workers,
+            [&](size_t part, runtime::Range r) {
+                for (size_t g = r.begin; g < r.end; ++g)
+                    runGroup(part, g);
+            });
     }
-    pool.waitIdle();
 
-    // Merge partials and apply the lazy softmax division: O(ed)
-    // divisions per question instead of O(ns).
+    uint64_t kept_total = 0, skipped_total = 0;
+    for (size_t w = 0; w < workers; ++w) {
+        kept_total += kept_w[w];
+        skipped_total += skipped_w[w];
+    }
+
+    // Merge partials in group order (deterministic; see header) and
+    // apply the lazy softmax division: O(ed) divisions per question
+    // instead of O(ns).
     if (cfg.onlineNormalize) {
         for (size_t q = 0; q < nq; ++q) {
             float gmax = -std::numeric_limits<float>::infinity();
@@ -223,7 +264,7 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
         }
     }
 
-    // Attribute phase times. With workers, per-thread phase seconds
+    // Attribute phase times. With workers, per-group phase seconds
     // overlap in wall-clock; dividing by the worker count gives the
     // effective contribution (exact in the inline/1-thread case used
     // for the Fig. 9a breakdown).
@@ -233,7 +274,7 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
         t_soft += p.tSoftmax;
         t_wsum += p.tWsum;
     }
-    const double denom = static_cast<double>(parts);
+    const double denom = static_cast<double>(workers);
     times.innerProduct += t_inner / denom;
     times.softmax += t_soft / denom;
     times.weightedSum += t_wsum / denom;

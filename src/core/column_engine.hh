@@ -10,6 +10,21 @@
  * from O(ns) to O(chunkSize) and every chunk's M_IN/M_OUT rows are
  * touched exactly once while hot.
  *
+ * The three phases run on the fused BLAS kernels: dotBatch (one query
+ * row against a strip of M_IN rows, amortizing the query load),
+ * expInplace/expShiftInplace (vectorized exponential), and
+ * weightedSumSkip (skip test + axpy fused, so a skipped row never
+ * touches M_OUT).
+ *
+ * Parallel execution decomposes the chunks into a fixed sequence of
+ * contiguous chunk *groups* (cfg.scheduleGroups; default 4x workers).
+ * Each group accumulates into its own partial slot and the slots are
+ * merged in group order, so results are bit-identical whichever worker
+ * ran a group and whenever it ran — the Static/Dynamic scheduling
+ * policy (cfg.schedule) affects wall-clock only. Dynamic scheduling
+ * pulls groups off a shared cursor, which keeps all workers busy when
+ * zero-skipping makes per-chunk cost data-dependent.
+ *
  * Options on top of the plain column dataflow:
  *  - streaming:     software-prefetch the next chunk while computing
  *                   the current one (the paper's data streaming).
@@ -43,7 +58,7 @@ class ColumnEngine : public InferenceEngine
     /**
      * @param kb  Knowledge base; must outlive the engine.
      * @param cfg Engine tunables (chunk size, streaming, skipping,
-     *            threads, online normalization).
+     *            threads, scheduling, online normalization).
      */
     ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg);
 
@@ -55,7 +70,7 @@ class ColumnEngine : public InferenceEngine
     size_t chunkSize() const { return cfg.chunkSize; }
 
   private:
-    /** Per-worker accumulation state for a span of chunks. */
+    /** Per-group accumulation state for a span of chunks. */
     struct Partial
     {
         std::vector<float> o;      ///< nq x ed weighted-sum accumulator
@@ -67,8 +82,8 @@ class ColumnEngine : public InferenceEngine
     };
 
     void processChunks(const float *u, size_t nq, size_t row_begin,
-                       size_t row_end, Partial &out, uint64_t &kept,
-                       uint64_t &skipped) const;
+                       size_t row_end, Partial &out, size_t worker,
+                       uint64_t &kept, uint64_t &skipped) const;
 
     const KnowledgeBase &kb;
     EngineConfig cfg;

@@ -7,6 +7,7 @@
 #define MNNFAST_CORE_CONFIG_HH
 
 #include <cstddef>
+#include <functional>
 
 namespace mnnfast::core {
 
@@ -25,6 +26,27 @@ enum class EngineKind {
 /** Human-readable engine name. */
 const char *engineKindName(EngineKind kind);
 
+/**
+ * How chunk groups are handed to pool workers.
+ *
+ * The column engine always decomposes its chunks into the *same* fixed
+ * sequence of contiguous groups (a pure function of the chunk count,
+ * worker count, and scheduleGroups) and merges group results in group
+ * order — so the schedule decides only *which worker runs which group
+ * when*, never the floating-point result. Static and Dynamic produce
+ * bit-identical outputs.
+ */
+enum class Schedule {
+    /** Pre-assign contiguous spans of groups, one span per worker. */
+    Static,
+    /**
+     * Workers claim the next group from a shared atomic cursor.
+     * Self-balancing when zero-skipping makes per-chunk cost
+     * data-dependent; the default.
+     */
+    Dynamic,
+};
+
 /** Tunables of a single inference engine instance. */
 struct EngineConfig
 {
@@ -40,8 +62,8 @@ struct EngineConfig
     /**
      * Number of worker threads (0 = run inline on the caller).
      * Column engines parallelize across chunks; the baseline engine
-     * parallelizes each layer step across rows, lock-step, as in the
-     * paper's PThread implementation.
+     * parallelizes each layer step across rows, as in the paper's
+     * PThread implementation.
      */
     size_t threads = 0;
     /**
@@ -53,6 +75,24 @@ struct EngineConfig
      * logits. Off by default for paper fidelity.
      */
     bool onlineNormalize = false;
+    /** Chunk-group scheduling policy (column engine). */
+    Schedule schedule = Schedule::Dynamic;
+    /**
+     * Number of chunk groups the column engine decomposes the KB into
+     * (clamped to the chunk count). 0 = auto: 4x the worker count, so
+     * dynamic scheduling has slack to rebalance while per-group merge
+     * state stays small. Must be equal between two runs for their
+     * outputs to be bit-identical.
+     */
+    size_t scheduleGroups = 0;
+    /**
+     * Optional instrumentation hook, invoked from worker threads once
+     * per processed chunk with the executing worker slot (unique among
+     * concurrent workers) and the global chunk index. Used by tests to
+     * observe scheduling behaviour and by callers that want progress
+     * reporting; must be thread-safe. Leave empty to disable.
+     */
+    std::function<void(size_t worker, size_t chunk)> chunkObserver;
 };
 
 } // namespace mnnfast::core

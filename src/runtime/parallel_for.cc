@@ -1,6 +1,8 @@
 #include "runtime/parallel_for.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "util/logging.hh"
 
@@ -26,23 +28,53 @@ splitRange(size_t n, size_t parts)
 }
 
 void
-parallelFor(ThreadPool &pool, size_t n,
-            const std::function<void(Range)> &body)
+parallelFor(ThreadPool &pool, size_t n, std::function<void(Range)> body)
 {
     const size_t parts = std::max<size_t>(1, pool.threadCount());
+    // Tasks share one owned copy of the body: safe if the caller's
+    // callable was a temporary, without a per-task std::function copy.
+    auto fn = std::make_shared<const std::function<void(Range)>>(
+        std::move(body));
     for (const Range &r : splitRange(n, parts))
-        pool.submit([&body, r] { body(r); });
+        pool.submit([fn, r] { (*fn)(r); });
     pool.waitIdle();
 }
 
 void
 parallelForParts(ThreadPool &pool, size_t n, size_t parts,
-                 const std::function<void(size_t, Range)> &body)
+                 std::function<void(size_t, Range)> body)
 {
+    auto fn = std::make_shared<const std::function<void(size_t, Range)>>(
+        std::move(body));
     const auto ranges = splitRange(n, parts);
     for (size_t i = 0; i < ranges.size(); ++i) {
         const Range r = ranges[i];
-        pool.submit([&body, i, r] { body(i, r); });
+        pool.submit([fn, i, r] { (*fn)(i, r); });
+    }
+    pool.waitIdle();
+}
+
+void
+parallelForDynamic(ThreadPool &pool, size_t n, size_t grain,
+                   std::function<void(size_t, Range)> body)
+{
+    if (n == 0)
+        return;
+    grain = std::max<size_t>(1, grain);
+    const size_t workers = std::max<size_t>(1, pool.threadCount());
+    auto fn = std::make_shared<const std::function<void(size_t, Range)>>(
+        std::move(body));
+    auto cursor = std::make_shared<std::atomic<size_t>>(0);
+    for (size_t w = 0; w < workers; ++w) {
+        pool.submit([fn, cursor, n, grain, w] {
+            for (;;) {
+                const size_t begin = cursor->fetch_add(
+                    grain, std::memory_order_relaxed);
+                if (begin >= n)
+                    return;
+                (*fn)(w, Range{begin, std::min(n, begin + grain)});
+            }
+        });
     }
     pool.waitIdle();
 }

@@ -1,6 +1,21 @@
 /**
  * @file
  * Fork-join data-parallel loops over index ranges, built on ThreadPool.
+ *
+ * Two scheduling disciplines are provided:
+ *
+ *  - static (parallelFor / parallelForParts): the range is partitioned
+ *    up front and each partition is one task. Lowest overhead; right
+ *    when per-item cost is uniform.
+ *  - dynamic (parallelForDynamic): one task per worker, all pulling
+ *    grain-sized blocks off a shared atomic cursor. Right when
+ *    per-item cost is data-dependent (e.g. zero-skipping makes chunk
+ *    cost unpredictable) — a worker that lands on cheap items simply
+ *    claims more of them instead of idling at the join point.
+ *
+ * All loops copy the body into the submitted tasks (shared, not
+ * per-task, via shared_ptr), so passing a temporary callable is safe
+ * even though the tasks outlive the caller's full-expression.
  */
 
 #ifndef MNNFAST_RUNTIME_PARALLEL_FOR_HH
@@ -37,7 +52,7 @@ std::vector<Range> splitRange(size_t n, size_t parts);
  * range in inline mode).
  */
 void parallelFor(ThreadPool &pool, size_t n,
-                 const std::function<void(Range)> &body);
+                 std::function<void(Range)> body);
 
 /**
  * Run body(part_index, range) over exactly `parts` partitions of
@@ -45,7 +60,24 @@ void parallelFor(ThreadPool &pool, size_t n,
  * fixed chunk decomposition (e.g., one partial result slot per chunk).
  */
 void parallelForParts(ThreadPool &pool, size_t n, size_t parts,
-                      const std::function<void(size_t, Range)> &body);
+                      std::function<void(size_t, Range)> body);
+
+/**
+ * Dynamically self-scheduled loop: spawns one task per pool worker
+ * (a single inline task in 0-thread mode); each task repeatedly claims
+ * the next `grain`-sized block of [0, n) from a shared atomic cursor
+ * and calls body(worker, block) until the range is exhausted.
+ *
+ * `worker` is the task's index in [0, workerCount) — unique per
+ * concurrent executor, so it can index per-worker accumulator slots
+ * without locking. Blocks are claimed in ascending order but may be
+ * *executed* in any interleaving; bodies that reduce must either use
+ * per-worker slots or handle their own synchronization.
+ *
+ * A grain of 0 is treated as 1. Returns after all blocks completed.
+ */
+void parallelForDynamic(ThreadPool &pool, size_t n, size_t grain,
+                        std::function<void(size_t, Range)> body);
 
 } // namespace mnnfast::runtime
 

@@ -32,11 +32,19 @@ ThreadPool::submit(std::function<void()> task)
         task();
         return;
     }
+    bool wake;
     {
         std::unique_lock<std::mutex> lock(mutex);
         queue.push_back(std::move(task));
+        // Only signal when someone is actually parked in cv_task.
+        // Busy workers re-check the queue under the lock after each
+        // task, so skipping the notify cannot strand work, and the
+        // common fork-join burst (every worker busy) submits without
+        // any futex syscall.
+        wake = idleWaiters > 0;
     }
-    cv_task.notify_one();
+    if (wake)
+        cv_task.notify_one();
 }
 
 void
@@ -55,8 +63,10 @@ ThreadPool::workerLoop()
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex);
+            ++idleWaiters;
             cv_task.wait(lock,
                          [this] { return stopping || !queue.empty(); });
+            --idleWaiters;
             if (queue.empty()) {
                 // stopping && empty: exit.
                 return;

@@ -60,6 +60,7 @@ class ThreadPool
     std::condition_variable cv_task;
     std::condition_variable cv_idle;
     size_t active = 0;
+    size_t idleWaiters = 0; ///< workers parked in cv_task (under mutex)
     bool stopping = false;
 };
 

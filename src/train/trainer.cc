@@ -1,8 +1,22 @@
 #include "train/trainer.hh"
 
+#include <atomic>
+
+#include "runtime/parallel_for.hh"
 #include "util/logging.hh"
 
 namespace mnnfast::train {
+
+namespace {
+
+/**
+ * Examples per dynamically-claimed block during parallel evaluation:
+ * a handful, so slow stories don't serialize the tail, while the
+ * atomic claim stays off the per-example path.
+ */
+constexpr size_t kEvalGrain = 4;
+
+} // namespace
 
 TrainResult
 trainModel(MemNnModel &model, const data::Dataset &train_set,
@@ -56,6 +70,33 @@ evaluateAccuracy(const MemNnModel &model, const data::Dataset &test_set)
             ++correct;
     }
     return static_cast<double>(correct)
+         / static_cast<double>(test_set.size());
+}
+
+double
+evaluateAccuracy(const MemNnModel &model, const data::Dataset &test_set,
+                 runtime::ThreadPool &pool)
+{
+    if (test_set.size() == 0)
+        return 0.0;
+    // A correct-count is order-independent, so dynamic scheduling
+    // cannot change the result; the per-range ForwardState amortizes
+    // its allocations over the claimed examples.
+    std::atomic<size_t> correct{0};
+    runtime::parallelForDynamic(
+        pool, test_set.size(), kEvalGrain,
+        [&](size_t, runtime::Range r) {
+            ForwardState state;
+            size_t hits = 0;
+            for (size_t i = r.begin; i < r.end; ++i) {
+                const data::Example &ex = test_set.examples[i];
+                model.forward(ex, state);
+                if (model.predict(state) == ex.answer)
+                    ++hits;
+            }
+            correct.fetch_add(hits, std::memory_order_relaxed);
+        });
+    return static_cast<double>(correct.load())
          / static_cast<double>(test_set.size());
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "data/babi.hh"
+#include "runtime/thread_pool.hh"
 #include "train/model.hh"
 
 namespace mnnfast::train {
@@ -44,6 +45,17 @@ TrainResult trainModel(MemNnModel &model, const data::Dataset &train_set,
 /** Fraction of examples whose arg-max prediction equals the answer. */
 double evaluateAccuracy(const MemNnModel &model,
                         const data::Dataset &test_set);
+
+/**
+ * Parallel evaluateAccuracy: examples are claimed dynamically off a
+ * shared cursor (stories vary widely in sentence count, so static
+ * spans leave workers idle at the join). Each worker runs its own
+ * ForwardState; forward() is const so the model is shared read-only.
+ * Returns exactly the same value as the sequential overload.
+ */
+double evaluateAccuracy(const MemNnModel &model,
+                        const data::Dataset &test_set,
+                        runtime::ThreadPool &pool);
 
 /**
  * Accuracy with zero-skipping at `threshold`; also accumulates the

@@ -8,8 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "blas/kernels.hh"
@@ -425,6 +430,129 @@ TEST(ColumnEngine, BreakdownCoversAllPhases)
 
     engine.clearBreakdown();
     EXPECT_EQ(engine.breakdown().total(), 0.0);
+}
+
+TEST(ColumnEngine, DynamicAndStaticSchedulesAreBitIdentical)
+{
+    // The group decomposition (and thus every partial accumulation
+    // and the merge order) is a pure function of the config, so the
+    // scheduling policy must not change a single output bit.
+    const size_t ns = 2048, ed = 24, nq = 3;
+    const KnowledgeBase kb = randomKb(ns, ed, 61);
+    const auto u = randomBatch(nq, ed, 62);
+
+    for (bool online : {false, true}) {
+        EngineConfig cfg;
+        cfg.chunkSize = 100;
+        cfg.threads = 3;
+        cfg.scheduleGroups = 8;
+        cfg.streaming = true;
+        cfg.skipThreshold = 0.05f;
+        cfg.onlineNormalize = online;
+
+        cfg.schedule = Schedule::Dynamic;
+        std::vector<float> o_dyn(nq * ed);
+        ColumnEngine(kb, cfg).inferBatch(u.data(), nq, o_dyn.data());
+
+        cfg.schedule = Schedule::Static;
+        std::vector<float> o_sta(nq * ed);
+        ColumnEngine(kb, cfg).inferBatch(u.data(), nq, o_sta.data());
+
+        for (size_t i = 0; i < o_dyn.size(); ++i)
+            ASSERT_EQ(o_dyn[i], o_sta[i])
+                << "online=" << online << " index " << i;
+    }
+}
+
+TEST(ColumnEngine, ScheduleCountersMatchAcrossPolicies)
+{
+    const size_t ns = 3000, ed = 16, nq = 2;
+    const KnowledgeBase kb = randomKb(ns, ed, 63);
+    const auto u = randomBatch(nq, ed, 64);
+    std::vector<float> o(nq * ed);
+
+    uint64_t kept[2], skipped[2];
+    const Schedule policies[] = {Schedule::Dynamic, Schedule::Static};
+    for (int i = 0; i < 2; ++i) {
+        EngineConfig cfg;
+        cfg.chunkSize = 128;
+        cfg.threads = 2;
+        cfg.scheduleGroups = 6;
+        cfg.skipThreshold = 0.1f;
+        cfg.schedule = policies[i];
+        ColumnEngine engine(kb, cfg);
+        engine.inferBatch(u.data(), nq, o.data());
+        kept[i] = engine.counters().value("rows_kept");
+        skipped[i] = engine.counters().value("rows_skipped");
+    }
+    EXPECT_EQ(kept[0], kept[1]);
+    EXPECT_EQ(skipped[0], skipped[1]);
+    EXPECT_EQ(kept[0] + skipped[0], uint64_t(nq) * ns);
+}
+
+TEST(ColumnEngine, ObserverSeesEveryChunkOnce)
+{
+    const size_t ns = 1050, ed = 8, nq = 1;
+    const KnowledgeBase kb = randomKb(ns, ed, 65);
+    const auto u = randomBatch(nq, ed, 66);
+    std::vector<float> o(nq * ed);
+
+    EngineConfig cfg;
+    cfg.chunkSize = 100; // 11 chunks, last one short
+    cfg.threads = 2;
+    std::mutex mu;
+    std::vector<int> seen(11, 0);
+    cfg.chunkObserver = [&](size_t worker, size_t chunk) {
+        std::lock_guard<std::mutex> lock(mu);
+        ASSERT_LT(chunk, seen.size());
+        ASSERT_LT(worker, 2u);
+        ++seen[chunk];
+    };
+    ColumnEngine(kb, cfg).inferBatch(u.data(), nq, o.data());
+    for (size_t c = 0; c < seen.size(); ++c)
+        EXPECT_EQ(seen[c], 1) << "chunk " << c;
+}
+
+TEST(ColumnEngine, DynamicSchedulingBalancesStalledWorkers)
+{
+    // Engine-level load-balance check under zero-skipping. The
+    // observer sleeps per chunk, making chunk cost blocking-bound:
+    // that is what lets a single-core host rotate workers (a
+    // compute-bound body would let one worker drain the cursor within
+    // its scheduler quantum, saying nothing about the scheduler).
+    constexpr size_t kWorkers = 4;
+    const size_t ns = 6400, ed = 8, nq = 1; // 64 chunks of 100
+    const KnowledgeBase kb = randomKb(ns, ed, 67);
+    const auto u = randomBatch(nq, ed, 68);
+    std::vector<float> o(nq * ed);
+
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        EngineConfig cfg;
+        cfg.chunkSize = 100;
+        cfg.threads = kWorkers;
+        cfg.scheduleGroups = 64; // one chunk per group: max slack
+        cfg.skipThreshold = 0.1f;
+        cfg.schedule = Schedule::Dynamic;
+        std::vector<std::atomic<size_t>> per_worker(kWorkers);
+        for (auto &c : per_worker)
+            c.store(0);
+        cfg.chunkObserver = [&](size_t worker, size_t) {
+            per_worker[worker].fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        };
+        ColumnEngine(kb, cfg).inferBatch(u.data(), nq, o.data());
+
+        size_t min_c = ns, max_c = 0, total = 0;
+        for (const auto &c : per_worker) {
+            min_c = std::min(min_c, c.load());
+            max_c = std::max(max_c, c.load());
+            total += c.load();
+        }
+        ASSERT_EQ(total, 64u);
+        if (min_c > 0 && max_c <= min_c + (min_c + 3) / 4)
+            return; // max within 25% of min: balanced
+    }
+    FAIL() << "dynamic chunk scheduling never balanced the workers";
 }
 
 TEST(KnowledgeBase, GrowsAndPreservesRows)

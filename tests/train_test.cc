@@ -187,6 +187,32 @@ TEST(Trainer, LearnsSingleSupportingFactTask)
     EXPECT_GT(acc, 0.6) << "test accuracy " << acc;
 }
 
+TEST(Trainer, ParallelEvaluationMatchesSequential)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::SingleSupportingFact, vocab,
+                            31);
+    const data::Dataset set = gen.generateSet(120, 7);
+    MemNnModel model(tinyConfig(vocab.size(), 2), 32);
+
+    const double seq = evaluateAccuracy(model, set);
+    for (size_t threads : {size_t(0), size_t(1), size_t(3)}) {
+        runtime::ThreadPool pool(threads);
+        EXPECT_DOUBLE_EQ(evaluateAccuracy(model, set, pool), seq)
+            << "threads=" << threads;
+    }
+}
+
+TEST(Trainer, ParallelEvaluationOfEmptySetIsZero)
+{
+    data::Vocabulary vocab;
+    data::BabiGenerator gen(data::TaskType::YesNo, vocab, 33);
+    MemNnModel model(tinyConfig(vocab.size(), 1), 34);
+    const data::Dataset empty;
+    runtime::ThreadPool pool(2);
+    EXPECT_EQ(evaluateAccuracy(model, empty, pool), 0.0);
+}
+
 TEST(Trainer, ZeroThresholdSkipMatchesPlainForward)
 {
     data::Vocabulary vocab;
