@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Ablation: query-blocked batching (DESIGN.md, query-blocked GEMM
+ * dataflow). Measures time per question as the batch size grows, for
+ * the column engine with and without zero-skipping and for the full
+ * mnnfast configuration.
+ *
+ * The column dataflow streams every chunk of M_IN/M_OUT once per
+ * *batch*: the strip sweep drives each loaded strip through all
+ * concurrent questions before advancing, so per-question cost should
+ * fall steeply with nq until the arithmetic (not the stream)
+ * dominates. The headline ratio t(nq=16)/t(nq=1) per question is the
+ * amortization the serving simulator's affine service model assumes.
+ *
+ * Emits BENCH_query_batch.json (path overridable via the
+ * MNNFAST_BENCH_JSON environment variable) for tracking.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/column_engine.hh"
+#include "stats/table.hh"
+#include "util/rng.hh"
+#include "util/timer.hh"
+
+using namespace mnnfast;
+
+namespace {
+
+struct EngineSpec
+{
+    const char *label;
+    bool streaming;
+    float skipThreshold;
+};
+
+/** Median seconds of one inferBatch call at batch size nq. */
+double
+measure(core::ColumnEngine &engine, const float *u, size_t nq, float *o,
+        size_t reps)
+{
+    engine.inferBatch(u, nq, o); // warmup: page in KB, grow arenas
+    std::vector<double> samples(reps);
+    Timer t;
+    for (double &s : samples) {
+        t.reset();
+        engine.inferBatch(u, nq, o);
+        s = t.seconds();
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: query-blocked batch amortization",
+                  "Per-question latency vs batch size; the KB stream "
+                  "is paid once per batch.");
+
+    const size_t ns = 16384, ed = 256, chunk = 512;
+    const size_t batches[] = {1, 2, 4, 8, 16, 32};
+    const size_t max_nq = 32;
+    const size_t reps = 5;
+
+    core::KnowledgeBase kb(ed);
+    kb.reserve(ns);
+    {
+        XorShiftRng rng(1);
+        std::vector<float> a(ed), b(ed);
+        for (size_t i = 0; i < ns; ++i) {
+            for (size_t e = 0; e < ed; ++e) {
+                a[e] = rng.uniformRange(-0.3f, 0.3f);
+                b[e] = rng.uniformRange(-0.3f, 0.3f);
+            }
+            kb.addSentence(a.data(), b.data());
+        }
+    }
+    XorShiftRng rng(2);
+    std::vector<float> u(max_nq * ed), o(max_nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-0.3f, 0.3f);
+
+    const EngineSpec specs[] = {
+        {"column", false, 0.f},
+        {"column+zskip", false, 1e-4f},
+        {"mnnfast", true, 1e-4f},
+    };
+
+    const char *json_path = std::getenv("MNNFAST_BENCH_JSON");
+    if (!json_path)
+        json_path = "BENCH_query_batch.json";
+    FILE *json = std::fopen(json_path, "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"ns\": %zu,\n  \"ed\": %zu,\n"
+                 "  \"chunk\": %zu,\n  \"threads\": 0,\n"
+                 "  \"engines\": [",
+                 ns, ed, chunk);
+
+    stats::Table table({"engine", "nq", "batch ms", "us/question",
+                        "vs nq=1"});
+    auto csv = bench::maybeCsv("ablation_query_batch");
+    if (csv)
+        csv->writeRow({"engine", "nq", "batch_seconds",
+                       "per_question_seconds"});
+
+    bool first_engine = true;
+    for (const EngineSpec &spec : specs) {
+        core::EngineConfig cfg;
+        cfg.chunkSize = chunk;
+        cfg.threads = 0; // inline: isolate the dataflow, not the pool
+        cfg.streaming = spec.streaming;
+        cfg.skipThreshold = spec.skipThreshold;
+        core::ColumnEngine engine(kb, cfg);
+
+        std::fprintf(json, "%s\n    {\n      \"name\": \"%s\",\n"
+                           "      \"points\": [",
+                     first_engine ? "" : ",", spec.label);
+        first_engine = false;
+
+        double per_q1 = 0.0, per_q16 = 0.0;
+        bool first_point = true;
+        for (size_t nq : batches) {
+            const double secs =
+                measure(engine, u.data(), nq, o.data(), reps);
+            const double per_q = secs / double(nq);
+            if (nq == 1)
+                per_q1 = per_q;
+            if (nq == 16)
+                per_q16 = per_q;
+
+            table.addRow({spec.label, std::to_string(nq),
+                          stats::Table::num(secs * 1e3, 3),
+                          stats::Table::num(per_q * 1e6, 2),
+                          stats::Table::num(per_q / per_q1, 3)});
+            if (csv)
+                csv->writeRow({std::string(spec.label),
+                               std::to_string(nq), std::to_string(secs),
+                               std::to_string(per_q)});
+            std::fprintf(json,
+                         "%s\n        {\"nq\": %zu, "
+                         "\"batch_seconds\": %.9f, "
+                         "\"per_question_seconds\": %.9f}",
+                         first_point ? "" : ",", nq, secs, per_q);
+            first_point = false;
+        }
+        std::fprintf(json,
+                     "\n      ],\n"
+                     "      \"t16_over_t1_per_query\": %.4f\n    }",
+                     per_q16 / per_q1);
+    }
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+
+    table.print();
+    std::printf("\nwrote %s; t(16)/t(1) per question <= 0.6 means the "
+                "KB stream amortizes across the batch\n",
+                json_path);
+    return 0;
+}

@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -76,6 +77,57 @@ BM_DotBatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * rows * d);
 }
 BENCHMARK(BM_DotBatch)->Arg(64)->Arg(1000);
+
+void
+BM_DotBatchMulti(benchmark::State &state)
+{
+    // Query-blocked inner products: rows x queries at d=256 (the
+    // engine's hot shape). Items processed counts every (q, r) dot so
+    // throughput is directly comparable to BM_DotBatch per query.
+    const size_t rows = state.range(0), nq = state.range(1), d = 256;
+    const auto x = randomVec(nq * d, 1);
+    const auto m = randomVec(rows * d, 2);
+    std::vector<float> out(nq * rows);
+    for (auto _ : state) {
+        blas::dotBatchMulti(x.data(), nq, d, m.data(), rows, d, d,
+                            out.data(), rows);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * nq * rows * d);
+}
+BENCHMARK(BM_DotBatchMulti)
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Args({512, 16});
+
+void
+BM_WeightedSumSkipMulti(benchmark::State &state)
+{
+    // Query-blocked weighted sum: each kept row is loaded once and
+    // accumulated into every query's output.
+    const size_t rows = state.range(0), nq = state.range(1), d = 256;
+    const float threshold = state.range(2) != 0 ? 0.1f : 0.f;
+    auto e = randomVec(nq * rows, 3);
+    for (float &v : e)
+        v = v * 0.5f + 0.5f; // positive exp-like weights
+    const auto m = randomVec(rows * d, 4);
+    std::vector<float> acc(nq * d, 0.f);
+    std::vector<double> s(nq);
+    for (auto _ : state) {
+        std::fill(s.begin(), s.end(), 0.0);
+        uint64_t kept = 0, skipped = 0;
+        blas::weightedSumSkipMulti(e.data(), nq, rows, m.data(), rows,
+                                   d, d, threshold, s.data(), acc.data(),
+                                   d, kept, skipped);
+        benchmark::DoNotOptimize(acc.data());
+        benchmark::DoNotOptimize(s.data());
+    }
+    state.SetItemsProcessed(state.iterations() * nq * rows * d);
+}
+BENCHMARK(BM_WeightedSumSkipMulti)
+    ->Args({512, 1, 0})
+    ->Args({512, 16, 0})
+    ->Args({512, 16, 1});
 
 void
 BM_WeightedSumSkip(benchmark::State &state)

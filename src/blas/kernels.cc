@@ -11,6 +11,7 @@
 
 #include "blas/kernels.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -27,7 +28,8 @@ scalarTable()
     return {
         "scalar",        scalar::dot,          scalar::axpy,
         scalar::scal,    scalar::sum,          scalar::maxElement,
-        scalar::dotBatch, scalar::weightedSumSkip,
+        scalar::dotBatch, scalar::dotBatchMulti,
+        scalar::weightedSumSkip,               scalar::weightedSumSkipMulti,
         scalar::gemm,    scalar::expInplace,   scalar::expShiftInplace,
     };
 }
@@ -85,13 +87,17 @@ scal(float alpha, float *x, size_t n)
 void
 zero(float *x, size_t n)
 {
-    std::memset(x, 0, n * sizeof(float));
+    // n == 0 may come with a null pointer (e.g. an empty arena span),
+    // which memset's nonnull contract forbids even for zero bytes.
+    if (n > 0)
+        std::memset(x, 0, n * sizeof(float));
 }
 
 void
 copy(const float *src, float *dst, size_t n)
 {
-    std::memcpy(dst, src, n * sizeof(float));
+    if (n > 0)
+        std::memcpy(dst, src, n * sizeof(float));
 }
 
 float
@@ -116,6 +122,17 @@ dotBatch(const float *x, const float *rows, size_t count, size_t n,
 }
 
 void
+dotBatchMulti(const float *x, size_t nx, size_t xstride,
+              const float *rows, size_t count, size_t n, size_t stride,
+              float *out, size_t ostride)
+{
+    mnn_assert(stride >= n && xstride >= n && ostride >= count,
+               "dotBatchMulti stride shorter than row length");
+    active().dotBatchMulti(x, nx, xstride, rows, count, n, stride, out,
+                           ostride);
+}
+
+void
 weightedSumSkip(const float *e, const float *rows, size_t count,
                 size_t n, size_t stride, float threshold,
                 double &running_sum, float *acc, uint64_t &kept,
@@ -125,6 +142,28 @@ weightedSumSkip(const float *e, const float *rows, size_t count,
                "weightedSumSkip stride shorter than row length");
     active().weightedSumSkip(e, rows, count, n, stride, threshold,
                              running_sum, acc, kept, skipped);
+}
+
+void
+weightedSumSkipMulti(const float *e, size_t ne, size_t estride,
+                     const float *rows, size_t count, size_t n,
+                     size_t stride, float threshold,
+                     double *running_sums, float *acc, size_t accstride,
+                     uint64_t &kept, uint64_t &skipped)
+{
+    mnn_assert(stride >= n && accstride >= n && estride >= count,
+               "weightedSumSkipMulti stride shorter than row length");
+    // The backend's kept-set scatter list is a fixed stack array of
+    // kWsumQueryTile entries; split larger batches here so callers
+    // can pass any ne. Query tiles are independent, so tiling cannot
+    // change results.
+    for (size_t q0 = 0; q0 < ne; q0 += kWsumQueryTile) {
+        const size_t qb = std::min(kWsumQueryTile, ne - q0);
+        active().weightedSumSkipMulti(
+            e + q0 * estride, qb, estride, rows, count, n, stride,
+            threshold, running_sums + q0, acc + q0 * accstride,
+            accstride, kept, skipped);
+    }
 }
 
 void

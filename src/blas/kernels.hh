@@ -65,6 +65,29 @@ void dotBatch(const float *x, const float *rows, size_t count, size_t n,
               size_t stride, float *out);
 
 /**
+ * Query-blocked batched dot products: a tile of `nx` query rows
+ * against a strip of `count` matrix rows,
+ *
+ *   out[q * ostride + r] = dot(x + q * xstride, rows + r * stride, n)
+ *
+ * for q in [0, nx), r in [0, count) — a small packed GEMM shaped for
+ * the column engine's phase 1. The AVX2 backend register-tiles 2
+ * queries x 4 rows, so each 8-wide row load feeds every query in the
+ * tile and the per-query M_IN load traffic drops accordingly; the
+ * engine-level strip blocking on top keeps a row strip cache-resident
+ * across the whole batch, which is what amortizes the KB stream over
+ * concurrent queries.
+ *
+ * Contract: per (q, r) pair the accumulation order is exactly that of
+ * dotBatch, so the result is bit-identical to nx separate dotBatch
+ * calls on the same backend (property-tested). Requires stride >= n
+ * and xstride >= n; out rows must not alias the inputs.
+ */
+void dotBatchMulti(const float *x, size_t nx, size_t xstride,
+                   const float *rows, size_t count, size_t n,
+                   size_t stride, float *out, size_t ostride);
+
+/**
  * Fused zero-skip weighted sum over a strip of rows (the column
  * engine's phase-3 kernel):
  *
@@ -85,6 +108,44 @@ void weightedSumSkip(const float *e, const float *rows, size_t count,
                      size_t n, size_t stride, float threshold,
                      double &running_sum, float *acc, uint64_t &kept,
                      uint64_t &skipped);
+
+/**
+ * Query-blocked zero-skip weighted sum: one pass over a strip of rows
+ * updating `ne` accumulators at once. For each row r (ascending) and
+ * each query q (ascending), with e_qr = e[q * estride + r]:
+ *
+ *   running_sums[q] += e_qr
+ *   if threshold > 0 and e_qr < threshold * running_sums[q]:
+ *       ++skipped                                  // acc[q] untouched
+ *   else:
+ *       ++kept; acc[q * accstride] += e_qr * row   // vectorized
+ *
+ * A kept M_OUT row is loaded once and axpy'd into every keeping
+ * query's accumulator while it is register/L1-hot, so per-query M_OUT
+ * traffic shrinks by the batch size. The skip test and running sums
+ * stay per-(query, row) scalar double arithmetic in both backends, so
+ * skip decisions are bit-identical between SIMD and scalar paths, and
+ * each query's accumulator is bit-identical to ne separate
+ * weightedSumSkip calls on the same backend (property-tested).
+ *
+ * The backend processes queries in tiles of kWsumQueryTile; the
+ * dispatch layer splits larger ne transparently. Requires stride >= n
+ * and accstride >= n; e rows and acc rows must not alias.
+ */
+void weightedSumSkipMulti(const float *e, size_t ne, size_t estride,
+                          const float *rows, size_t count, size_t n,
+                          size_t stride, float threshold,
+                          double *running_sums, float *acc,
+                          size_t accstride, uint64_t &kept,
+                          uint64_t &skipped);
+
+/**
+ * Largest query-tile a single backend weightedSumSkipMulti call
+ * handles (the kept-set scatter list is a fixed stack array). The
+ * dispatch layer tiles larger batches; exposed so engines can align
+ * their own blocking with the kernel's.
+ */
+inline constexpr size_t kWsumQueryTile = 16;
 
 /**
  * Matrix-vector product: y = A * x.
@@ -173,10 +234,19 @@ float sum(const float *x, size_t n);
 float maxElement(const float *x, size_t n);
 void dotBatch(const float *x, const float *rows, size_t count, size_t n,
               size_t stride, float *out);
+void dotBatchMulti(const float *x, size_t nx, size_t xstride,
+                   const float *rows, size_t count, size_t n,
+                   size_t stride, float *out, size_t ostride);
 void weightedSumSkip(const float *e, const float *rows, size_t count,
                      size_t n, size_t stride, float threshold,
                      double &running_sum, float *acc, uint64_t &kept,
                      uint64_t &skipped);
+void weightedSumSkipMulti(const float *e, size_t ne, size_t estride,
+                          const float *rows, size_t count, size_t n,
+                          size_t stride, float threshold,
+                          double *running_sums, float *acc,
+                          size_t accstride, uint64_t &kept,
+                          uint64_t &skipped);
 void gemm(const float *a, const float *b, float *c,
           size_t m, size_t k, size_t n, bool accumulate);
 void expInplace(float *x, size_t n);

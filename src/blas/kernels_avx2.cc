@@ -22,6 +22,8 @@
 
 #include "blas/kernels_detail.hh"
 
+#include "blas/kernels.hh" // kWsumQueryTile
+
 #if defined(__AVX2__) && defined(__FMA__)
 
 #include <immintrin.h>
@@ -205,6 +207,94 @@ dotBatchAvx2(const float *x, const float *rows, size_t count, size_t n,
         out[r] = dotAvx2(x, rows + r * stride, n);
 }
 
+/**
+ * Query-blocked batched dots, register tile = 2 queries x 4 rows
+ * (8 accumulators + 2 query + 1 row vector in flight). Each 8-wide
+ * row load feeds both queries, so per-query row traffic halves and
+ * the load/FMA ratio drops below the two-loads-per-cycle port limit
+ * that bounds dotBatch. Every (q, r) pair keeps dotBatch's exact
+ * accumulation order — one 8-lane chain, hsum, scalar tail — so the
+ * output is bit-identical to per-query dotBatch calls.
+ */
+void
+dotBatchMultiAvx2(const float *x, size_t nx, size_t xstride,
+                  const float *rows, size_t count, size_t n,
+                  size_t stride, float *out, size_t ostride)
+{
+    size_t q = 0;
+    for (; q + 2 <= nx; q += 2) {
+        const float *x0 = x + q * xstride;
+        const float *x1 = x0 + xstride;
+        float *o0 = out + q * ostride;
+        float *o1 = o0 + ostride;
+        size_t r = 0;
+        for (; r + 4 <= count; r += 4) {
+            const float *r0 = rows + (r + 0) * stride;
+            const float *r1 = rows + (r + 1) * stride;
+            const float *r2 = rows + (r + 2) * stride;
+            const float *r3 = rows + (r + 3) * stride;
+            __m256 a00 = _mm256_setzero_ps();
+            __m256 a01 = _mm256_setzero_ps();
+            __m256 a02 = _mm256_setzero_ps();
+            __m256 a03 = _mm256_setzero_ps();
+            __m256 a10 = _mm256_setzero_ps();
+            __m256 a11 = _mm256_setzero_ps();
+            __m256 a12 = _mm256_setzero_ps();
+            __m256 a13 = _mm256_setzero_ps();
+            size_t i = 0;
+            for (; i + 8 <= n; i += 8) {
+                const __m256 xv0 = _mm256_loadu_ps(x0 + i);
+                const __m256 xv1 = _mm256_loadu_ps(x1 + i);
+                // One load per row feeds both query FMAs.
+                __m256 rv = _mm256_loadu_ps(r0 + i);
+                a00 = _mm256_fmadd_ps(xv0, rv, a00);
+                a10 = _mm256_fmadd_ps(xv1, rv, a10);
+                rv = _mm256_loadu_ps(r1 + i);
+                a01 = _mm256_fmadd_ps(xv0, rv, a01);
+                a11 = _mm256_fmadd_ps(xv1, rv, a11);
+                rv = _mm256_loadu_ps(r2 + i);
+                a02 = _mm256_fmadd_ps(xv0, rv, a02);
+                a12 = _mm256_fmadd_ps(xv1, rv, a12);
+                rv = _mm256_loadu_ps(r3 + i);
+                a03 = _mm256_fmadd_ps(xv0, rv, a03);
+                a13 = _mm256_fmadd_ps(xv1, rv, a13);
+            }
+            float s00 = hsum8(a00), s01 = hsum8(a01);
+            float s02 = hsum8(a02), s03 = hsum8(a03);
+            float s10 = hsum8(a10), s11 = hsum8(a11);
+            float s12 = hsum8(a12), s13 = hsum8(a13);
+            for (; i < n; ++i) {
+                const float xi0 = x0[i];
+                const float xi1 = x1[i];
+                s00 += xi0 * r0[i];
+                s01 += xi0 * r1[i];
+                s02 += xi0 * r2[i];
+                s03 += xi0 * r3[i];
+                s10 += xi1 * r0[i];
+                s11 += xi1 * r1[i];
+                s12 += xi1 * r2[i];
+                s13 += xi1 * r3[i];
+            }
+            o0[r + 0] = s00;
+            o0[r + 1] = s01;
+            o0[r + 2] = s02;
+            o0[r + 3] = s03;
+            o1[r + 0] = s10;
+            o1[r + 1] = s11;
+            o1[r + 2] = s12;
+            o1[r + 3] = s13;
+        }
+        // Row tail (< 4): the same single-row kernel dotBatch uses.
+        for (; r < count; ++r) {
+            o0[r] = dotAvx2(x0, rows + r * stride, n);
+            o1[r] = dotAvx2(x1, rows + r * stride, n);
+        }
+    }
+    if (q < nx)
+        dotBatchAvx2(x + q * xstride, rows, count, n, stride,
+                     out + q * ostride);
+}
+
 void
 weightedSumSkipAvx2(const float *e, const float *rows, size_t count,
                     size_t n, size_t stride, float threshold,
@@ -223,6 +313,60 @@ weightedSumSkipAvx2(const float *e, const float *rows, size_t count,
         axpyAvx2(ev, rows + r * stride, acc, n);
     }
     running_sum = s;
+}
+
+/**
+ * Query-blocked weighted sum: for every row, the skip test runs per
+ * query in scalar double (identical to weightedSumSkip), the kept
+ * queries are gathered into a scatter list, and then each 8-wide row
+ * load is FMA'd into every kept accumulator while it sits in a
+ * register. axpy is elementwise (no cross-element accumulation), so
+ * the interleaving leaves each query's accumulator bit-identical to
+ * a separate axpyAvx2 call.
+ */
+void
+weightedSumSkipMultiAvx2(const float *e, size_t ne, size_t estride,
+                         const float *rows, size_t count, size_t n,
+                         size_t stride, float threshold,
+                         double *running_sums, float *acc,
+                         size_t accstride, uint64_t &kept,
+                         uint64_t &skipped)
+{
+    float alpha[blas::kWsumQueryTile];
+    float *dst[blas::kWsumQueryTile];
+    for (size_t r = 0; r < count; ++r) {
+        const float *row = rows + r * stride;
+        size_t nk = 0;
+        for (size_t q = 0; q < ne; ++q) {
+            const float ev = e[q * estride + r];
+            const double s = running_sums[q] + ev;
+            running_sums[q] = s;
+            if (threshold > 0.f && double(ev) < double(threshold) * s) {
+                ++skipped;
+                continue;
+            }
+            ++kept;
+            alpha[nk] = ev;
+            dst[nk] = acc + q * accstride;
+            ++nk;
+        }
+        if (nk == 0)
+            continue;
+        size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            const __m256 rv = _mm256_loadu_ps(row + i);
+            for (size_t j = 0; j < nk; ++j) {
+                _mm256_storeu_ps(
+                    dst[j] + i,
+                    _mm256_fmadd_ps(_mm256_set1_ps(alpha[j]), rv,
+                                    _mm256_loadu_ps(dst[j] + i)));
+            }
+        }
+        for (; i < n; ++i) {
+            for (size_t j = 0; j < nk; ++j)
+                dst[j][i] += alpha[j] * row[i];
+        }
+    }
 }
 
 /**
@@ -440,7 +584,8 @@ gemmAvx2(const float *a, const float *b, float *c,
 const KernelTable kAvx2Table = {
     "avx2",         dotAvx2,          axpyAvx2,
     scalAvx2,       sumAvx2,          maxElementAvx2,
-    dotBatchAvx2,   weightedSumSkipAvx2,
+    dotBatchAvx2,   dotBatchMultiAvx2,
+    weightedSumSkipAvx2,              weightedSumSkipMultiAvx2,
     gemmAvx2,       expInplaceAvx2,   expShiftInplaceAvx2,
 };
 

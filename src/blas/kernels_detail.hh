@@ -24,9 +24,16 @@ struct KernelTable
     float (*maxElement)(const float *, size_t);
     void (*dotBatch)(const float *, const float *, size_t, size_t,
                      size_t, float *);
+    void (*dotBatchMulti)(const float *, size_t, size_t, const float *,
+                          size_t, size_t, size_t, float *, size_t);
     void (*weightedSumSkip)(const float *, const float *, size_t, size_t,
                             size_t, float, double &, float *, uint64_t &,
                             uint64_t &);
+    /** Query tile bounded by blas::kWsumQueryTile (dispatch splits). */
+    void (*weightedSumSkipMulti)(const float *, size_t, size_t,
+                                 const float *, size_t, size_t, size_t,
+                                 float, double *, float *, size_t,
+                                 uint64_t &, uint64_t &);
     void (*gemm)(const float *, const float *, float *, size_t, size_t,
                  size_t, bool);
     void (*expInplace)(float *, size_t);

@@ -83,6 +83,18 @@ dotBatch(const float *x, const float *rows, size_t count, size_t n,
 }
 
 void
+dotBatchMulti(const float *x, size_t nx, size_t xstride,
+              const float *rows, size_t count, size_t n, size_t stride,
+              float *out, size_t ostride)
+{
+    // The reference path is the per-query loop the query-blocked
+    // backends must match bit-for-bit.
+    for (size_t q = 0; q < nx; ++q)
+        dotBatch(x + q * xstride, rows, count, n, stride,
+                 out + q * ostride);
+}
+
+void
 weightedSumSkip(const float *e, const float *rows, size_t count,
                 size_t n, size_t stride, float threshold,
                 double &running_sum, float *acc, uint64_t &kept,
@@ -100,6 +112,22 @@ weightedSumSkip(const float *e, const float *rows, size_t count,
         axpy(ev, rows + r * stride, acc, n);
     }
     running_sum = s;
+}
+
+void
+weightedSumSkipMulti(const float *e, size_t ne, size_t estride,
+                     const float *rows, size_t count, size_t n,
+                     size_t stride, float threshold,
+                     double *running_sums, float *acc, size_t accstride,
+                     uint64_t &kept, uint64_t &skipped)
+{
+    // Queries are independent (separate running sums and
+    // accumulators), so the per-query reference loop is the
+    // definition the query-blocked backend must reproduce exactly.
+    for (size_t q = 0; q < ne; ++q)
+        weightedSumSkip(e + q * estride, rows, count, n, stride,
+                        threshold, running_sums[q], acc + q * accstride,
+                        kept, skipped);
 }
 
 namespace {

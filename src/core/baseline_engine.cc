@@ -42,20 +42,19 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
     PhaseTimer timer;
 
     // Step 1: inner product across M_IN rows. Each claimed row block
-    // is swept once per question with the batched dot kernel (the
-    // query row stays in registers across four M_IN rows), writing a
-    // contiguous T_IN span. Rows are claimed dynamically: every
-    // element is computed independently, so scheduling cannot change
-    // the result.
+    // is one query-blocked dotBatchMulti call: the register tile
+    // reuses every M_IN load across the question batch, writing the
+    // block's T_IN column strip for all questions at once. Rows are
+    // claimed dynamically: every element is computed independently,
+    // so scheduling cannot change the result.
     timer.start();
     {
         const float *min = kb.minData();
         runtime::parallelForDynamic(
             pool, ns, kStep1Grain, [&](size_t, runtime::Range r) {
-                for (size_t q = 0; q < nq; ++q)
-                    blas::dotBatch(u + q * ed, min + r.begin * ed,
-                                   r.size(), ed, ed,
-                                   tin.data() + q * ns + r.begin);
+                blas::dotBatchMulti(u, nq, ed, min + r.begin * ed,
+                                    r.size(), ed, ed,
+                                    tin.data() + r.begin, ns);
             });
     }
     timer.stop();
@@ -102,11 +101,15 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
         const size_t parts =
             std::max<size_t>(1, pool.threadCount() ? pool.threadCount()
                                                    : 1);
-        std::vector<std::vector<float>> partial(
-            parts, std::vector<float>(nq * ed, 0.f));
+        // Per-part accumulators from the persistent arena: at a
+        // steady batch size the claims replay the same layout over
+        // the retained block, so no allocation hits the hot path.
+        scratch.reset();
+        float *partial = scratch.floats(parts * nq * ed);
+        blas::zero(partial, parts * nq * ed);
         runtime::parallelForParts(
             pool, ns, parts, [&](size_t part, runtime::Range r) {
-                float *acc = partial[part].data();
+                float *acc = partial + part * nq * ed;
                 for (size_t i = r.begin; i < r.end; ++i) {
                     const float *row = mout + i * ed;
                     for (size_t q = 0; q < nq; ++q)
@@ -114,11 +117,13 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
                 }
             });
         blas::zero(o, nq * ed);
-        for (const auto &part : partial)
-            blas::axpy(1.0f, part.data(), o, nq * ed);
+        for (size_t part = 0; part < parts; ++part)
+            blas::axpy(1.0f, partial + part * nq * ed, o, nq * ed);
     }
     timer.stop();
     times.weightedSum += timer.seconds();
+    // Account the step-3 accumulators alongside the spilled buffers.
+    counterGroup["intermediate_bytes"].add(scratch.capacityBytes());
     counterGroup["flops_wsum"].add(2ull * nq * ns * ed);
     counterGroup["rows_kept"].add(nq * ns);
 }

@@ -22,6 +22,7 @@
 
 #include "core/config.hh"
 #include "core/engine.hh"
+#include "runtime/scratch_arena.hh"
 #include "runtime/thread_pool.hh"
 
 namespace mnnfast::core {
@@ -51,6 +52,9 @@ class BaselineEngine : public InferenceEngine
     std::vector<float> tin;
     std::vector<float> pexp;
     std::vector<float> p;
+
+    // Step-3 per-part accumulators, recycled across calls.
+    runtime::ScratchArena scratch;
 };
 
 } // namespace mnnfast::core

@@ -29,11 +29,15 @@ prefetchBytes(const float *ptr, size_t bytes)
 }
 
 /**
- * Rows per strip when interleaving next-chunk prefetch with this
- * chunk's compute: small enough that prefetch issue is paced across
- * the chunk (hiding latency under the dot products, as in the paper's
- * data streaming), large enough that the fused kernels still amortize
- * their setup.
+ * Rows per strip in the query-blocked sweep. The strip is the reuse
+ * unit: its M_IN/M_OUT rows stay cache-resident while every question
+ * in the batch consumes them, so DRAM traffic per chunk is paid once
+ * per batch. 16 rows x 1 KiB (ed=256) fits comfortably in L1 next to
+ * the question tile; it is also a multiple of the kernels' 4-row
+ * group, so strip boundaries never change the accumulation grouping
+ * relative to one whole-chunk kernel call (bit-identity). Prefetch of
+ * the next chunk is paced across these strips, as in the paper's data
+ * streaming.
  */
 constexpr size_t kStreamStrip = 16;
 
@@ -47,6 +51,13 @@ ColumnEngine::ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg)
 {
     if (this->cfg.chunkSize == 0)
         fatal("column engine chunk size must be nonzero");
+    // A chunk can never be larger than the KB, so clamp up front: the
+    // scratch tiles, the reported chunk geometry, and chunkSize() all
+    // reflect what actually runs. An empty KB is left alone so that
+    // construction stays legal (inferBatch over it still panics).
+    if (kb.size() > 0)
+        this->cfg.chunkSize = std::min(this->cfg.chunkSize, kb.size());
+    workerArenas.resize(std::max<size_t>(1, pool.threadCount()));
 }
 
 const char *
@@ -61,10 +72,32 @@ ColumnEngine::name() const
     return "column";
 }
 
+const std::vector<runtime::Range> &
+ColumnEngine::chunkGroups(size_t n_chunks)
+{
+    // A pure function of the chunk count and configuration, shared by
+    // both scheduling policies, so the schedule can never change the
+    // merged result (see header). Cached: the KB size is fixed for
+    // the engine's lifetime in the serving loop, so this recomputes
+    // only if the KB grows between calls.
+    if (groupCache.empty() || groupCacheChunks != n_chunks) {
+        const size_t workers = std::max<size_t>(1, pool.threadCount());
+        const size_t want_groups =
+            cfg.scheduleGroups > 0
+                ? cfg.scheduleGroups
+                : (workers > 1 ? workers * kAutoGroupsPerWorker : 1);
+        groupCache =
+            runtime::splitRange(n_chunks, std::min(n_chunks, want_groups));
+        groupCacheChunks = n_chunks;
+    }
+    return groupCache;
+}
+
 void
 ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
                             size_t row_end, Partial &out, size_t worker,
-                            uint64_t &kept, uint64_t &skipped) const
+                            uint64_t &kept, uint64_t &skipped,
+                            runtime::ScratchArena &scratch) const
 {
     const size_t ed = kb.dim();
     const size_t chunk = cfg.chunkSize;
@@ -73,8 +106,13 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
     const bool online = cfg.onlineNormalize;
     const float th = cfg.skipThreshold;
 
-    // Chunk-local scratch: the only per-question temporary, O(chunk).
-    std::vector<float> t(nq * chunk);
+    // Chunk-local e-value tile, the only per-question temporary:
+    // t[q * chunk + i] is the (exponentiated) score of chunk row i for
+    // question q. Claimed from this worker's persistent arena; any
+    // span a previous group claimed on this worker is dead by now, so
+    // reset first — steady state is a pure bump-pointer rewind.
+    scratch.reset();
+    float *t = scratch.floats(nq * chunk);
     Timer phase_timer;
 
     for (size_t c0 = row_begin; c0 < row_end; c0 += chunk) {
@@ -83,33 +121,28 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
 
         // Streaming: the next chunk's rows are prefetched strip-by-
         // strip while this chunk computes, so the prefetch latency
-        // hides under the dot products instead of serializing in a
-        // burst. next_len <= len always (a shorter chunk is the last).
+        // hides under the arithmetic instead of serializing in a
+        // burst. Issued once per chunk regardless of the batch size —
+        // the strip sweep below already covers every question.
+        // next_len <= len always (a shorter chunk is the last).
         const size_t next_len =
             cfg.streaming && c1 < row_end
                 ? std::min(chunk, row_end - c1)
                 : 0;
 
-        // Phase 1: inner products for this chunk (all questions),
-        // batched so each 8-wide load of u feeds four M_IN rows.
+        // Phase 1: inner products, query-blocked. Each strip of M_IN
+        // rows is loaded once and swept through the whole question
+        // batch by the register-tiled kernel (a small packed GEMM);
+        // the strip stays L1-resident across the batch, so the chunk
+        // streams from memory once per batch, not once per question.
         phase_timer.reset();
-        for (size_t q = 0; q < nq; ++q) {
-            const float *uq = u + q * ed;
-            float *tq = t.data() + q * chunk;
-            if (q == 0 && next_len > 0) {
-                for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
-                    const size_t s1 = std::min(s0 + kStreamStrip, len);
-                    for (size_t i = s0; i < std::min(s1, next_len); ++i)
-                        prefetchBytes(min + (c1 + i) * ed,
-                                      ed * sizeof(float));
-                    blas::dotBatch(uq, min + (c0 + s0) * ed, s1 - s0,
-                                   ed, ed, tq + s0);
-                }
-            } else {
-                blas::dotBatch(uq, min + c0 * ed, len, ed, ed, tq);
-            }
+        for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
+            const size_t s1 = std::min(s0 + kStreamStrip, len);
+            for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                prefetchBytes(min + (c1 + i) * ed, ed * sizeof(float));
+            blas::dotBatchMulti(u, nq, ed, min + (c0 + s0) * ed,
+                                s1 - s0, ed, ed, t + s0, chunk);
         }
-
         out.tInner += phase_timer.seconds();
 
         // Phase 2 (partial softmax): exponential + running sum. In
@@ -117,7 +150,7 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         // running max appears, keeping exp arguments bounded.
         phase_timer.reset();
         for (size_t q = 0; q < nq; ++q) {
-            float *tq = t.data() + q * chunk;
+            float *tq = t + q * chunk;
             if (online) {
                 const float m =
                     std::max(out.runmax[q], blas::maxElement(tq, len));
@@ -125,7 +158,7 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
                     const float rescale =
                         std::exp(out.runmax[q] - m);
                     out.psum[q] *= rescale;
-                    blas::scal(rescale, out.o.data() + q * ed, ed);
+                    blas::scal(rescale, out.o + q * ed, ed);
                     out.runmax[q] = m;
                 }
                 blas::expShiftInplace(tq, len, m);
@@ -133,33 +166,25 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
                 blas::expInplace(tq, len);
             }
         }
-
         out.tSoftmax += phase_timer.seconds();
 
-        // Phase 3: fused weighted sum with optional zero-skipping.
-        // The kernel accumulates the running sum before each skip test
-        // so the test e < th * S_running is conservative (see header);
-        // skipped rows never read M_OUT or write the accumulator.
+        // Phase 3: fused weighted sum with optional zero-skipping,
+        // query-blocked like phase 1 — a kept M_OUT row is loaded once
+        // and accumulated into every question that keeps it. The skip
+        // test stays per-(question,row): the kernel folds e into each
+        // question's running sum before testing e < th * S_running, so
+        // the test is conservative (see header) and decisions are
+        // identical to the per-question sweep; skipped rows never
+        // touch M_OUT or the accumulator for that question.
         phase_timer.reset();
-        for (size_t q = 0; q < nq; ++q) {
-            float *tq = t.data() + q * chunk;
-            float *oq = out.o.data() + q * ed;
-            double s = out.psum[q];
-            if (q == 0 && next_len > 0) {
-                for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
-                    const size_t s1 = std::min(s0 + kStreamStrip, len);
-                    for (size_t i = s0; i < std::min(s1, next_len); ++i)
-                        prefetchBytes(mout + (c1 + i) * ed,
-                                      ed * sizeof(float));
-                    blas::weightedSumSkip(tq + s0, mout + (c0 + s0) * ed,
-                                          s1 - s0, ed, ed, th, s, oq,
-                                          kept, skipped);
-                }
-            } else {
-                blas::weightedSumSkip(tq, mout + c0 * ed, len, ed, ed,
-                                      th, s, oq, kept, skipped);
-            }
-            out.psum[q] = s;
+        for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
+            const size_t s1 = std::min(s0 + kStreamStrip, len);
+            for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                prefetchBytes(mout + (c1 + i) * ed, ed * sizeof(float));
+            blas::weightedSumSkipMulti(t + s0, nq, chunk,
+                                       mout + (c0 + s0) * ed, s1 - s0,
+                                       ed, ed, th, out.psum, out.o, ed,
+                                       kept, skipped);
         }
         out.tWsum += phase_timer.seconds();
 
@@ -175,40 +200,39 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
     const size_t ed = kb.dim();
     mnn_assert(ns > 0, "inference over an empty knowledge base");
 
-    counterGroup["intermediate_bytes"].reset();
-    counterGroup["intermediate_bytes"].add(
-        nq * std::min(cfg.chunkSize, ns) * sizeof(float));
-
     const size_t workers = std::max<size_t>(1, pool.threadCount());
     const size_t n_chunks = (ns + cfg.chunkSize - 1) / cfg.chunkSize;
+    const auto &groups = chunkGroups(n_chunks);
 
-    // Fixed group decomposition: a pure function of the chunk count
-    // and configuration, shared by both scheduling policies, so the
-    // schedule can never change the merged result (see header).
-    const size_t want_groups =
-        cfg.scheduleGroups > 0
-            ? cfg.scheduleGroups
-            : (workers > 1 ? workers * kAutoGroupsPerWorker : 1);
-    const auto groups =
-        runtime::splitRange(n_chunks, std::min(n_chunks, want_groups));
-
-    std::vector<Partial> partials(groups.size());
+    // Group partials live in the persistent arena: the previous
+    // call's spans are dead, so rewind and claim fresh ones. At a
+    // steady batch size the claims replay the same layout over the
+    // same retained block — no allocation.
+    partialArena.reset();
+    partials.resize(groups.size());
     for (Partial &p : partials) {
-        p.o.assign(nq * ed, 0.f);
-        p.psum.assign(nq, 0.0);
-        p.runmax.assign(nq, -std::numeric_limits<float>::infinity());
+        p.o = partialArena.floats(nq * ed);
+        p.psum = partialArena.doubles(nq);
+        p.runmax = partialArena.floats(nq);
+        blas::zero(p.o, nq * ed);
+        std::fill(p.psum, p.psum + nq, 0.0);
+        std::fill(p.runmax, p.runmax + nq,
+                  -std::numeric_limits<float>::infinity());
+        p.tInner = p.tSoftmax = p.tWsum = 0.0;
     }
 
     Timer timer;
     // Per-worker slots, indexed by the unique worker/part id, so the
     // hot path needs no merge lock.
-    std::vector<uint64_t> kept_w(workers, 0), skipped_w(workers, 0);
+    keptPerWorker.assign(workers, 0);
+    skippedPerWorker.assign(workers, 0);
 
     auto runGroup = [&](size_t worker, size_t g) {
         const runtime::Range cr = groups[g];
         processChunks(u, nq, cr.begin * cfg.chunkSize,
                       std::min(ns, cr.end * cfg.chunkSize), partials[g],
-                      worker, kept_w[worker], skipped_w[worker]);
+                      worker, keptPerWorker[worker],
+                      skippedPerWorker[worker], workerArenas[worker]);
     };
 
     if (cfg.schedule == Schedule::Dynamic) {
@@ -229,8 +253,8 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
 
     uint64_t kept_total = 0, skipped_total = 0;
     for (size_t w = 0; w < workers; ++w) {
-        kept_total += kept_w[w];
-        skipped_total += skipped_w[w];
+        kept_total += keptPerWorker[w];
+        skipped_total += skippedPerWorker[w];
     }
 
     // Merge partials in group order (deterministic; see header) and
@@ -248,7 +272,7 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
                     continue;
                 const float scale = std::exp(p.runmax[q] - gmax);
                 s += p.psum[q] * scale;
-                blas::axpy(scale, p.o.data() + q * ed, o + q * ed, ed);
+                blas::axpy(scale, p.o + q * ed, o + q * ed, ed);
             }
             blas::scal(static_cast<float>(1.0 / s), o + q * ed, ed);
         }
@@ -258,7 +282,7 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
             blas::zero(o + q * ed, ed);
             for (const Partial &p : partials) {
                 s += p.psum[q];
-                blas::axpy(1.0f, p.o.data() + q * ed, o + q * ed, ed);
+                blas::axpy(1.0f, p.o + q * ed, o + q * ed, ed);
             }
             blas::scal(static_cast<float>(1.0 / s), o + q * ed, ed);
         }
@@ -280,6 +304,14 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
     times.weightedSum += t_wsum / denom;
     times.other += std::max(0.0, timer.seconds()
                                  - (t_inner + t_soft + t_wsum) / denom);
+
+    // The honest scratch footprint: every arena's retained capacity —
+    // chunk tiles on each worker plus all groups' partials.
+    size_t scratch_bytes = partialArena.capacityBytes();
+    for (const runtime::ScratchArena &a : workerArenas)
+        scratch_bytes += a.capacityBytes();
+    counterGroup["intermediate_bytes"].reset();
+    counterGroup["intermediate_bytes"].add(scratch_bytes);
 
     counterGroup["div_ops"].add(nq * ed);
     counterGroup["chunks_processed"].add(n_chunks);

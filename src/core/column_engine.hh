@@ -1,6 +1,7 @@
 /**
  * @file
- * The column-based MnnFast inference dataflow (paper Fig. 5b).
+ * The column-based MnnFast inference dataflow (paper Fig. 5b),
+ * query-blocked across the batch.
  *
  * The knowledge base is processed in chunks of `chunkSize` sentences.
  * For each chunk the engine computes the inner products, applies the
@@ -10,11 +11,29 @@
  * from O(ns) to O(chunkSize) and every chunk's M_IN/M_OUT rows are
  * touched exactly once while hot.
  *
- * The three phases run on the fused BLAS kernels: dotBatch (one query
- * row against a strip of M_IN rows, amortizing the query load),
- * expInplace/expShiftInplace (vectorized exponential), and
- * weightedSumSkip (skip test + axpy fused, so a skipped row never
- * touches M_OUT).
+ * The dataflow is *query-blocked*: each chunk is swept in small row
+ * strips, and every strip is driven through the whole question batch
+ * before the sweep advances — phase 1 is one dotBatchMulti call per
+ * strip (a packed GEMM whose register tile reuses each M_IN load
+ * across queries) and phase 3 is one weightedSumSkipMulti call per
+ * strip (a kept M_OUT row is loaded once and axpy'd into every
+ * question's accumulator). A strip therefore streams from DRAM once
+ * per *batch* rather than once per question, which is the serving
+ * model's t(n) = base + n*per assumption made real. Streaming
+ * prefetch of the next chunk is issued strip-by-strip during the
+ * phase-1 sweep — exactly once per chunk, independent of the batch
+ * size.
+ *
+ * Skip decisions in phase 3 remain per-(question, row) scalar double
+ * arithmetic inside the kernels, so the SIMD and scalar backends make
+ * identical decisions and the query-blocked sweep is bit-identical to
+ * the per-question path (see kernels.hh).
+ *
+ * All engine scratch lives in persistent runtime::ScratchArena
+ * instances — one per worker slot for the chunk-local e-value tiles,
+ * one for the per-group partial accumulators — so repeated
+ * inferBatch calls at a steady batch size perform no heap allocation
+ * (arena spans are recycled by reset(), never freed).
  *
  * Parallel execution decomposes the chunks into a fixed sequence of
  * contiguous chunk *groups* (cfg.scheduleGroups; default 4x workers).
@@ -47,6 +66,8 @@
 
 #include "core/config.hh"
 #include "core/engine.hh"
+#include "runtime/parallel_for.hh"
+#include "runtime/scratch_arena.hh"
 #include "runtime/thread_pool.hh"
 
 namespace mnnfast::core {
@@ -58,7 +79,9 @@ class ColumnEngine : public InferenceEngine
     /**
      * @param kb  Knowledge base; must outlive the engine.
      * @param cfg Engine tunables (chunk size, streaming, skipping,
-     *            threads, scheduling, online normalization).
+     *            threads, scheduling, online normalization). The
+     *            chunk size is clamped to the KB size at construction
+     *            (when the KB is non-empty) and must be nonzero.
      */
     ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg);
 
@@ -70,24 +93,42 @@ class ColumnEngine : public InferenceEngine
     size_t chunkSize() const { return cfg.chunkSize; }
 
   private:
-    /** Per-group accumulation state for a span of chunks. */
+    /**
+     * Per-group accumulation state for a span of chunks. The buffers
+     * are arena spans claimed at the start of each inferBatch (valid
+     * for that call only); the struct itself is reused across calls.
+     */
     struct Partial
     {
-        std::vector<float> o;      ///< nq x ed weighted-sum accumulator
-        std::vector<double> psum;  ///< nq running sums of exp values
-        std::vector<float> runmax; ///< nq running maxima (online mode)
-        double tInner = 0.0;       ///< seconds in inner products
-        double tSoftmax = 0.0;     ///< seconds in exp/rescale
-        double tWsum = 0.0;        ///< seconds in weighted sum
+        float *o = nullptr;       ///< nq x ed weighted-sum accumulator
+        double *psum = nullptr;   ///< nq running sums of exp values
+        float *runmax = nullptr;  ///< nq running maxima (online mode)
+        double tInner = 0.0;      ///< seconds in inner products
+        double tSoftmax = 0.0;    ///< seconds in exp/rescale
+        double tWsum = 0.0;       ///< seconds in weighted sum
     };
 
     void processChunks(const float *u, size_t nq, size_t row_begin,
                        size_t row_end, Partial &out, size_t worker,
-                       uint64_t &kept, uint64_t &skipped) const;
+                       uint64_t &kept, uint64_t &skipped,
+                       runtime::ScratchArena &scratch) const;
+
+    /** Group decomposition for the current KB size (cached). */
+    const std::vector<runtime::Range> &chunkGroups(size_t n_chunks);
 
     const KnowledgeBase &kb;
     EngineConfig cfg;
     runtime::ThreadPool pool;
+
+    // Persistent serving-loop state: sized once (or on KB growth),
+    // recycled every call — see "scratch arena" in the file header.
+    std::vector<runtime::ScratchArena> workerArenas; ///< chunk tiles
+    runtime::ScratchArena partialArena;              ///< group partials
+    std::vector<Partial> partials;
+    std::vector<uint64_t> keptPerWorker;
+    std::vector<uint64_t> skippedPerWorker;
+    std::vector<runtime::Range> groupCache;
+    size_t groupCacheChunks = 0; ///< n_chunks groupCache was built for
 };
 
 } // namespace mnnfast::core

@@ -1,0 +1,103 @@
+#include "runtime/scratch_arena.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "util/aligned_buffer.hh"
+
+namespace mnnfast::runtime {
+
+namespace {
+
+/** Round up to the cache-line quantum every span is aligned to. */
+inline size_t
+roundUp(size_t bytes)
+{
+    return (bytes + kCacheLineBytes - 1) / kCacheLineBytes
+           * kCacheLineBytes;
+}
+
+void *
+alignedBlock(size_t bytes)
+{
+    void *raw = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (!raw)
+        throw std::bad_alloc();
+    return raw;
+}
+
+} // namespace
+
+ScratchArena::ScratchArena(ScratchArena &&other) noexcept
+    : blocks(std::move(other.blocks)),
+      cursor(std::exchange(other.cursor, 0)),
+      capacity(std::exchange(other.capacity, 0))
+{
+    other.blocks.clear();
+}
+
+ScratchArena &
+ScratchArena::operator=(ScratchArena &&other) noexcept
+{
+    if (this != &other) {
+        releaseAll();
+        blocks = std::move(other.blocks);
+        cursor = std::exchange(other.cursor, 0);
+        capacity = std::exchange(other.capacity, 0);
+        other.blocks.clear();
+    }
+    return *this;
+}
+
+ScratchArena::~ScratchArena()
+{
+    releaseAll();
+}
+
+void *
+ScratchArena::claim(size_t bytes)
+{
+    bytes = roundUp(bytes);
+    if (bytes == 0)
+        return nullptr;
+    if (blocks.empty() || cursor + bytes > blocks.back().size) {
+        // Grow geometrically: the new block is at least as large as
+        // everything already retained, so a cycle that outgrows its
+        // capacity settles after O(log) growth steps.
+        const size_t size = std::max(bytes, capacity);
+        blocks.push_back({alignedBlock(size), size});
+        capacity += size;
+        cursor = 0;
+    }
+    void *span = static_cast<char *>(blocks.back().ptr) + cursor;
+    cursor += bytes;
+    return span;
+}
+
+void
+ScratchArena::reset()
+{
+    if (blocks.size() > 1) {
+        // Coalesce fragmented capacity so the next same-sized cycle
+        // fits one block (live spans are gone — reset invalidates).
+        const size_t total = capacity;
+        releaseAll();
+        blocks.push_back({alignedBlock(total), total});
+        capacity = total;
+    }
+    cursor = 0;
+}
+
+void
+ScratchArena::releaseAll()
+{
+    for (Block &b : blocks)
+        std::free(b.ptr);
+    blocks.clear();
+    capacity = 0;
+    cursor = 0;
+}
+
+} // namespace mnnfast::runtime

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A bump-pointer scratch arena for per-worker engine temporaries.
+ *
+ * The column engine's serving hot path needs the same scratch shapes
+ * on every inferBatch call (chunk-sized e-value tiles, per-group
+ * partial accumulators). Allocating them per call puts malloc/free on
+ * the critical path of every batch; the arena instead hands out spans
+ * from retained blocks, so a steady-state serving loop performs zero
+ * heap allocation after the first call at each batch size.
+ *
+ * Usage discipline:
+ *  - claim spans with floats()/doubles(); contents are uninitialized;
+ *  - every span stays valid until the next reset() — growth mid-cycle
+ *    appends a new block, it never moves live spans;
+ *  - reset() invalidates all spans and recycles the capacity. When the
+ *    previous cycle overflowed into multiple blocks, reset() coalesces
+ *    them into one, so the next cycle of equal total size is a single
+ *    bump-pointer walk (and blockCount() settles at 1).
+ *
+ * Instances are single-threaded; engines keep one arena per worker
+ * slot. All spans are kCacheLineBytes-aligned, so kernels can assume
+ * the same alignment as AlignedBuffer and spans claimed by different
+ * workers never share a cache line.
+ */
+
+#ifndef MNNFAST_RUNTIME_SCRATCH_ARENA_HH
+#define MNNFAST_RUNTIME_SCRATCH_ARENA_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mnnfast::runtime {
+
+/** Reusable bump allocator. See file header for the span lifetime. */
+class ScratchArena
+{
+  public:
+    ScratchArena() = default;
+
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+    ScratchArena(ScratchArena &&other) noexcept;
+    ScratchArena &operator=(ScratchArena &&other) noexcept;
+
+    ~ScratchArena();
+
+    /** Claim n floats (64-byte aligned, uninitialized). */
+    float *floats(size_t n)
+    {
+        return static_cast<float *>(claim(n * sizeof(float)));
+    }
+
+    /** Claim n doubles (64-byte aligned, uninitialized). */
+    double *doubles(size_t n)
+    {
+        return static_cast<double *>(claim(n * sizeof(double)));
+    }
+
+    /**
+     * Invalidate every outstanding span and rewind. Capacity is
+     * retained; fragmented capacity is coalesced into one block.
+     */
+    void reset();
+
+    /** Total bytes of retained capacity (the peak claimed footprint). */
+    size_t capacityBytes() const { return capacity; }
+
+    /** Retained block count; 1 after any post-growth reset(). */
+    size_t blockCount() const { return blocks.size(); }
+
+  private:
+    struct Block
+    {
+        void *ptr;
+        size_t size;
+    };
+
+    /** Claim `bytes` (rounded up to the alignment quantum). */
+    void *claim(size_t bytes);
+
+    void releaseAll();
+
+    std::vector<Block> blocks;
+    size_t cursor = 0;   ///< bump offset within blocks.back()
+    size_t capacity = 0; ///< sum of block sizes
+};
+
+} // namespace mnnfast::runtime
+
+#endif // MNNFAST_RUNTIME_SCRATCH_ARENA_HH

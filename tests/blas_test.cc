@@ -554,6 +554,89 @@ TEST(WeightedSumSkip, ZeroThresholdKeepsEverything)
     EXPECT_NEAR(s, eref, 1e-6 * count);
 }
 
+TEST(DotBatchMulti, BitIdenticalToPerQueryDotBatch)
+{
+    // The query-blocked kernel's contract is exact: every (query, row)
+    // dot must carry out the same accumulation order as the per-query
+    // dotBatch sweep, so the outputs are bit-identical — whichever
+    // backend dispatch resolved to.
+    const size_t d = 129, stride = 133, xstride = 131;
+    for (size_t nq : {size_t(1), size_t(2), size_t(3), size_t(5),
+                      size_t(8), size_t(9)}) {
+        for (size_t count : {size_t(0), size_t(1), size_t(3), size_t(4),
+                             size_t(5), size_t(17), size_t(64)}) {
+            const size_t ostride = count + 2; // padded: catch strays
+            const auto x = nastyVec(nq * xstride, 501);
+            const auto rows = nastyVec(count * stride, 502);
+            std::vector<float> got(nq * ostride, -9.f);
+            std::vector<float> ref(nq * ostride, -9.f);
+
+            dotBatchMulti(x.data(), nq, xstride, rows.data(), count, d,
+                          stride, got.data(), ostride);
+            for (size_t q = 0; q < nq; ++q)
+                dotBatch(x.data() + q * xstride, rows.data(), count, d,
+                         stride, ref.data() + q * ostride);
+
+            for (size_t i = 0; i < got.size(); ++i)
+                ASSERT_EQ(got[i], ref[i])
+                    << "nq=" << nq << " count=" << count << " i=" << i;
+        }
+    }
+}
+
+TEST(WeightedSumSkipMulti, BitIdenticalToPerQuerySweep)
+{
+    // Same exactness contract for the query-blocked weighted sum:
+    // per-(query,row) skip decisions, running sums, and accumulator
+    // bits must match the per-query weightedSumSkip sweep. Batch
+    // sizes cross the kWsumQueryTile dispatch split.
+    const size_t d = 65, stride = 67;
+    for (size_t nq : {size_t(1), size_t(2), size_t(3), size_t(5),
+                      kWsumQueryTile, kWsumQueryTile + 1,
+                      2 * kWsumQueryTile + 1}) {
+        for (float threshold : {0.0f, 0.05f, 0.5f}) {
+            for (size_t count : {size_t(0), size_t(1), size_t(7),
+                                 size_t(100)}) {
+                const size_t estride = count + 3;
+                const size_t accstride = d + 5;
+                auto e = nastyVec(nq * estride, 503);
+                for (float &v : e)
+                    v = std::abs(v) + 1e-3f; // exp outputs are positive
+                const auto rows = nastyVec(count * stride, 504);
+
+                auto acc1 = nastyVec(nq * accstride, 505);
+                auto acc2 = acc1;
+                std::vector<double> s1(nq), s2(nq);
+                for (size_t q = 0; q < nq; ++q)
+                    s1[q] = s2[q] = 0.25 * double(q);
+                uint64_t kept1 = 0, skip1 = 0, kept2 = 0, skip2 = 0;
+
+                weightedSumSkipMulti(e.data(), nq, estride, rows.data(),
+                                     count, d, stride, threshold,
+                                     s1.data(), acc1.data(), accstride,
+                                     kept1, skip1);
+                for (size_t q = 0; q < nq; ++q)
+                    weightedSumSkip(e.data() + q * estride, rows.data(),
+                                    count, d, stride, threshold, s2[q],
+                                    acc2.data() + q * accstride, kept2,
+                                    skip2);
+
+                ASSERT_EQ(kept1, kept2)
+                    << "nq=" << nq << " th=" << threshold
+                    << " count=" << count;
+                ASSERT_EQ(skip1, skip2);
+                ASSERT_EQ(kept1 + skip1, uint64_t(nq) * count);
+                for (size_t q = 0; q < nq; ++q)
+                    ASSERT_EQ(s1[q], s2[q]) << "nq=" << nq << " q=" << q;
+                for (size_t i = 0; i < acc1.size(); ++i)
+                    ASSERT_EQ(acc1[i], acc2[i])
+                        << "nq=" << nq << " th=" << threshold
+                        << " count=" << count << " i=" << i;
+            }
+        }
+    }
+}
+
 TEST(GemmSimd, MatchesScalarAcrossShapes)
 {
     const GemmDims shapes[] = {{1, 1, 1},   {2, 3, 15},  {4, 8, 16},

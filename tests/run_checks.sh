@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under each verification preset:
+# the default optimized build plus the ASan+UBSan build, so memory
+# and UB bugs in the arena/kernel hot paths cannot slip through an
+# optimized-only run.
+#
+# Usage: tests/run_checks.sh [preset...]
+#   With no arguments, runs: relwithdebinfo asan-ubsan
+#   Pass preset names (see CMakePresets.json) to run a subset, e.g.:
+#     tests/run_checks.sh asan-ubsan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(relwithdebinfo asan-ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for preset in "${presets[@]}"; do
+    echo "==> preset: ${preset}"
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "${jobs}"
+    ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "all checks passed: ${presets[*]}"

@@ -8,13 +8,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <numeric>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/parallel_for.hh"
+#include "runtime/scratch_arena.hh"
 #include "runtime/thread_pool.hh"
+#include "util/aligned_buffer.hh"
 
 namespace mnnfast::runtime {
 namespace {
@@ -314,6 +318,105 @@ TEST(ThreadPool, SubmitFromWorkerDoesNotDeadlock)
     }
     pool.waitIdle();
     EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ScratchArena, SpansAreCacheLineAligned)
+{
+    ScratchArena arena;
+    for (size_t n : {1ul, 3ul, 17ul, 1000ul}) {
+        auto f = reinterpret_cast<uintptr_t>(arena.floats(n));
+        auto d = reinterpret_cast<uintptr_t>(arena.doubles(n));
+        EXPECT_EQ(f % kCacheLineBytes, 0u) << "n=" << n;
+        EXPECT_EQ(d % kCacheLineBytes, 0u) << "n=" << n;
+    }
+}
+
+TEST(ScratchArena, SpansPersistUntilReset)
+{
+    // Growth mid-cycle must never move live spans: earlier claims
+    // stay readable (and disjoint from later ones) until reset().
+    ScratchArena arena;
+    std::vector<float *> spans;
+    for (int i = 0; i < 50; ++i) {
+        float *s = arena.floats(100);
+        s[0] = float(i);
+        s[99] = float(-i);
+        spans.push_back(s);
+    }
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(spans[i][0], float(i));
+        EXPECT_EQ(spans[i][99], float(-i));
+    }
+}
+
+TEST(ScratchArena, CapacityIsStableAtSteadyState)
+{
+    // A serving loop claiming the same shapes every cycle must stop
+    // allocating: capacity settles after the first cycle and reset()
+    // recycles it.
+    ScratchArena arena;
+    auto cycle = [&] {
+        arena.reset();
+        arena.floats(4096);
+        arena.doubles(64);
+        arena.floats(64);
+    };
+    cycle();
+    const size_t cap = arena.capacityBytes();
+    EXPECT_GE(cap, 4096 * sizeof(float) + 64 * sizeof(double)
+                       + 64 * sizeof(float));
+    for (int i = 0; i < 10; ++i)
+        cycle();
+    EXPECT_EQ(arena.capacityBytes(), cap);
+    EXPECT_EQ(arena.blockCount(), 1u);
+}
+
+TEST(ScratchArena, ResetCoalescesGrowthIntoOneBlock)
+{
+    // Overflowing a cycle appends blocks; the next reset() merges the
+    // retained capacity so the following cycle of equal total size is
+    // a single bump-pointer walk.
+    ScratchArena arena;
+    arena.floats(100);
+    arena.floats(10000);
+    arena.floats(100000);
+    EXPECT_GT(arena.blockCount(), 1u);
+    const size_t cap = arena.capacityBytes();
+    arena.reset();
+    EXPECT_EQ(arena.blockCount(), 1u);
+    EXPECT_EQ(arena.capacityBytes(), cap);
+    // The whole prior footprint now fits in the single block.
+    float *s = arena.floats(cap / sizeof(float));
+    s[cap / sizeof(float) - 1] = 1.f;
+    EXPECT_EQ(arena.blockCount(), 1u);
+}
+
+TEST(ScratchArena, ZeroSizedClaimIsHarmless)
+{
+    ScratchArena arena;
+    arena.floats(0);
+    EXPECT_EQ(arena.capacityBytes(), 0u);
+    float *s = arena.floats(8);
+    s[7] = 3.f;
+    EXPECT_EQ(s[7], 3.f);
+}
+
+TEST(ScratchArena, MoveTransfersOwnership)
+{
+    ScratchArena a;
+    float *s = a.floats(256);
+    s[0] = 42.f;
+    const size_t cap = a.capacityBytes();
+
+    ScratchArena b(std::move(a));
+    EXPECT_EQ(b.capacityBytes(), cap);
+    EXPECT_EQ(s[0], 42.f); // span owned by b now, still alive
+
+    ScratchArena c;
+    c.floats(64); // existing capacity must be released, not leaked
+    c = std::move(b);
+    EXPECT_EQ(c.capacityBytes(), cap);
+    EXPECT_EQ(s[0], 42.f);
 }
 
 } // namespace

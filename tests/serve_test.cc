@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "core/column_engine.hh"
+#include "core/knowledge_base.hh"
+#include "serve/calibrate.hh"
 #include "serve/qa_server.hh"
+#include "util/rng.hh"
 
 namespace mnnfast::serve {
 namespace {
@@ -128,6 +134,75 @@ TEST(QaServer, InvalidConfigIsFatal)
     cfg2.arrivalRate = 0.0;
     EXPECT_EXIT(simulateServer(cfg2), ::testing::ExitedWithCode(1),
                 "arrival rate");
+}
+
+TEST(Calibrate, FitsUsableServiceModelFromRealEngine)
+{
+    // Smoke test: calibrate against a real (small) column engine and
+    // check the fit is sane and drives the simulator.
+    const size_t ns = 2000, ed = 32;
+    core::KnowledgeBase kb(ed);
+    kb.reserve(ns);
+    XorShiftRng rng(7);
+    std::vector<float> min_row(ed), mout_row(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            min_row[e] = rng.uniformRange(-0.5f, 0.5f);
+            mout_row[e] = rng.uniformRange(-0.5f, 0.5f);
+        }
+        kb.addSentence(min_row.data(), mout_row.data());
+    }
+    core::EngineConfig ecfg;
+    ecfg.chunkSize = 256;
+    core::ColumnEngine engine(kb, ecfg);
+
+    const ServiceTimeFit fit =
+        calibrateServiceTimes(engine, ed, /*smallBatch=*/1,
+                              /*largeBatch=*/8, /*repeats=*/3);
+
+    // Coefficients are clamped non-negative and the measurements are
+    // real (a 2000x32 KB pass cannot take zero time).
+    EXPECT_GE(fit.batchBaseSeconds, 0.0);
+    EXPECT_GE(fit.perQuestionSeconds, 0.0);
+    EXPECT_GT(fit.smallSeconds, 0.0);
+    EXPECT_GT(fit.largeSeconds, 0.0);
+    EXPECT_GT(fit.batchBaseSeconds + fit.perQuestionSeconds, 0.0);
+    EXPECT_EQ(fit.smallBatch, 1u);
+    EXPECT_EQ(fit.largeBatch, 8u);
+
+    // batchBase = max(0, small - smallBatch*perQ) can never exceed the
+    // small-batch measurement itself. The full fit reproduces that
+    // measurement exactly only when the non-negativity clamp did not
+    // fire (with noisy timings, large > 8*small clamps batchBase to 0
+    // and the fitted t(1) overshoots — by design, not a bug).
+    EXPECT_LE(fit.batchBaseSeconds, fit.smallSeconds * 1.0000001 + 1e-12);
+    if (fit.batchBaseSeconds > 0.0) {
+        const double t1 = fit.batchBaseSeconds + fit.perQuestionSeconds;
+        EXPECT_NEAR(t1, fit.smallSeconds, fit.smallSeconds * 1e-6 + 1e-12);
+    }
+
+    // And it plugs straight into the simulator.
+    ServerConfig scfg = baseConfig();
+    scfg.arrivalRate = 100.0;
+    scfg.simSeconds = 0.5;
+    fit.apply(scfg);
+    EXPECT_EQ(scfg.batchBaseSeconds, fit.batchBaseSeconds);
+    EXPECT_EQ(scfg.perQuestionSeconds, fit.perQuestionSeconds);
+    const auto stats = simulateServer(scfg);
+    EXPECT_EQ(stats.arrived, stats.completed);
+}
+
+TEST(Calibrate, RejectsDegenerateArguments)
+{
+    const size_t ed = 8;
+    core::KnowledgeBase kb(ed);
+    std::vector<float> row(ed, 0.1f);
+    kb.addSentence(row.data(), row.data());
+    core::EngineConfig ecfg;
+    core::ColumnEngine engine(kb, ecfg);
+    EXPECT_DEATH(calibrateServiceTimes(engine, ed, 4, 4, 1),
+                 "batch sizes");
+    EXPECT_DEATH(calibrateServiceTimes(engine, ed, 1, 4, 0), "repeat");
 }
 
 } // namespace
