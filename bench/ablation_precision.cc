@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Ablation: knowledge-base storage precision (DESIGN.md §7). The
+ * column-dataflow engines are memory-bound on the M_IN/M_OUT stream
+ * at small batch sizes, so storing the knowledge base in bfloat16
+ * halves the streamed bytes and should translate into wall-clock
+ * speedup wherever the stream (not the arithmetic) is the bottleneck.
+ *
+ * For each (ns, ed) geometry and engine configuration the same random
+ * knowledge base is built in fp32 and bf16 and timed end to end; the
+ * per-chunk effective bandwidth (KB bytes / batch seconds) and the
+ * fp32/bf16 speedup are reported, together with the maximum deviation
+ * of the answer scores between the two precisions — the accuracy cost
+ * of the halved storage, which DESIGN.md §7 bounds analytically.
+ *
+ * Emits BENCH_precision.json (path overridable via the
+ * MNNFAST_BENCH_JSON environment variable) for tracking.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/column_engine.hh"
+#include "stats/table.hh"
+#include "util/rng.hh"
+#include "util/timer.hh"
+
+using namespace mnnfast;
+
+namespace {
+
+struct EngineSpec
+{
+    const char *label;
+    bool streaming;
+    float skipThreshold;
+};
+
+struct Geometry
+{
+    size_t ns;
+    size_t ed;
+};
+
+constexpr float kScale = 0.3f;
+
+core::KnowledgeBase
+buildKb(size_t ns, size_t ed, core::Precision prec)
+{
+    core::KnowledgeBase kb(ed, prec);
+    kb.reserve(ns);
+    XorShiftRng rng(1);
+    std::vector<float> a(ed), b(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            a[e] = rng.uniformRange(-kScale, kScale);
+            b[e] = rng.uniformRange(-kScale, kScale);
+        }
+        kb.addSentence(a.data(), b.data());
+    }
+    return kb;
+}
+
+/** Median seconds of one inferBatch call. */
+double
+measure(core::ColumnEngine &engine, const float *u, size_t nq, float *o,
+        size_t reps)
+{
+    engine.inferBatch(u, nq, o); // warmup: page in KB, grow arenas
+    std::vector<double> samples(reps);
+    Timer t;
+    for (double &s : samples) {
+        t.reset();
+        engine.inferBatch(u, nq, o);
+        s = t.seconds();
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: bf16 knowledge-base storage",
+                  "Halved KB stream bytes vs fp32, per engine and "
+                  "geometry, with the answer-score deviation cost.");
+
+    // The largest geometry (64 MiB fp32 KB at ns=65536, ed=128) far
+    // exceeds any LLC, so the engines run from the DRAM stream there:
+    // that point is where the bandwidth halving must show end to end.
+    const Geometry geoms[] = {{16384, 64}, {16384, 256}, {65536, 128}};
+    const size_t nq = 1; // most bandwidth-bound point: no batch reuse
+    const size_t reps = 5;
+
+    const EngineSpec specs[] = {
+        {"column", false, 0.f},
+        {"column+zskip", false, 1e-4f},
+        {"mnnfast", true, 1e-4f},
+    };
+
+    const char *json_path = std::getenv("MNNFAST_BENCH_JSON");
+    if (!json_path)
+        json_path = "BENCH_precision.json";
+    FILE *json = std::fopen(json_path, "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"nq\": %zu,\n  \"threads\": 0,\n"
+                       "  \"configs\": [",
+                 nq);
+
+    stats::Table table({"ns", "ed", "engine", "f32 ms", "bf16 ms",
+                        "f32 GB/s", "bf16 GB/s", "speedup", "max dev"});
+    auto csv = bench::maybeCsv("ablation_precision");
+    if (csv)
+        csv->writeRow({"ns", "ed", "engine", "f32_seconds",
+                       "bf16_seconds", "speedup", "max_deviation"});
+
+    double best_speedup_large = 0.0;
+    double max_dev_overall = 0.0;
+    bool first_cfg = true;
+    for (const Geometry &g : geoms) {
+        const core::KnowledgeBase kb32 =
+            buildKb(g.ns, g.ed, core::Precision::F32);
+        const core::KnowledgeBase kb16 =
+            buildKb(g.ns, g.ed, core::Precision::BF16);
+        const size_t chunk = std::min<size_t>(512, g.ns);
+
+        XorShiftRng rng(2);
+        std::vector<float> u(nq * g.ed);
+        std::vector<float> o32(nq * g.ed), o16(nq * g.ed);
+        for (float &x : u)
+            x = rng.uniformRange(-kScale, kScale);
+
+        std::fprintf(json,
+                     "%s\n    {\n      \"ns\": %zu,\n      \"ed\": %zu,"
+                     "\n      \"chunk\": %zu,\n"
+                     "      \"kb_bytes_f32\": %zu,\n"
+                     "      \"kb_bytes_bf16\": %zu,\n"
+                     "      \"engines\": [",
+                     first_cfg ? "" : ",", g.ns, g.ed, chunk,
+                     kb32.bytes(), kb16.bytes());
+        first_cfg = false;
+
+        bool first_engine = true;
+        for (const EngineSpec &spec : specs) {
+            core::EngineConfig cfg;
+            cfg.chunkSize = chunk;
+            cfg.threads = 0; // inline: isolate the stream, not the pool
+            cfg.streaming = spec.streaming;
+            cfg.skipThreshold = spec.skipThreshold;
+            core::ColumnEngine e32(kb32, cfg);
+            core::ColumnEngine e16(kb16, cfg);
+
+            const double t32 =
+                measure(e32, u.data(), nq, o32.data(), reps);
+            const double t16 =
+                measure(e16, u.data(), nq, o16.data(), reps);
+            // Effective per-chunk stream bandwidth: every chunk's
+            // M_IN/M_OUT bytes are read once per batch (an upper
+            // bound under zero-skipping, which reads less).
+            const double gbps32 = double(kb32.bytes()) / t32 / 1e9;
+            const double gbps16 = double(kb16.bytes()) / t16 / 1e9;
+            const double speedup = t32 / t16;
+
+            double dev = 0.0;
+            for (size_t i = 0; i < o32.size(); ++i)
+                dev = std::max(dev,
+                               std::abs(double(o32[i]) - o16[i]));
+            max_dev_overall = std::max(max_dev_overall, dev);
+            if (g.ns * g.ed >= 65536 * 128)
+                best_speedup_large = std::max(best_speedup_large,
+                                              speedup);
+
+            table.addRow({std::to_string(g.ns), std::to_string(g.ed),
+                          spec.label, stats::Table::num(t32 * 1e3, 3),
+                          stats::Table::num(t16 * 1e3, 3),
+                          stats::Table::num(gbps32, 2),
+                          stats::Table::num(gbps16, 2),
+                          stats::Table::num(speedup, 3),
+                          stats::Table::num(dev, 6)});
+            if (csv)
+                csv->writeRow({std::to_string(g.ns),
+                               std::to_string(g.ed),
+                               std::string(spec.label),
+                               std::to_string(t32), std::to_string(t16),
+                               std::to_string(speedup),
+                               std::to_string(dev)});
+            std::fprintf(json,
+                         "%s\n        {\"name\": \"%s\", "
+                         "\"f32_seconds\": %.9f, "
+                         "\"bf16_seconds\": %.9f, "
+                         "\"f32_gbps\": %.4f, \"bf16_gbps\": %.4f, "
+                         "\"speedup\": %.4f, "
+                         "\"max_abs_deviation\": %.9f}",
+                         first_engine ? "" : ",", spec.label, t32, t16,
+                         gbps32, gbps16, speedup, dev);
+            first_engine = false;
+        }
+        std::fprintf(json, "\n      ]\n    }");
+    }
+
+    // The analytic deviation bound of DESIGN.md §7 for the measured
+    // geometry family: each stored element carries <= 2^-8 relative
+    // rounding, shifting every inner product by at most
+    // ed * scale^2 * 2^-8 and every output element by the direct
+    // M_OUT rounding plus the softmax reweighting of the dot shifts.
+    const double max_ed = 256.0;
+    const double dot_shift =
+        max_ed * double(kScale) * double(kScale) * 0x1p-8;
+    const double dev_bound =
+        0.1 * double(kScale) + 2.0 * dot_shift + 1e-3;
+    std::fprintf(json,
+                 "\n  ],\n  \"max_deviation_overall\": %.9f,\n"
+                 "  \"deviation_bound\": %.9f,\n"
+                 "  \"speedup_large_kb\": %.4f\n}\n",
+                 max_dev_overall, dev_bound, best_speedup_large);
+    std::fclose(json);
+
+    table.print();
+    std::printf("\nwrote %s; bf16 speedup at the large geometry: "
+                "%.2fx (>= 1.5x expected when DRAM-bound), max "
+                "answer-score deviation %.2e (bound %.2e)\n",
+                json_path, best_speedup_large, max_dev_overall,
+                dev_bound);
+    return max_dev_overall <= dev_bound ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include "core/baseline_engine.hh"
 #include "core/column_engine.hh"
 #include "core/knowledge_base.hh"
+#include "util/bf16.hh"
 #include "util/rng.hh"
 
 using namespace mnnfast;
@@ -125,6 +126,64 @@ BM_WeightedSumSkipMulti(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * nq * rows * d);
 }
 BENCHMARK(BM_WeightedSumSkipMulti)
+    ->Args({512, 1, 0})
+    ->Args({512, 16, 0})
+    ->Args({512, 16, 1});
+
+std::vector<uint16_t>
+randomVecBf16(size_t n, uint64_t seed)
+{
+    const auto f = randomVec(n, seed);
+    std::vector<uint16_t> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = bf16FromFloat(f[i]);
+    return v;
+}
+
+void
+BM_DotBatchMultiBf16(benchmark::State &state)
+{
+    // bf16-storage counterpart of BM_DotBatchMulti at the same shape:
+    // the rows stream at half the bytes and widen in-register.
+    const size_t rows = state.range(0), nq = state.range(1), d = 256;
+    const auto x = randomVec(nq * d, 1);
+    const auto m = randomVecBf16(rows * d, 2);
+    std::vector<float> out(nq * rows);
+    for (auto _ : state) {
+        blas::dotBatchMultiBf16(x.data(), nq, d, m.data(), rows, d, d,
+                                out.data(), rows);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * nq * rows * d);
+}
+BENCHMARK(BM_DotBatchMultiBf16)
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Args({512, 16});
+
+void
+BM_WeightedSumSkipMultiBf16(benchmark::State &state)
+{
+    const size_t rows = state.range(0), nq = state.range(1), d = 256;
+    const float threshold = state.range(2) != 0 ? 0.1f : 0.f;
+    auto e = randomVec(nq * rows, 3);
+    for (float &v : e)
+        v = v * 0.5f + 0.5f; // positive exp-like weights
+    const auto m = randomVecBf16(rows * d, 4);
+    std::vector<float> acc(nq * d, 0.f);
+    std::vector<double> s(nq);
+    for (auto _ : state) {
+        std::fill(s.begin(), s.end(), 0.0);
+        uint64_t kept = 0, skipped = 0;
+        blas::weightedSumSkipMultiBf16(e.data(), nq, rows, m.data(),
+                                       rows, d, d, threshold, s.data(),
+                                       acc.data(), d, kept, skipped);
+        benchmark::DoNotOptimize(acc.data());
+        benchmark::DoNotOptimize(s.data());
+    }
+    state.SetItemsProcessed(state.iterations() * nq * rows * d);
+}
+BENCHMARK(BM_WeightedSumSkipMultiBf16)
     ->Args({512, 1, 0})
     ->Args({512, 16, 0})
     ->Args({512, 16, 1});

@@ -30,6 +30,7 @@ scalarTable()
         scalar::scal,    scalar::sum,          scalar::maxElement,
         scalar::dotBatch, scalar::dotBatchMulti,
         scalar::weightedSumSkip,               scalar::weightedSumSkipMulti,
+        scalar::dotBatchMultiBf16,             scalar::weightedSumSkipMultiBf16,
         scalar::gemm,    scalar::expInplace,   scalar::expShiftInplace,
     };
 }
@@ -160,6 +161,38 @@ weightedSumSkipMulti(const float *e, size_t ne, size_t estride,
     for (size_t q0 = 0; q0 < ne; q0 += kWsumQueryTile) {
         const size_t qb = std::min(kWsumQueryTile, ne - q0);
         active().weightedSumSkipMulti(
+            e + q0 * estride, qb, estride, rows, count, n, stride,
+            threshold, running_sums + q0, acc + q0 * accstride,
+            accstride, kept, skipped);
+    }
+}
+
+void
+dotBatchMultiBf16(const float *x, size_t nx, size_t xstride,
+                  const uint16_t *rows, size_t count, size_t n,
+                  size_t stride, float *out, size_t ostride)
+{
+    mnn_assert(stride >= n && xstride >= n && ostride >= count,
+               "dotBatchMultiBf16 stride shorter than row length");
+    active().dotBatchMultiBf16(x, nx, xstride, rows, count, n, stride,
+                               out, ostride);
+}
+
+void
+weightedSumSkipMultiBf16(const float *e, size_t ne, size_t estride,
+                         const uint16_t *rows, size_t count, size_t n,
+                         size_t stride, float threshold,
+                         double *running_sums, float *acc,
+                         size_t accstride, uint64_t &kept,
+                         uint64_t &skipped)
+{
+    mnn_assert(stride >= n && accstride >= n && estride >= count,
+               "weightedSumSkipMultiBf16 stride shorter than row length");
+    // Same kWsumQueryTile split as the fp32 variant: the backend's
+    // kept-set scatter list is a fixed stack array.
+    for (size_t q0 = 0; q0 < ne; q0 += kWsumQueryTile) {
+        const size_t qb = std::min(kWsumQueryTile, ne - q0);
+        active().weightedSumSkipMultiBf16(
             e + q0 * estride, qb, estride, rows, count, n, stride,
             threshold, running_sums + q0, acc + q0 * accstride,
             accstride, kept, skipped);

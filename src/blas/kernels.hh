@@ -148,6 +148,47 @@ void weightedSumSkipMulti(const float *e, size_t ne, size_t estride,
 inline constexpr size_t kWsumQueryTile = 16;
 
 /**
+ * Query-blocked batched dot products over *bfloat16* matrix rows:
+ * identical shape contract to dotBatchMulti, but `rows` holds bf16
+ * elements (uint16_t) that are widened to fp32 in registers via a
+ * 16-bit shift; queries and outputs stay fp32. This is the fused
+ * dequantizing phase-1 kernel for BF16 knowledge bases: the row
+ * stream is half the bytes of the fp32 kernel at the same arithmetic.
+ *
+ * Accumulation contract (stricter than the fp32 kernels): each
+ * (q, r) dot follows one canonical order — eight fp32 fma lanes over
+ * the 8-aligned body, a fixed pairwise lane reduction, then an fma
+ * tail — and both backends implement exactly that order, so the
+ * scalar and AVX2 bf16 backends are **bit-identical to each other**
+ * (property-tested), not merely close. Requires stride >= n and
+ * xstride >= n; out rows must not alias the inputs.
+ */
+void dotBatchMultiBf16(const float *x, size_t nx, size_t xstride,
+                       const uint16_t *rows, size_t count, size_t n,
+                       size_t stride, float *out, size_t ostride);
+
+/**
+ * Query-blocked zero-skip weighted sum over *bfloat16* rows: identical
+ * contract to weightedSumSkipMulti — per-(query, row) scalar double
+ * skip tests, fp32 accumulators — but each kept row is widened from
+ * bf16 in registers as it is accumulated. The e values (exp outputs)
+ * remain fp32, so skip decisions are bit-identical to a run of
+ * weightedSumSkipMulti over the widened rows. Every accumulator
+ * update is a single-rounded fma per element in both backends, so the
+ * scalar and AVX2 bf16 backends are bit-identical to each other.
+ *
+ * The dispatch layer tiles ne by kWsumQueryTile, like the fp32
+ * kernel. Requires stride >= n and accstride >= n; e rows and acc
+ * rows must not alias.
+ */
+void weightedSumSkipMultiBf16(const float *e, size_t ne, size_t estride,
+                              const uint16_t *rows, size_t count,
+                              size_t n, size_t stride, float threshold,
+                              double *running_sums, float *acc,
+                              size_t accstride, uint64_t &kept,
+                              uint64_t &skipped);
+
+/**
  * Matrix-vector product: y = A * x.
  * A is (rows x cols) row-major; x has cols elements; y has rows.
  * Dispatches to dotBatch, so the x vector is reused across rows.
@@ -247,6 +288,15 @@ void weightedSumSkipMulti(const float *e, size_t ne, size_t estride,
                           double *running_sums, float *acc,
                           size_t accstride, uint64_t &kept,
                           uint64_t &skipped);
+void dotBatchMultiBf16(const float *x, size_t nx, size_t xstride,
+                       const uint16_t *rows, size_t count, size_t n,
+                       size_t stride, float *out, size_t ostride);
+void weightedSumSkipMultiBf16(const float *e, size_t ne, size_t estride,
+                              const uint16_t *rows, size_t count,
+                              size_t n, size_t stride, float threshold,
+                              double *running_sums, float *acc,
+                              size_t accstride, uint64_t &kept,
+                              uint64_t &skipped);
 void gemm(const float *a, const float *b, float *c,
           size_t m, size_t k, size_t n, bool accumulate);
 void expInplace(float *x, size_t n);

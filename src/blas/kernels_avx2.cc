@@ -23,6 +23,7 @@
 #include "blas/kernels_detail.hh"
 
 #include "blas/kernels.hh" // kWsumQueryTile
+#include "util/bf16.hh"
 
 #if defined(__AVX2__) && defined(__FMA__)
 
@@ -369,6 +370,222 @@ weightedSumSkipMultiAvx2(const float *e, size_t ne, size_t estride,
     }
 }
 
+// --- bf16 row kernels -----------------------------------------------
+
+/**
+ * Widen 8 bf16 elements to fp32 lanes: zero-extend to 32 bits and
+ * shift into the high half. Exact (no rounding), so the upconverted
+ * lanes equal bf16ToFloat element-for-element.
+ */
+inline __m256
+bf16Load8(const uint16_t *p)
+{
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    const __m256i w = _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16);
+    return _mm256_castsi256_ps(w);
+}
+
+/**
+ * Canonical bf16 dot (see kernels.hh): ONE 8-lane fma chain over the
+ * body, hsum8's pairwise reduction, std::fma tail. The scalar backend
+ * replays exactly this order with scalar fmas, so the two backends
+ * are bit-identical; the tiled kernels below keep one such chain per
+ * (query, row) pair.
+ */
+float
+dotBf16Avx2(const float *x, const uint16_t *row, size_t n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), bf16Load8(row + i),
+                              acc);
+    float r = hsum8(acc);
+    for (; i < n; ++i)
+        r = std::fma(x[i], bf16ToFloat(row[i]), r);
+    return r;
+}
+
+/**
+ * Query-blocked bf16 batched dots: 2 queries x 4 rows in the main
+ * tile (one bf16Load8 per row feeds both query fmas, halving the
+ * widen work and the per-query row traffic), a 1 x 4 tile for the
+ * odd query, and dotBf16Avx2 for row tails. Each pair's accumulator
+ * is its own canonical chain, so the tiling never changes bits.
+ */
+void
+dotBatchMultiBf16Avx2(const float *x, size_t nx, size_t xstride,
+                      const uint16_t *rows, size_t count, size_t n,
+                      size_t stride, float *out, size_t ostride)
+{
+    size_t q = 0;
+    for (; q + 2 <= nx; q += 2) {
+        const float *x0 = x + q * xstride;
+        const float *x1 = x0 + xstride;
+        float *o0 = out + q * ostride;
+        float *o1 = o0 + ostride;
+        size_t r = 0;
+        for (; r + 4 <= count; r += 4) {
+            const uint16_t *r0 = rows + (r + 0) * stride;
+            const uint16_t *r1 = rows + (r + 1) * stride;
+            const uint16_t *r2 = rows + (r + 2) * stride;
+            const uint16_t *r3 = rows + (r + 3) * stride;
+            __m256 a00 = _mm256_setzero_ps();
+            __m256 a01 = _mm256_setzero_ps();
+            __m256 a02 = _mm256_setzero_ps();
+            __m256 a03 = _mm256_setzero_ps();
+            __m256 a10 = _mm256_setzero_ps();
+            __m256 a11 = _mm256_setzero_ps();
+            __m256 a12 = _mm256_setzero_ps();
+            __m256 a13 = _mm256_setzero_ps();
+            size_t i = 0;
+            for (; i + 8 <= n; i += 8) {
+                const __m256 xv0 = _mm256_loadu_ps(x0 + i);
+                const __m256 xv1 = _mm256_loadu_ps(x1 + i);
+                // One widen per row feeds both query FMAs.
+                __m256 rv = bf16Load8(r0 + i);
+                a00 = _mm256_fmadd_ps(xv0, rv, a00);
+                a10 = _mm256_fmadd_ps(xv1, rv, a10);
+                rv = bf16Load8(r1 + i);
+                a01 = _mm256_fmadd_ps(xv0, rv, a01);
+                a11 = _mm256_fmadd_ps(xv1, rv, a11);
+                rv = bf16Load8(r2 + i);
+                a02 = _mm256_fmadd_ps(xv0, rv, a02);
+                a12 = _mm256_fmadd_ps(xv1, rv, a12);
+                rv = bf16Load8(r3 + i);
+                a03 = _mm256_fmadd_ps(xv0, rv, a03);
+                a13 = _mm256_fmadd_ps(xv1, rv, a13);
+            }
+            float s00 = hsum8(a00), s01 = hsum8(a01);
+            float s02 = hsum8(a02), s03 = hsum8(a03);
+            float s10 = hsum8(a10), s11 = hsum8(a11);
+            float s12 = hsum8(a12), s13 = hsum8(a13);
+            for (; i < n; ++i) {
+                const float xi0 = x0[i];
+                const float xi1 = x1[i];
+                const float e0 = bf16ToFloat(r0[i]);
+                const float e1 = bf16ToFloat(r1[i]);
+                const float e2 = bf16ToFloat(r2[i]);
+                const float e3 = bf16ToFloat(r3[i]);
+                s00 = std::fma(xi0, e0, s00);
+                s01 = std::fma(xi0, e1, s01);
+                s02 = std::fma(xi0, e2, s02);
+                s03 = std::fma(xi0, e3, s03);
+                s10 = std::fma(xi1, e0, s10);
+                s11 = std::fma(xi1, e1, s11);
+                s12 = std::fma(xi1, e2, s12);
+                s13 = std::fma(xi1, e3, s13);
+            }
+            o0[r + 0] = s00;
+            o0[r + 1] = s01;
+            o0[r + 2] = s02;
+            o0[r + 3] = s03;
+            o1[r + 0] = s10;
+            o1[r + 1] = s11;
+            o1[r + 2] = s12;
+            o1[r + 3] = s13;
+        }
+        for (; r < count; ++r) {
+            o0[r] = dotBf16Avx2(x0, rows + r * stride, n);
+            o1[r] = dotBf16Avx2(x1, rows + r * stride, n);
+        }
+    }
+    if (q < nx) {
+        // Last odd query: 4-row groups so the x loads amortize and
+        // four independent chains cover the fma latency.
+        const float *x0 = x + q * xstride;
+        float *o0 = out + q * ostride;
+        size_t r = 0;
+        for (; r + 4 <= count; r += 4) {
+            const uint16_t *r0 = rows + (r + 0) * stride;
+            const uint16_t *r1 = rows + (r + 1) * stride;
+            const uint16_t *r2 = rows + (r + 2) * stride;
+            const uint16_t *r3 = rows + (r + 3) * stride;
+            __m256 a0 = _mm256_setzero_ps();
+            __m256 a1 = _mm256_setzero_ps();
+            __m256 a2 = _mm256_setzero_ps();
+            __m256 a3 = _mm256_setzero_ps();
+            size_t i = 0;
+            for (; i + 8 <= n; i += 8) {
+                const __m256 xv = _mm256_loadu_ps(x0 + i);
+                a0 = _mm256_fmadd_ps(xv, bf16Load8(r0 + i), a0);
+                a1 = _mm256_fmadd_ps(xv, bf16Load8(r1 + i), a1);
+                a2 = _mm256_fmadd_ps(xv, bf16Load8(r2 + i), a2);
+                a3 = _mm256_fmadd_ps(xv, bf16Load8(r3 + i), a3);
+            }
+            float s0 = hsum8(a0), s1 = hsum8(a1);
+            float s2 = hsum8(a2), s3 = hsum8(a3);
+            for (; i < n; ++i) {
+                const float xi = x0[i];
+                s0 = std::fma(xi, bf16ToFloat(r0[i]), s0);
+                s1 = std::fma(xi, bf16ToFloat(r1[i]), s1);
+                s2 = std::fma(xi, bf16ToFloat(r2[i]), s2);
+                s3 = std::fma(xi, bf16ToFloat(r3[i]), s3);
+            }
+            o0[r + 0] = s0;
+            o0[r + 1] = s1;
+            o0[r + 2] = s2;
+            o0[r + 3] = s3;
+        }
+        for (; r < count; ++r)
+            o0[r] = dotBf16Avx2(x0, rows + r * stride, n);
+    }
+}
+
+/**
+ * Query-blocked bf16 weighted sum: identical structure to the fp32
+ * kernel — per-(query, row) scalar-double skip tests, kept-query
+ * scatter list — with each kept row widened once per 8-lane block and
+ * fma'd into every kept accumulator. Tail elements use std::fma so
+ * the update rounding matches the scalar backend exactly.
+ */
+void
+weightedSumSkipMultiBf16Avx2(const float *e, size_t ne, size_t estride,
+                             const uint16_t *rows, size_t count,
+                             size_t n, size_t stride, float threshold,
+                             double *running_sums, float *acc,
+                             size_t accstride, uint64_t &kept,
+                             uint64_t &skipped)
+{
+    float alpha[blas::kWsumQueryTile];
+    float *dst[blas::kWsumQueryTile];
+    for (size_t r = 0; r < count; ++r) {
+        const uint16_t *row = rows + r * stride;
+        size_t nk = 0;
+        for (size_t q = 0; q < ne; ++q) {
+            const float ev = e[q * estride + r];
+            const double s = running_sums[q] + ev;
+            running_sums[q] = s;
+            if (threshold > 0.f && double(ev) < double(threshold) * s) {
+                ++skipped;
+                continue;
+            }
+            ++kept;
+            alpha[nk] = ev;
+            dst[nk] = acc + q * accstride;
+            ++nk;
+        }
+        if (nk == 0)
+            continue;
+        size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            const __m256 rv = bf16Load8(row + i);
+            for (size_t j = 0; j < nk; ++j) {
+                _mm256_storeu_ps(
+                    dst[j] + i,
+                    _mm256_fmadd_ps(_mm256_set1_ps(alpha[j]), rv,
+                                    _mm256_loadu_ps(dst[j] + i)));
+            }
+        }
+        for (; i < n; ++i) {
+            const float ri = bf16ToFloat(row[i]);
+            for (size_t j = 0; j < nk; ++j)
+                dst[j][i] = std::fma(alpha[j], ri, dst[j][i]);
+        }
+    }
+}
+
 /**
  * Vector e^x, Cephes-style: split x = n*ln2 + r with |r| <= ln2/2,
  * evaluate a degree-6 polynomial for e^r, scale by 2^n through the
@@ -586,6 +803,7 @@ const KernelTable kAvx2Table = {
     scalAvx2,       sumAvx2,          maxElementAvx2,
     dotBatchAvx2,   dotBatchMultiAvx2,
     weightedSumSkipAvx2,              weightedSumSkipMultiAvx2,
+    dotBatchMultiBf16Avx2,            weightedSumSkipMultiBf16Avx2,
     gemmAvx2,       expInplaceAvx2,   expShiftInplaceAvx2,
 };
 

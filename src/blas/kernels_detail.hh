@@ -34,6 +34,14 @@ struct KernelTable
                                  const float *, size_t, size_t, size_t,
                                  float, double *, float *, size_t,
                                  uint64_t &, uint64_t &);
+    void (*dotBatchMultiBf16)(const float *, size_t, size_t,
+                              const uint16_t *, size_t, size_t, size_t,
+                              float *, size_t);
+    /** Query tile bounded by blas::kWsumQueryTile (dispatch splits). */
+    void (*weightedSumSkipMultiBf16)(const float *, size_t, size_t,
+                                     const uint16_t *, size_t, size_t,
+                                     size_t, float, double *, float *,
+                                     size_t, uint64_t &, uint64_t &);
     void (*gemm)(const float *, const float *, float *, size_t, size_t,
                  size_t, bool);
     void (*expInplace)(float *, size_t);

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "blas/kernels.hh"
+#include "util/bf16.hh"
 #include "util/logging.hh"
 
 namespace mnnfast::blas::scalar {
@@ -128,6 +129,76 @@ weightedSumSkipMulti(const float *e, size_t ne, size_t estride,
         weightedSumSkip(e + q * estride, rows, count, n, stride,
                         threshold, running_sums[q], acc + q * accstride,
                         kept, skipped);
+}
+
+namespace {
+
+/**
+ * Canonical bf16 dot product (see kernels.hh): eight fp32 fma lanes
+ * over the 8-aligned body (lane j holds elements i with i % 8 == j),
+ * the fixed pairwise lane reduction of the AVX2 hsum, then an fma
+ * tail. std::fma single-rounds exactly like the vector fmadd, so this
+ * scalar walk is bit-identical to the AVX2 backend's 8-lane chain.
+ */
+float
+dotBf16One(const float *x, const uint16_t *row, size_t n)
+{
+    float lane[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        for (size_t j = 0; j < 8; ++j)
+            lane[j] = std::fma(x[i + j], bf16ToFloat(row[i + j]),
+                               lane[j]);
+    }
+    // The AVX2 horizontal sum's exact association.
+    float r = ((lane[0] + lane[4]) + (lane[2] + lane[6]))
+            + ((lane[1] + lane[5]) + (lane[3] + lane[7]));
+    for (; i < n; ++i)
+        r = std::fma(x[i], bf16ToFloat(row[i]), r);
+    return r;
+}
+
+} // namespace
+
+void
+dotBatchMultiBf16(const float *x, size_t nx, size_t xstride,
+                  const uint16_t *rows, size_t count, size_t n,
+                  size_t stride, float *out, size_t ostride)
+{
+    for (size_t q = 0; q < nx; ++q) {
+        for (size_t r = 0; r < count; ++r)
+            out[q * ostride + r] =
+                dotBf16One(x + q * xstride, rows + r * stride, n);
+    }
+}
+
+void
+weightedSumSkipMultiBf16(const float *e, size_t ne, size_t estride,
+                         const uint16_t *rows, size_t count, size_t n,
+                         size_t stride, float threshold,
+                         double *running_sums, float *acc,
+                         size_t accstride, uint64_t &kept,
+                         uint64_t &skipped)
+{
+    // Same per-(query, row) scalar-double skip arithmetic as the fp32
+    // kernel; each accumulator element takes one single-rounded fma,
+    // so the update is bit-identical to the AVX2 backend's fmadd.
+    for (size_t r = 0; r < count; ++r) {
+        const uint16_t *row = rows + r * stride;
+        for (size_t q = 0; q < ne; ++q) {
+            const float ev = e[q * estride + r];
+            const double s = running_sums[q] + ev;
+            running_sums[q] = s;
+            if (threshold > 0.f && double(ev) < double(threshold) * s) {
+                ++skipped;
+                continue;
+            }
+            ++kept;
+            float *dst = acc + q * accstride;
+            for (size_t i = 0; i < n; ++i)
+                dst[i] = std::fma(ev, bf16ToFloat(row[i]), dst[i]);
+        }
+    }
 }
 
 namespace {

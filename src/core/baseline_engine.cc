@@ -48,7 +48,15 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
     // claimed dynamically: every element is computed independently,
     // so scheduling cannot change the result.
     timer.start();
-    {
+    if (kb.precision() == Precision::BF16) {
+        const uint16_t *min = kb.minData16();
+        runtime::parallelForDynamic(
+            pool, ns, kStep1Grain, [&](size_t, runtime::Range r) {
+                blas::dotBatchMultiBf16(u, nq, ed, min + r.begin * ed,
+                                        r.size(), ed, ed,
+                                        tin.data() + r.begin, ns);
+            });
+    } else {
         const float *min = kb.minData();
         runtime::parallelForDynamic(
             pool, ns, kStep1Grain, [&](size_t, runtime::Range r) {
@@ -97,7 +105,6 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
     timer.clear();
     timer.start();
     {
-        const float *mout = kb.moutData();
         const size_t parts =
             std::max<size_t>(1, pool.threadCount() ? pool.threadCount()
                                                    : 1);
@@ -107,15 +114,35 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
         scratch.reset();
         float *partial = scratch.floats(parts * nq * ed);
         blas::zero(partial, parts * nq * ed);
-        runtime::parallelForParts(
-            pool, ns, parts, [&](size_t part, runtime::Range r) {
-                float *acc = partial + part * nq * ed;
-                for (size_t i = r.begin; i < r.end; ++i) {
-                    const float *row = mout + i * ed;
-                    for (size_t q = 0; q < nq; ++q)
-                        blas::axpy(p[q * ns + i], row, acc + q * ed, ed);
-                }
-            });
+        if (kb.precision() == Precision::BF16) {
+            // The fused bf16 kernel with threshold 0 is exactly the
+            // dense weighted sum (nothing skips); its running sums are
+            // write-only here, claimed per part so parts stay
+            // independent.
+            const uint16_t *mout = kb.moutData16();
+            double *sums = scratch.doubles(parts * nq);
+            std::fill(sums, sums + parts * nq, 0.0);
+            runtime::parallelForParts(
+                pool, ns, parts, [&](size_t part, runtime::Range r) {
+                    uint64_t kept = 0, skipped = 0;
+                    blas::weightedSumSkipMultiBf16(
+                        p.data() + r.begin, nq, ns, mout + r.begin * ed,
+                        r.size(), ed, ed, 0.f, sums + part * nq,
+                        partial + part * nq * ed, ed, kept, skipped);
+                });
+        } else {
+            const float *mout = kb.moutData();
+            runtime::parallelForParts(
+                pool, ns, parts, [&](size_t part, runtime::Range r) {
+                    float *acc = partial + part * nq * ed;
+                    for (size_t i = r.begin; i < r.end; ++i) {
+                        const float *row = mout + i * ed;
+                        for (size_t q = 0; q < nq; ++q)
+                            blas::axpy(p[q * ns + i], row, acc + q * ed,
+                                       ed);
+                    }
+                });
+        }
         blas::zero(o, nq * ed);
         for (size_t part = 0; part < parts; ++part)
             blas::axpy(1.0f, partial + part * nq * ed, o, nq * ed);

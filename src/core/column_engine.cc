@@ -21,7 +21,7 @@ namespace {
  * already close.
  */
 inline void
-prefetchBytes(const float *ptr, size_t bytes)
+prefetchBytes(const void *ptr, size_t bytes)
 {
     const char *p = reinterpret_cast<const char *>(ptr);
     for (size_t off = 0; off < bytes; off += 2 * kCacheLineBytes)
@@ -101,8 +101,17 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
 {
     const size_t ed = kb.dim();
     const size_t chunk = cfg.chunkSize;
-    const float *min = kb.minData();
-    const float *mout = kb.moutData();
+    // Storage precision decides which fused kernels sweep the chunk;
+    // everything else (strips, prefetch pacing, scratch, merge) is
+    // precision-agnostic. Row prefetch distance shrinks with the
+    // element size, so bf16 halves both the streamed and the
+    // prefetched bytes per row.
+    const bool bf16 = kb.precision() == Precision::BF16;
+    const float *min = bf16 ? nullptr : kb.minData();
+    const float *mout = bf16 ? nullptr : kb.moutData();
+    const uint16_t *min16 = bf16 ? kb.minData16() : nullptr;
+    const uint16_t *mout16 = bf16 ? kb.moutData16() : nullptr;
+    const size_t row_bytes = ed * kb.elemBytes();
     const bool online = cfg.onlineNormalize;
     const float th = cfg.skipThreshold;
 
@@ -138,10 +147,18 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         phase_timer.reset();
         for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
             const size_t s1 = std::min(s0 + kStreamStrip, len);
-            for (size_t i = s0; i < std::min(s1, next_len); ++i)
-                prefetchBytes(min + (c1 + i) * ed, ed * sizeof(float));
-            blas::dotBatchMulti(u, nq, ed, min + (c0 + s0) * ed,
-                                s1 - s0, ed, ed, t + s0, chunk);
+            if (bf16) {
+                for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                    prefetchBytes(min16 + (c1 + i) * ed, row_bytes);
+                blas::dotBatchMultiBf16(u, nq, ed,
+                                        min16 + (c0 + s0) * ed,
+                                        s1 - s0, ed, ed, t + s0, chunk);
+            } else {
+                for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                    prefetchBytes(min + (c1 + i) * ed, row_bytes);
+                blas::dotBatchMulti(u, nq, ed, min + (c0 + s0) * ed,
+                                    s1 - s0, ed, ed, t + s0, chunk);
+            }
         }
         out.tInner += phase_timer.seconds();
 
@@ -179,12 +196,20 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         phase_timer.reset();
         for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
             const size_t s1 = std::min(s0 + kStreamStrip, len);
-            for (size_t i = s0; i < std::min(s1, next_len); ++i)
-                prefetchBytes(mout + (c1 + i) * ed, ed * sizeof(float));
-            blas::weightedSumSkipMulti(t + s0, nq, chunk,
-                                       mout + (c0 + s0) * ed, s1 - s0,
-                                       ed, ed, th, out.psum, out.o, ed,
-                                       kept, skipped);
+            if (bf16) {
+                for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                    prefetchBytes(mout16 + (c1 + i) * ed, row_bytes);
+                blas::weightedSumSkipMultiBf16(
+                    t + s0, nq, chunk, mout16 + (c0 + s0) * ed, s1 - s0,
+                    ed, ed, th, out.psum, out.o, ed, kept, skipped);
+            } else {
+                for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                    prefetchBytes(mout + (c1 + i) * ed, row_bytes);
+                blas::weightedSumSkipMulti(t + s0, nq, chunk,
+                                           mout + (c0 + s0) * ed,
+                                           s1 - s0, ed, ed, th, out.psum,
+                                           out.o, ed, kept, skipped);
+            }
         }
         out.tWsum += phase_timer.seconds();
 

@@ -3,12 +3,33 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/bf16.hh"
 #include "util/logging.hh"
 
 namespace mnnfast::core {
 
-KnowledgeBase::KnowledgeBase(size_t embedding_dim)
-    : ed(embedding_dim)
+const char *
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::F32: return "f32";
+      case Precision::BF16: return "bf16";
+    }
+    panic("unknown Precision %d", static_cast<int>(p));
+}
+
+size_t
+precisionBytes(Precision p)
+{
+    switch (p) {
+      case Precision::F32: return sizeof(float);
+      case Precision::BF16: return sizeof(uint16_t);
+    }
+    panic("unknown Precision %d", static_cast<int>(p));
+}
+
+KnowledgeBase::KnowledgeBase(size_t embedding_dim, Precision precision)
+    : ed(embedding_dim), prec(precision)
 {
     if (ed == 0)
         fatal("KnowledgeBase embedding dimension must be nonzero");
@@ -26,16 +47,29 @@ KnowledgeBase::grow(size_t min_capacity)
 {
     const size_t new_cap = std::max(min_capacity,
                                     std::max<size_t>(16, capacity * 2));
-    AlignedBuffer<float> new_min(new_cap * ed);
-    AlignedBuffer<float> new_mout(new_cap * ed);
-    if (count > 0) {
-        std::memcpy(new_min.data(), min.data(),
-                    count * ed * sizeof(float));
-        std::memcpy(new_mout.data(), mout.data(),
-                    count * ed * sizeof(float));
+    if (prec == Precision::F32) {
+        AlignedBuffer<float> new_min(new_cap * ed);
+        AlignedBuffer<float> new_mout(new_cap * ed);
+        if (count > 0) {
+            std::memcpy(new_min.data(), min.data(),
+                        count * ed * sizeof(float));
+            std::memcpy(new_mout.data(), mout.data(),
+                        count * ed * sizeof(float));
+        }
+        min = std::move(new_min);
+        mout = std::move(new_mout);
+    } else {
+        AlignedBuffer<uint16_t> new_min(new_cap * ed);
+        AlignedBuffer<uint16_t> new_mout(new_cap * ed);
+        if (count > 0) {
+            std::memcpy(new_min.data(), min16.data(),
+                        count * ed * sizeof(uint16_t));
+            std::memcpy(new_mout.data(), mout16.data(),
+                        count * ed * sizeof(uint16_t));
+        }
+        min16 = std::move(new_min);
+        mout16 = std::move(new_mout);
     }
-    min = std::move(new_min);
-    mout = std::move(new_mout);
     capacity = new_cap;
 }
 
@@ -44,23 +78,80 @@ KnowledgeBase::addSentence(const float *min_row, const float *mout_row)
 {
     if (count == capacity)
         grow(count + 1);
-    std::memcpy(min.data() + count * ed, min_row, ed * sizeof(float));
-    std::memcpy(mout.data() + count * ed, mout_row, ed * sizeof(float));
+    if (prec == Precision::F32) {
+        std::memcpy(min.data() + count * ed, min_row,
+                    ed * sizeof(float));
+        std::memcpy(mout.data() + count * ed, mout_row,
+                    ed * sizeof(float));
+    } else {
+        uint16_t *mi = min16.data() + count * ed;
+        uint16_t *mo = mout16.data() + count * ed;
+        for (size_t e = 0; e < ed; ++e) {
+            mi[e] = bf16FromFloat(min_row[e]);
+            mo[e] = bf16FromFloat(mout_row[e]);
+        }
+    }
     ++count;
+}
+
+const float *
+KnowledgeBase::minData() const
+{
+    mnn_assert(prec == Precision::F32,
+               "minData() on a non-F32 knowledge base");
+    return min.data();
+}
+
+const float *
+KnowledgeBase::moutData() const
+{
+    mnn_assert(prec == Precision::F32,
+               "moutData() on a non-F32 knowledge base");
+    return mout.data();
+}
+
+const uint16_t *
+KnowledgeBase::minData16() const
+{
+    mnn_assert(prec == Precision::BF16,
+               "minData16() on a non-BF16 knowledge base");
+    return min16.data();
+}
+
+const uint16_t *
+KnowledgeBase::moutData16() const
+{
+    mnn_assert(prec == Precision::BF16,
+               "moutData16() on a non-BF16 knowledge base");
+    return mout16.data();
 }
 
 const float *
 KnowledgeBase::minRow(size_t i) const
 {
     mnn_assert(i < count, "M_IN row out of range");
-    return min.data() + i * ed;
+    return minData() + i * ed;
 }
 
 const float *
 KnowledgeBase::moutRow(size_t i) const
 {
     mnn_assert(i < count, "M_OUT row out of range");
-    return mout.data() + i * ed;
+    return moutData() + i * ed;
+}
+
+const uint16_t *
+KnowledgeBase::minRow16(size_t i) const
+{
+    mnn_assert(i < count, "M_IN row out of range");
+    return minData16() + i * ed;
+}
+
+const uint16_t *
+KnowledgeBase::moutRow16(size_t i) const
+{
+    mnn_assert(i < count, "M_OUT row out of range");
+    return moutData16() + i * ed;
 }
 
 } // namespace mnnfast::core

@@ -8,29 +8,58 @@
 #define MNNFAST_CORE_KNOWLEDGE_BASE_HH
 
 #include <cstddef>
+#include <cstdint>
 
 #include "util/aligned_buffer.hh"
 
 namespace mnnfast::core {
 
 /**
+ * Storage precision of the knowledge-base matrices. The KB stream is
+ * the dominant memory traffic of MemNN inference, so halving the
+ * element size halves the bytes every chunk pulls from DRAM; BF16
+ * stores rows as bfloat16 (top 16 bits of the fp32 pattern,
+ * nearest-even rounded at ingest) and the fused bf16 kernels
+ * upconvert on the fly. F32 is the default and the accuracy
+ * reference. See DESIGN.md §7.
+ */
+enum class Precision {
+    F32,  ///< fp32 rows (reference; exact)
+    BF16, ///< bfloat16 rows (half the bytes, ~2^-8 relative rounding)
+};
+
+/** Display name: "f32" or "bf16". */
+const char *precisionName(Precision p);
+
+/** Bytes per stored element: 4 (F32) or 2 (BF16). */
+size_t precisionBytes(Precision p);
+
+/**
  * Paired row-major (ns x ed) matrices M_IN and M_OUT, growable by
  * appending embedded sentences. Rows are appended in story order so
  * row index == sentence index (the temporal position used by the
  * trained model's temporal embeddings).
+ *
+ * Rows are always *ingested* as fp32 (the embedders produce floats);
+ * in BF16 mode they are rounded to bfloat16 on append and stay bf16
+ * in memory. The typed accessors are precision-checked: minData()/
+ * minRow() are valid only in F32 mode, minData16()/minRow16() only in
+ * BF16 mode, so a caller can never silently reinterpret one layout as
+ * the other.
  */
 class KnowledgeBase
 {
   public:
     /** Create an empty knowledge base with embedding dimension ed. */
-    explicit KnowledgeBase(size_t embedding_dim);
+    explicit KnowledgeBase(size_t embedding_dim,
+                           Precision precision = Precision::F32);
 
     /** Pre-allocate capacity for `ns` sentences. */
     void reserve(size_t ns);
 
     /**
      * Append one embedded sentence: min_row goes to M_IN, mout_row to
-     * M_OUT; both are ed floats.
+     * M_OUT; both are ed floats (rounded to bf16 in BF16 mode).
      */
     void addSentence(const float *min_row, const float *mout_row);
 
@@ -43,29 +72,53 @@ class KnowledgeBase
     /** Embedding dimension (ed). */
     size_t dim() const { return ed; }
 
-    /** Row-major (ns x ed) input memory. */
-    const float *minData() const { return min.data(); }
+    /** Storage precision of the M_IN/M_OUT rows. */
+    Precision precision() const { return prec; }
 
-    /** Row-major (ns x ed) output memory. */
-    const float *moutData() const { return mout.data(); }
+    /** Bytes per stored element (4 for F32, 2 for BF16). */
+    size_t elemBytes() const { return precisionBytes(prec); }
 
-    /** Row i of M_IN. */
+    /** Row-major (ns x ed) input memory (F32 mode only). */
+    const float *minData() const;
+
+    /** Row-major (ns x ed) output memory (F32 mode only). */
+    const float *moutData() const;
+
+    /** Row-major (ns x ed) bf16 input memory (BF16 mode only). */
+    const uint16_t *minData16() const;
+
+    /** Row-major (ns x ed) bf16 output memory (BF16 mode only). */
+    const uint16_t *moutData16() const;
+
+    /** Row i of M_IN (F32 mode only). */
     const float *minRow(size_t i) const;
 
-    /** Row i of M_OUT. */
+    /** Row i of M_OUT (F32 mode only). */
     const float *moutRow(size_t i) const;
 
-    /** Total bytes held by M_IN + M_OUT (for footprint reporting). */
-    size_t bytes() const { return 2 * count * ed * sizeof(float); }
+    /** Row i of M_IN as bf16 (BF16 mode only). */
+    const uint16_t *minRow16(size_t i) const;
+
+    /** Row i of M_OUT as bf16 (BF16 mode only). */
+    const uint16_t *moutRow16(size_t i) const;
+
+    /**
+     * Total bytes held by M_IN + M_OUT (for footprint and traffic
+     * reporting): element size honest, not hard-coded fp32.
+     */
+    size_t bytes() const { return 2 * count * ed * elemBytes(); }
 
   private:
     void grow(size_t min_capacity);
 
     size_t ed;
+    Precision prec;
     size_t count = 0;
     size_t capacity = 0;
-    AlignedBuffer<float> min;
+    AlignedBuffer<float> min;      ///< F32 mode storage
     AlignedBuffer<float> mout;
+    AlignedBuffer<uint16_t> min16; ///< BF16 mode storage
+    AlignedBuffer<uint16_t> mout16;
 };
 
 } // namespace mnnfast::core

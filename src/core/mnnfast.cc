@@ -68,7 +68,7 @@ MnnFastSystem::MnnFastSystem(const SystemConfig &cfg, uint64_t seed)
         cTables.back().randomInit(seed + 3 + 2 * h);
         taRows.emplace_back(cfg.maxStory * cfg.embeddingDim, 0.f);
         tcRows.emplace_back(cfg.maxStory * cfg.embeddingDim, 0.f);
-        kbs.emplace_back(cfg.embeddingDim);
+        kbs.emplace_back(cfg.embeddingDim, cfg.kbPrecision);
     }
     buildEngines();
 }
@@ -202,7 +202,11 @@ MnnFastSystem::explain(const data::Sentence &question, size_t top_k)
 
     // Exact hop-0 attention (stable softmax).
     std::vector<float> p(ns);
-    blas::gemv(kbs[0].minData(), ns, ed, u.data(), p.data());
+    if (kbs[0].precision() == Precision::BF16)
+        blas::dotBatchMultiBf16(u.data(), 1, ed, kbs[0].minData16(), ns,
+                                ed, ed, p.data(), ns);
+    else
+        blas::gemv(kbs[0].minData(), ns, ed, u.data(), p.data());
     blas::softmax(p.data(), ns);
 
     std::vector<Attribution> all(ns);

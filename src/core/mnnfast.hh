@@ -45,6 +45,13 @@ struct SystemConfig
     EngineKind engine = EngineKind::MnnFast;
     EngineConfig engineConfig;
     /**
+     * Storage precision of every hop's knowledge base. BF16 halves
+     * memory footprint and bandwidth; engines pick the fused
+     * dequantizing kernels automatically. F32 remains the bit-exact
+     * reference.
+     */
+    Precision kbPrecision = Precision::F32;
+    /**
      * Temporal embeddings imported from the trained model are added
      * to memory rows at story position i (capped at maxStory-1).
      */

@@ -86,6 +86,9 @@ void
 runBaseline(const WorkloadParams &wp, CacheModel &cache,
             TrafficResult &result)
 {
+    // KB rows scale with the storage precision; every per-question
+    // vector (u, o, T_IN, P_exp, P) stays fp32.
+    const uint64_t kb_row_bytes = wp.ed * wp.kbElemBytes;
     const uint64_t row_bytes = wp.ed * sizeof(float);
     const uint64_t vec_elems = uint64_t(wp.nq) * wp.ns;
 
@@ -94,8 +97,8 @@ runBaseline(const WorkloadParams &wp, CacheModel &cache,
     {
         PhaseRecorder rec(cache, result.phases.back());
         for (uint64_t i = 0; i < wp.ns; ++i) {
-            rec.touchRange(kMinBase + i * row_bytes, row_bytes, false,
-                           false);
+            rec.touchRange(kMinBase + i * kb_row_bytes, kb_row_bytes,
+                           false, false);
             for (uint64_t q = 0; q < wp.nq; ++q) {
                 // u_q is tiny and stays resident.
                 rec.touch(kUBase + q * row_bytes);
@@ -135,8 +138,8 @@ runBaseline(const WorkloadParams &wp, CacheModel &cache,
     {
         PhaseRecorder rec(cache, result.phases.back());
         for (uint64_t i = 0; i < wp.ns; ++i) {
-            rec.touchRange(kMoutBase + i * row_bytes, row_bytes, false,
-                           false);
+            rec.touchRange(kMoutBase + i * kb_row_bytes, kb_row_bytes,
+                           false, false);
             for (uint64_t q = 0; q < wp.nq; ++q) {
                 rec.touch(kPBase + (q * wp.ns + i) * sizeof(float));
                 // o accumulators are tiny and resident.
@@ -158,6 +161,7 @@ void
 runColumn(const WorkloadParams &wp, CacheModel &cache,
           TrafficResult &result, bool streamed, bool zskip)
 {
+    const uint64_t kb_row_bytes = wp.ed * wp.kbElemBytes;
     const uint64_t row_bytes = wp.ed * sizeof(float);
     const uint64_t vec_elems = uint64_t(wp.nq) * wp.ns;
 
@@ -180,8 +184,8 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
         {
             PhaseRecorder rec(cache, inner);
             for (uint64_t i = c0; i < c1; ++i) {
-                rec.touchRange(kMinBase + i * row_bytes, row_bytes,
-                               false, streamed);
+                rec.touchRange(kMinBase + i * kb_row_bytes,
+                               kb_row_bytes, false, streamed);
                 for (uint64_t q = 0; q < wp.nq; ++q) {
                     rec.touch(kUBase + q * row_bytes);
                     // Chunk scratch is reused across chunks: same
@@ -220,8 +224,8 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
                             keep_rng.chance(wp.zskipKeepFraction);
                 }
                 if (row_needed) {
-                    rec.touchRange(kMoutBase + i * row_bytes, row_bytes,
-                                   false, streamed);
+                    rec.touchRange(kMoutBase + i * kb_row_bytes,
+                                   kb_row_bytes, false, streamed);
                 }
                 for (uint64_t q = 0; q < wp.nq; ++q) {
                     rec.touch(kScratchBase
@@ -304,6 +308,8 @@ simulateDataflow(Dataflow df, const WorkloadParams &params,
         fatal("traffic workload dimensions must be nonzero");
     if (params.chunkSize == 0)
         fatal("traffic chunk size must be nonzero");
+    if (params.kbElemBytes == 0)
+        fatal("traffic KB element size must be nonzero");
 
     CacheModel cache(llc);
     TrafficResult result;

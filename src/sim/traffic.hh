@@ -53,6 +53,12 @@ struct WorkloadParams
      * (MnnFast dataflow only). The paper measures ~3-19% kept.
      */
     double zskipKeepFraction = 0.1;
+    /**
+     * Bytes per stored knowledge-base element (M_IN / M_OUT rows
+     * only; questions, scratch and accumulators stay fp32). 4 models
+     * fp32 storage, 2 models the bf16 knowledge base.
+     */
+    size_t kbElemBytes = sizeof(float);
 };
 
 /** Per-phase traffic and compute volume. */

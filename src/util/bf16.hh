@@ -1,0 +1,53 @@
+/**
+ * @file
+ * bfloat16 storage conversions.
+ *
+ * bfloat16 is the top half of an IEEE-754 float: 1 sign bit, the full
+ * 8-bit exponent, and 7 explicit mantissa bits. Keeping the fp32
+ * exponent means conversion is a pure 16-bit shift (plus rounding on
+ * the way down), which is what lets the bf16 kernels upconvert with
+ * one integer shift per lane and stay bit-identical across backends.
+ *
+ * Encoding uses round-to-nearest-even, so the round-trip
+ * fp32 -> bf16 -> fp32 error is bounded by 2^-8 relative for normal
+ * inputs (half of the 2^-7 mantissa ulp; property-tested). Decoding is
+ * exact: every bf16 value is a representable float.
+ */
+
+#ifndef MNNFAST_UTIL_BF16_HH
+#define MNNFAST_UTIL_BF16_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace mnnfast {
+
+/** Nearest-even rounding of a float to bfloat16 bits. */
+inline uint16_t
+bf16FromFloat(float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    // NaN: rounding could carry the mantissa into the exponent and
+    // turn it into inf; return a quiet NaN with the sign preserved.
+    if ((bits & 0x7FFFFFFFu) > 0x7F800000u)
+        return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+    // Round to nearest, ties to even: add 0x7FFF plus the lowest kept
+    // bit, then truncate.
+    bits += 0x7FFFu + ((bits >> 16) & 1u);
+    return static_cast<uint16_t>(bits >> 16);
+}
+
+/** Exact widening of bfloat16 bits to float (a 16-bit shift). */
+inline float
+bf16ToFloat(uint16_t h)
+{
+    const uint32_t bits = static_cast<uint32_t>(h) << 16;
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+} // namespace mnnfast
+
+#endif // MNNFAST_UTIL_BF16_HH

@@ -8,10 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "blas/kernels.hh"
+#include "util/bf16.hh"
 #include "util/rng.hh"
 
 namespace mnnfast::blas {
@@ -634,6 +637,186 @@ TEST(WeightedSumSkipMulti, BitIdenticalToPerQuerySweep)
                         << " count=" << count << " i=" << i;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// bf16 storage kernels. These carry a stronger contract than the fp32
+// kernels: the scalar and AVX2 backends implement the same canonical
+// accumulation order, so the dispatched kernel must match the scalar
+// reference BIT-FOR-BIT (not just within tolerance), on any host.
+// ---------------------------------------------------------------------
+
+/** nastyVec rounded to bf16 storage. */
+std::vector<uint16_t>
+nastyVecBf16(size_t n, uint64_t seed)
+{
+    const auto f = nastyVec(n, seed, 0);
+    std::vector<uint16_t> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = bf16FromFloat(f[i]);
+    return v;
+}
+
+TEST(Bf16Convert, RoundTripWithinRelativeBound)
+{
+    // Round-to-nearest-even on an 8-bit mantissa: the round-trip
+    // error of any normal float is at most 2^-8 of its magnitude.
+    const auto x = nastyVec(4096, 601, 0);
+    for (float v : x) {
+        const float rt = bf16ToFloat(bf16FromFloat(v));
+        ASSERT_LE(std::abs(rt - v), std::abs(v) * 0x1p-8f) << "v=" << v;
+    }
+}
+
+TEST(Bf16Convert, ExactValuesSurvive)
+{
+    // Values already representable in bf16 must round-trip exactly.
+    for (float v : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -0.25f,
+                    1.5f, 3.0f, 256.0f}) {
+        const float rt = bf16ToFloat(bf16FromFloat(v));
+        ASSERT_EQ(std::memcmp(&rt, &v, sizeof(float)), 0) << "v=" << v;
+    }
+}
+
+TEST(Bf16Convert, SpecialsPropagate)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(bf16ToFloat(bf16FromFloat(inf)), inf);
+    EXPECT_EQ(bf16ToFloat(bf16FromFloat(-inf)), -inf);
+    EXPECT_TRUE(std::isnan(
+        bf16ToFloat(bf16FromFloat(std::nanf("")))));
+}
+
+TEST(DotBatchMultiBf16, BitIdenticalToScalarReference)
+{
+    const size_t d_cases[] = {0, 1, 7, 8, 9, 15, 16, 17, 64, 129, 256};
+    for (size_t d : d_cases) {
+        const size_t stride = d + 3, xstride = d + 1;
+        for (size_t nq : {size_t(1), size_t(2), size_t(3), size_t(5),
+                          size_t(8), size_t(9)}) {
+            for (size_t count : {size_t(0), size_t(1), size_t(3),
+                                 size_t(4), size_t(5), size_t(17),
+                                 size_t(64)}) {
+                const size_t ostride = count + 2;
+                const auto x = nastyVec(nq * xstride, 611, 0);
+                const auto rows = nastyVecBf16(count * stride, 612);
+                std::vector<float> got(nq * ostride, -9.f);
+                std::vector<float> ref(nq * ostride, -9.f);
+
+                dotBatchMultiBf16(x.data(), nq, xstride, rows.data(),
+                                  count, d, stride, got.data(), ostride);
+                scalar::dotBatchMultiBf16(x.data(), nq, xstride,
+                                          rows.data(), count, d, stride,
+                                          ref.data(), ostride);
+
+                for (size_t i = 0; i < got.size(); ++i)
+                    ASSERT_EQ(got[i], ref[i])
+                        << "d=" << d << " nq=" << nq
+                        << " count=" << count << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(DotBatchMultiBf16, MatchesWideningDoubleReference)
+{
+    // Accuracy (not just self-consistency): against a double-precision
+    // dot over the upconverted rows the kernel is ordinary fp32
+    // summation, so the usual O(d) rounding bound applies.
+    const size_t d = 256, count = 33, nq = 4;
+    const auto x = nastyVec(nq * d, 613, 0);
+    const auto rows = nastyVecBf16(count * d, 614);
+    std::vector<float> got(nq * count);
+    dotBatchMultiBf16(x.data(), nq, d, rows.data(), count, d, d,
+                      got.data(), count);
+    for (size_t q = 0; q < nq; ++q) {
+        for (size_t r = 0; r < count; ++r) {
+            double ref = 0.0;
+            for (size_t i = 0; i < d; ++i)
+                ref += double(x[q * d + i])
+                     * double(bf16ToFloat(rows[r * d + i]));
+            ASSERT_NEAR(got[q * count + r], ref, 1e-5 * d)
+                << "q=" << q << " r=" << r;
+        }
+    }
+}
+
+TEST(WeightedSumSkipMultiBf16, BitIdenticalToScalarReference)
+{
+    const size_t d = 65, stride = 67;
+    for (size_t nq : {size_t(1), size_t(2), size_t(3), size_t(5),
+                      kWsumQueryTile, kWsumQueryTile + 1,
+                      2 * kWsumQueryTile + 1}) {
+        for (float threshold : {0.0f, 0.05f, 0.5f}) {
+            for (size_t count : {size_t(0), size_t(1), size_t(7),
+                                 size_t(100)}) {
+                const size_t estride = count + 3;
+                const size_t accstride = d + 5;
+                auto e = nastyVec(nq * estride, 621, 0);
+                for (float &v : e)
+                    v = std::abs(v) + 1e-3f; // exp outputs are positive
+                const auto rows = nastyVecBf16(count * stride, 622);
+
+                auto acc1 = nastyVec(nq * accstride, 623, 0);
+                auto acc2 = acc1;
+                std::vector<double> s1(nq), s2(nq);
+                for (size_t q = 0; q < nq; ++q)
+                    s1[q] = s2[q] = 0.25 * double(q);
+                uint64_t kept1 = 0, skip1 = 0, kept2 = 0, skip2 = 0;
+
+                weightedSumSkipMultiBf16(
+                    e.data(), nq, estride, rows.data(), count, d,
+                    stride, threshold, s1.data(), acc1.data(),
+                    accstride, kept1, skip1);
+                // The scalar reference takes any ne; no tiling needed.
+                scalar::weightedSumSkipMultiBf16(
+                    e.data(), nq, estride, rows.data(), count, d,
+                    stride, threshold, s2.data(), acc2.data(),
+                    accstride, kept2, skip2);
+
+                ASSERT_EQ(kept1, kept2)
+                    << "nq=" << nq << " th=" << threshold
+                    << " count=" << count;
+                ASSERT_EQ(skip1, skip2);
+                ASSERT_EQ(kept1 + skip1, uint64_t(nq) * count);
+                for (size_t q = 0; q < nq; ++q)
+                    ASSERT_EQ(s1[q], s2[q]) << "nq=" << nq << " q=" << q;
+                for (size_t i = 0; i < acc1.size(); ++i)
+                    ASSERT_EQ(acc1[i], acc2[i])
+                        << "nq=" << nq << " th=" << threshold
+                        << " count=" << count << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(WeightedSumSkipMultiBf16, SkipDecisionsMatchFp32Kernel)
+{
+    // The skip test is scalar double arithmetic on the e values in
+    // both precisions — rows never enter the decision — so kept and
+    // skipped counts must agree exactly with the fp32 kernel on the
+    // same e matrix.
+    const size_t d = 32, count = 200, nq = 5;
+    auto e = nastyVec(nq * count, 631, 0);
+    for (float &v : e)
+        v = std::abs(v) + 1e-3f;
+    const auto rows16 = nastyVecBf16(count * d, 632);
+    const auto rows32 = nastyVec(count * d, 633, 0);
+    for (float threshold : {0.01f, 0.1f}) {
+        std::vector<float> a1(nq * d, 0.f), a2(nq * d, 0.f);
+        std::vector<double> s1(nq, 0.0), s2(nq, 0.0);
+        uint64_t kept1 = 0, skip1 = 0, kept2 = 0, skip2 = 0;
+        weightedSumSkipMultiBf16(e.data(), nq, count, rows16.data(),
+                                 count, d, d, threshold, s1.data(),
+                                 a1.data(), d, kept1, skip1);
+        weightedSumSkipMulti(e.data(), nq, count, rows32.data(), count,
+                             d, d, threshold, s2.data(), a2.data(), d,
+                             kept2, skip2);
+        ASSERT_EQ(kept1, kept2) << "th=" << threshold;
+        ASSERT_EQ(skip1, skip2) << "th=" << threshold;
+        for (size_t q = 0; q < nq; ++q)
+            ASSERT_EQ(s1[q], s2[q]) << "q=" << q;
     }
 }
 

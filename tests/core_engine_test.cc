@@ -21,6 +21,7 @@
 #include "core/baseline_engine.hh"
 #include "core/column_engine.hh"
 #include "core/knowledge_base.hh"
+#include "util/bf16.hh"
 #include "util/rng.hh"
 
 namespace mnnfast::core {
@@ -28,9 +29,10 @@ namespace {
 
 /** Build a KB of ns random sentences with small-magnitude values. */
 KnowledgeBase
-randomKb(size_t ns, size_t ed, uint64_t seed, float scale = 0.5f)
+randomKb(size_t ns, size_t ed, uint64_t seed, float scale = 0.5f,
+         Precision prec = Precision::F32)
 {
-    KnowledgeBase kb(ed);
+    KnowledgeBase kb(ed, prec);
     kb.reserve(ns);
     XorShiftRng rng(seed);
     std::vector<float> min_row(ed), mout_row(ed);
@@ -694,6 +696,130 @@ TEST(KnowledgeBase, RowOutOfRangePanics)
 {
     KnowledgeBase kb(4);
     EXPECT_DEATH(kb.minRow(0), "out of range");
+}
+
+TEST(KnowledgeBaseBf16, BytesReflectElementSize)
+{
+    const size_t ns = 64, ed = 48;
+    const KnowledgeBase f32 = randomKb(ns, ed, 91);
+    const KnowledgeBase b16 =
+        randomKb(ns, ed, 91, 0.5f, Precision::BF16);
+    EXPECT_EQ(f32.bytes(), 2 * ns * ed * sizeof(float));
+    EXPECT_EQ(b16.bytes(), 2 * ns * ed * sizeof(uint16_t));
+    EXPECT_EQ(b16.bytes() * 2, f32.bytes());
+    EXPECT_EQ(f32.elemBytes(), sizeof(float));
+    EXPECT_EQ(b16.elemBytes(), sizeof(uint16_t));
+    EXPECT_STREQ(precisionName(f32.precision()), "f32");
+    EXPECT_STREQ(precisionName(b16.precision()), "bf16");
+}
+
+TEST(KnowledgeBaseBf16, RowsAreRoundedStorageOfInputs)
+{
+    // Stored rows must be exactly the round-to-nearest-even bf16 of
+    // the added fp32 values, surviving buffer growth.
+    const size_t ed = 5;
+    KnowledgeBase kb(ed, Precision::BF16);
+    XorShiftRng rng(93);
+    std::vector<float> min_row(ed), mout_row(ed);
+    std::vector<float> all_min, all_mout;
+    for (size_t i = 0; i < 100; ++i) { // forces several grows
+        for (size_t e = 0; e < ed; ++e) {
+            min_row[e] = rng.uniformRange(-2.f, 2.f);
+            mout_row[e] = rng.uniformRange(-2.f, 2.f);
+        }
+        all_min.insert(all_min.end(), min_row.begin(), min_row.end());
+        all_mout.insert(all_mout.end(), mout_row.begin(),
+                        mout_row.end());
+        kb.addSentence(min_row.data(), mout_row.data());
+    }
+    for (size_t i = 0; i < kb.size(); ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            ASSERT_EQ(kb.minRow16(i)[e],
+                      bf16FromFloat(all_min[i * ed + e]))
+                << "row " << i << " elem " << e;
+            ASSERT_EQ(kb.moutRow16(i)[e],
+                      bf16FromFloat(all_mout[i * ed + e]))
+                << "row " << i << " elem " << e;
+        }
+    }
+}
+
+TEST(KnowledgeBaseBf16, WrongPrecisionAccessorPanics)
+{
+    KnowledgeBase b16 = randomKb(4, 4, 95, 0.5f, Precision::BF16);
+    KnowledgeBase f32 = randomKb(4, 4, 95);
+    EXPECT_DEATH(b16.minRow(0), "non-F32");
+    EXPECT_DEATH(b16.moutData(), "non-F32");
+    EXPECT_DEATH(f32.minRow16(0), "non-BF16");
+    EXPECT_DEATH(f32.moutData16(), "non-BF16");
+}
+
+TEST(Bf16Engines, ColumnMatchesBaselineOnSameStorage)
+{
+    // Both engines read the identical bf16 rows, so they only differ
+    // in accumulation order — the same tolerance as the fp32
+    // column-vs-baseline equivalence applies.
+    const size_t ns = 3000, ed = 24, nq = 4;
+    const KnowledgeBase kb =
+        randomKb(ns, ed, 31, 0.5f, Precision::BF16);
+    const auto u = randomBatch(nq, ed, 32);
+
+    EngineConfig cfg;
+    BaselineEngine baseline(kb, cfg);
+    ColumnEngine column(kb, cfg);
+    std::vector<float> ob(nq * ed), oc(nq * ed);
+    baseline.inferBatch(u.data(), nq, ob.data());
+    column.inferBatch(u.data(), nq, oc.data());
+    expectClose(ob, oc);
+}
+
+TEST(Bf16Engines, OutputStaysCloseToF32Engine)
+{
+    // End-to-end deviation bound: rounding every KB element to bf16
+    // perturbs each dot by O(|u| |m| ed 2^-8) and each output element
+    // by O(scale 2^-8) plus the softmax reweighting. For this
+    // geometry the empirical deviation is ~5e-3; 0.02 gives margin
+    // while still catching a broken kernel (which is off by O(1)).
+    const size_t ns = 4000, ed = 32, nq = 5;
+    const KnowledgeBase f32 = randomKb(ns, ed, 33, 0.3f);
+    const KnowledgeBase b16 =
+        randomKb(ns, ed, 33, 0.3f, Precision::BF16);
+    const auto u = randomBatch(nq, ed, 34);
+
+    for (float threshold : {0.0f, 1e-3f}) {
+        EngineConfig cfg;
+        cfg.skipThreshold = threshold;
+        ColumnEngine ef(f32, cfg);
+        ColumnEngine eb(b16, cfg);
+        std::vector<float> of(nq * ed), ob(nq * ed);
+        ef.inferBatch(u.data(), nq, of.data());
+        eb.inferBatch(u.data(), nq, ob.data());
+        for (size_t i = 0; i < of.size(); ++i)
+            ASSERT_NEAR(of[i], ob[i], 0.02)
+                << "th=" << threshold << " i=" << i;
+    }
+}
+
+TEST(Bf16Engines, RepeatedCallsAreBitIdentical)
+{
+    // Arena reuse and scheduling must stay result-neutral in bf16
+    // mode exactly as in fp32 mode.
+    const size_t ns = 5000, ed = 16, nq = 3;
+    EngineConfig cfg;
+    cfg.chunkSize = 512;
+    cfg.skipThreshold = 0.05f;
+    const KnowledgeBase kb =
+        randomKb(ns, ed, 35, 0.5f, Precision::BF16);
+    const auto u = randomBatch(nq, ed, 36);
+
+    ColumnEngine engine(kb, cfg);
+    std::vector<float> first(nq * ed), again(nq * ed);
+    engine.inferBatch(u.data(), nq, first.data());
+    for (int rep = 0; rep < 3; ++rep) {
+        engine.inferBatch(u.data(), nq, again.data());
+        for (size_t i = 0; i < first.size(); ++i)
+            ASSERT_EQ(first[i], again[i]) << "rep=" << rep;
+    }
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 #include "core/baseline_engine.hh"
 #include "core/column_engine.hh"
 #include "sim/cache_model.hh"
+#include "util/bf16.hh"
 #include "util/rng.hh"
 
 namespace mnnfast {
@@ -118,6 +119,141 @@ TEST_P(EngineFuzz, AllEnginesMatchReference)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
                          ::testing::Range<uint64_t>(1, 17));
+
+// ---------------------------------------------------------------
+// bf16 storage fuzz
+// ---------------------------------------------------------------
+
+/** reference() over the bf16-rounded rows (widening is exact). */
+std::vector<float>
+referenceBf16(const core::KnowledgeBase &kb, const float *u, size_t nq)
+{
+    const size_t ns = kb.size(), ed = kb.dim();
+    std::vector<float> out(nq * ed, 0.f);
+    std::vector<double> dots(ns);
+    for (size_t q = 0; q < nq; ++q) {
+        double m = -1e300;
+        for (size_t i = 0; i < ns; ++i) {
+            double d = 0.0;
+            for (size_t e = 0; e < ed; ++e)
+                d += double(u[q * ed + e])
+                   * double(bf16ToFloat(kb.minRow16(i)[e]));
+            dots[i] = d;
+            m = std::max(m, d);
+        }
+        double s = 0.0;
+        for (size_t i = 0; i < ns; ++i)
+            s += std::exp(dots[i] - m);
+        for (size_t i = 0; i < ns; ++i) {
+            const double w = std::exp(dots[i] - m) / s;
+            for (size_t e = 0; e < ed; ++e)
+                out[q * ed + e] += static_cast<float>(
+                    w * double(bf16ToFloat(kb.moutRow16(i)[e])));
+        }
+    }
+    return out;
+}
+
+/**
+ * One bf16 fuzz iteration. Two properties:
+ *  1. Exactness: against the double reference over the *rounded*
+ *    storage, the bf16 engines are ordinary fp32 pipelines, so the
+ *    fp32 fuzz tolerance applies unchanged.
+ *  2. Deviation: against the fp32 engine on the unrounded KB the
+ *    outputs drift by the storage rounding only. Each dot moves by
+ *    at most ~ed * scale^2 * 2^-8 and each stored M_OUT element by
+ *    2^-8 relative, so with the scales kept moderate here the
+ *    softmax reweighting stays in the linear regime and the output
+ *    deviation is well under 0.1 * scale + the dot-shift term.
+ */
+void
+fuzzBf16Once(uint64_t seed)
+{
+    XorShiftRng rng(seed);
+    const size_t ns = 1 + rng.below(3000);
+    const size_t ed = 1 + rng.below(64);
+    const size_t nq = 1 + rng.below(6);
+    const size_t chunk = 1 + rng.below(ns + 100);
+    const size_t threads = rng.below(4);
+    const float scale = rng.uniformRange(0.05f, 0.4f);
+
+    core::KnowledgeBase kb32(ed);
+    core::KnowledgeBase kb16(ed, core::Precision::BF16);
+    kb32.reserve(ns);
+    kb16.reserve(ns);
+    std::vector<float> a(ed), b(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            a[e] = rng.uniformRange(-scale, scale);
+            b[e] = rng.uniformRange(-scale, scale);
+        }
+        kb32.addSentence(a.data(), b.data());
+        kb16.addSentence(a.data(), b.data());
+    }
+    std::vector<float> u(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-scale, scale);
+
+    const std::string ctx = "seed=" + std::to_string(seed)
+                          + " ns=" + std::to_string(ns)
+                          + " ed=" + std::to_string(ed)
+                          + " nq=" + std::to_string(nq)
+                          + " chunk=" + std::to_string(chunk)
+                          + " scale=" + std::to_string(scale);
+
+    // 1. Exactness vs the rounded-storage reference.
+    const auto ref16 = referenceBf16(kb16, u.data(), nq);
+    {
+        core::EngineConfig cfg;
+        cfg.threads = threads;
+        core::BaselineEngine engine(kb16, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        for (size_t i = 0; i < o.size(); ++i)
+            ASSERT_NEAR(o[i], ref16[i], 2e-3) << ctx << " baseline";
+    }
+    {
+        core::EngineConfig cfg;
+        cfg.chunkSize = chunk;
+        cfg.threads = threads;
+        cfg.streaming = true;
+        core::ColumnEngine engine(kb16, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        for (size_t i = 0; i < o.size(); ++i)
+            ASSERT_NEAR(o[i], ref16[i], 2e-3) << ctx << " column";
+    }
+
+    // 2. Deviation vs the fp32 engine, zero-skipping off and on.
+    const double dot_shift =
+        double(ed) * double(scale) * double(scale) * 0x1p-8;
+    const double bound = 0.1 * double(scale) + 2.0 * dot_shift + 1e-3;
+    for (float threshold : {0.0f, 1e-3f}) {
+        core::EngineConfig cfg;
+        cfg.chunkSize = chunk;
+        cfg.threads = threads;
+        cfg.skipThreshold = threshold;
+        core::ColumnEngine e32(kb32, cfg);
+        core::ColumnEngine e16(kb16, cfg);
+        std::vector<float> o32(nq * ed), o16(nq * ed);
+        e32.inferBatch(u.data(), nq, o32.data());
+        e16.inferBatch(u.data(), nq, o16.data());
+        for (size_t i = 0; i < o32.size(); ++i)
+            ASSERT_NEAR(o32[i], o16[i], bound)
+                << ctx << " th=" << threshold;
+    }
+}
+
+class Bf16EngineFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(Bf16EngineFuzz, MatchesRoundedReferenceAndBoundsDeviation)
+{
+    fuzzBf16Once(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Bf16EngineFuzz,
+                         ::testing::Range<uint64_t>(101, 113));
 
 // ---------------------------------------------------------------
 // Cache model geometry sweep

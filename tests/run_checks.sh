@@ -24,6 +24,12 @@ for preset in "${presets[@]}"; do
     cmake --preset "${preset}"
     cmake --build --preset "${preset}" -j "${jobs}"
     ctest --preset "${preset}" -j "${jobs}"
+    # Second pass with SIMD dispatch disabled: on AVX2 hosts the run
+    # above only exercises the vector backend, so this pins the scalar
+    # reference kernels (and the scalar/AVX2 bit-identity contracts
+    # are still checked above, where both backends are reachable).
+    echo "==> preset: ${preset} (MNNFAST_NO_SIMD=1)"
+    MNNFAST_NO_SIMD=1 ctest --preset "${preset}" -j "${jobs}"
 done
 
-echo "all checks passed: ${presets[*]}"
+echo "all checks passed: ${presets[*]} (simd + scalar dispatch)"

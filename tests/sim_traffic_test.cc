@@ -102,6 +102,56 @@ TEST(Traffic, ZeroSkipReducesWeightedSumTraffic)
     EXPECT_LT(mnn_wsum.flops, str_wsum.flops * 0.2);
 }
 
+TEST(Traffic, Bf16StorageHalvesKbLines)
+{
+    // Shrinking kbElemBytes to 2 must halve the M_IN/M_OUT line
+    // traffic of the streamed column dataflow while leaving scratch
+    // and question traffic (all fp32) untouched.
+    auto wp32 = testWorkload();
+    auto wp16 = testWorkload();
+    wp16.kbElemBytes = 2;
+    const auto llc = testLlc();
+    const auto r32 =
+        simulateDataflow(Dataflow::ColumnStreaming, wp32, llc);
+    const auto r16 =
+        simulateDataflow(Dataflow::ColumnStreaming, wp16, llc);
+
+    // The dominant traffic is the compulsory KB stream, so total DRAM
+    // lines land close to half.
+    EXPECT_LT(r16.dramLines(), r32.dramLines() * 6 / 10);
+    EXPECT_GT(r16.dramLines(), r32.dramLines() * 4 / 10);
+    // Identical flops: precision changes bytes, not arithmetic.
+    EXPECT_DOUBLE_EQ(r16.flops(), r32.flops());
+}
+
+TEST(Traffic, Bf16AlsoHalvesBaselineKbStream)
+{
+    auto wp16 = testWorkload();
+    wp16.kbElemBytes = 2;
+    const auto llc = testLlc();
+    const auto r32 =
+        simulateDataflow(Dataflow::Baseline, testWorkload(), llc);
+    const auto r16 = simulateDataflow(Dataflow::Baseline, wp16, llc);
+
+    // Baseline spills nq x ns fp32 intermediates regardless of KB
+    // precision, so the reduction is real but bounded away from 2x.
+    EXPECT_LT(r16.dramLines(), r32.dramLines());
+    const uint64_t kb_lines32 = 2ull * wp16.ns * wp16.ed * 4 / 64;
+    const uint64_t kb_lines16 = 2ull * wp16.ns * wp16.ed * 2 / 64;
+    EXPECT_NEAR(double(r32.dramLines() - r16.dramLines()),
+                double(kb_lines32 - kb_lines16),
+                0.1 * double(kb_lines32));
+}
+
+TEST(Traffic, ZeroKbElemBytesIsFatal)
+{
+    auto wp = testWorkload();
+    wp.kbElemBytes = 0;
+    EXPECT_DEATH(
+        simulateDataflow(Dataflow::Column, wp, testLlc()),
+        "element size");
+}
+
 TEST(Traffic, FlopsMatchAnalyticCounts)
 {
     const auto wp = testWorkload();
