@@ -1,0 +1,117 @@
+#include "serve/latency_recorder.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mnnfast::serve {
+
+LatencyRecorder::LatencyRecorder(double maxSeconds, size_t bins)
+    : queueWaitHist(0.0, maxSeconds, bins),
+      serviceHist(0.0, maxSeconds, bins),
+      endToEndHist(0.0, maxSeconds, bins)
+{
+}
+
+void
+LatencyRecorder::recordRequest(double queue_wait, double service,
+                               double end_to_end)
+{
+    queueWaitHist.add(queue_wait);
+    serviceHist.add(service);
+    endToEndHist.add(end_to_end);
+    queueWaitMax = std::max(queueWaitMax, queue_wait);
+    serviceMax = std::max(serviceMax, service);
+    endToEndMax = std::max(endToEndMax, end_to_end);
+}
+
+void
+LatencyRecorder::recordBatch(size_t n)
+{
+    ++batchCount;
+    questionCount += n;
+}
+
+void
+LatencyRecorder::mergeInto(LatencyRecorder &acc) const
+{
+    acc.queueWaitHist.merge(queueWaitHist);
+    acc.serviceHist.merge(serviceHist);
+    acc.endToEndHist.merge(endToEndHist);
+    acc.queueWaitMax = std::max(acc.queueWaitMax, queueWaitMax);
+    acc.serviceMax = std::max(acc.serviceMax, serviceMax);
+    acc.endToEndMax = std::max(acc.endToEndMax, endToEndMax);
+    acc.batchCount += batchCount;
+    acc.questionCount += questionCount;
+}
+
+LatencyQuantiles
+LatencyRecorder::quantilesOf(const stats::Histogram &h, double max_sample)
+{
+    LatencyQuantiles q;
+    q.count = h.count();
+    q.mean = h.mean();
+    q.p50 = h.quantile(0.50);
+    q.p95 = h.quantile(0.95);
+    q.p99 = h.quantile(0.99);
+    q.max = max_sample;
+    return q;
+}
+
+LatencySnapshot
+LatencyRecorder::snapshot() const
+{
+    LatencySnapshot s;
+    s.completed = endToEndHist.count();
+    s.batches = batchCount;
+    if (batchCount > 0)
+        s.meanBatchSize = static_cast<double>(questionCount)
+                          / static_cast<double>(batchCount);
+    s.queueWait = quantilesOf(queueWaitHist, queueWaitMax);
+    s.service = quantilesOf(serviceHist, serviceMax);
+    s.endToEnd = quantilesOf(endToEndHist, endToEndMax);
+    return s;
+}
+
+namespace {
+
+std::string
+quantilesJson(const char *name, const LatencyQuantiles &q,
+              const std::string &pad)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\": {\"count\": %llu, \"mean\": %.9f, "
+                  "\"p50\": %.9f, \"p95\": %.9f, \"p99\": %.9f, "
+                  "\"max\": %.9f}",
+                  pad.c_str(), name,
+                  static_cast<unsigned long long>(q.count), q.mean,
+                  q.p50, q.p95, q.p99, q.max);
+    return buf;
+}
+
+} // namespace
+
+std::string
+LatencySnapshot::toJson(int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    const std::string in = pad + "  ";
+    char head[512];
+    std::snprintf(head, sizeof(head),
+                  "{\n%s\"arrived\": %llu,\n%s\"rejected\": %llu,\n"
+                  "%s\"completed\": %llu,\n%s\"batches\": %llu,\n"
+                  "%s\"mean_batch_size\": %.4f,\n",
+                  in.c_str(), static_cast<unsigned long long>(arrived),
+                  in.c_str(), static_cast<unsigned long long>(rejected),
+                  in.c_str(), static_cast<unsigned long long>(completed),
+                  in.c_str(), static_cast<unsigned long long>(batches),
+                  in.c_str(), meanBatchSize);
+    std::string out = head;
+    out += quantilesJson("queue_wait_seconds", queueWait, in) + ",\n";
+    out += quantilesJson("service_seconds", service, in) + ",\n";
+    out += quantilesJson("end_to_end_seconds", endToEnd, in) + "\n";
+    out += pad + "}";
+    return out;
+}
+
+} // namespace mnnfast::serve

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Serving-side observability: per-worker latency histograms and
+ * monotonic counters, merged into a service-wide snapshot.
+ *
+ * Each engine worker owns one LatencyRecorder and updates it without
+ * synchronization (a worker is the only writer of its recorder while
+ * the server runs). Three latency axes are tracked per completed
+ * request — queue wait (enqueue -> batch dispatch), service (the
+ * engine call, shared by the batch), and end-to-end (enqueue ->
+ * completion) — in identical-geometry stats::Histograms so snapshots
+ * can merge them across workers with Histogram::merge and read
+ * p50/p95/p99 off Histogram::quantile. Counters follow the
+ * stats::Counter idiom: arrived / completed / rejected at admission,
+ * batches and batched-question totals per worker.
+ *
+ * LatencySnapshot is plain data plus a toJson() serializer, so benches
+ * and examples export the same numbers the tests assert on.
+ */
+
+#ifndef MNNFAST_SERVE_LATENCY_RECORDER_HH
+#define MNNFAST_SERVE_LATENCY_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "stats/histogram.hh"
+
+namespace mnnfast::serve {
+
+/** Merged quantile view of one latency axis. */
+struct LatencyQuantiles
+{
+    uint64_t count = 0;
+    double mean = 0.0; ///< seconds
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0; ///< largest recorded sample (exact, not binned)
+};
+
+/** Service-wide view at one instant; see LiveServer::snapshot(). */
+struct LatencySnapshot
+{
+    uint64_t arrived = 0;   ///< submit() calls, accepted or not
+    uint64_t rejected = 0;  ///< refused at admission (queue full/closed)
+    uint64_t completed = 0; ///< futures fulfilled
+    uint64_t batches = 0;   ///< engine dispatches
+    double meanBatchSize = 0.0;
+
+    LatencyQuantiles queueWait;
+    LatencyQuantiles service;
+    LatencyQuantiles endToEnd;
+
+    /** Serialize every field as one pretty-printed JSON object. */
+    std::string toJson(int indent = 0) const;
+};
+
+/**
+ * One worker's latency record. Not thread-safe: a recorder has exactly
+ * one writer (its worker); aggregation happens after the workers have
+ * quiesced or via mergeInto on a caller-synchronized copy.
+ */
+class LatencyRecorder
+{
+  public:
+    /**
+     * @param maxSeconds Histogram range upper bound; samples at or
+     *                   above it land in the overflow bucket (and clamp
+     *                   quantiles to maxSeconds).
+     * @param bins       Histogram resolution.
+     */
+    explicit LatencyRecorder(double maxSeconds = 1.0, size_t bins = 4096);
+
+    /** Record one completed request's three latency axes (seconds). */
+    void recordRequest(double queue_wait, double service,
+                       double end_to_end);
+
+    /** Record one dispatched batch of n requests. */
+    void recordBatch(size_t n);
+
+    /** Fold this recorder into an accumulating snapshot builder. */
+    void mergeInto(LatencyRecorder &acc) const;
+
+    /** Render the merged quantile views. */
+    LatencySnapshot snapshot() const;
+
+    uint64_t batches() const { return batchCount; }
+    uint64_t batchedQuestions() const { return questionCount; }
+
+  private:
+    static LatencyQuantiles quantilesOf(const stats::Histogram &h,
+                                        double max_sample);
+
+    stats::Histogram queueWaitHist;
+    stats::Histogram serviceHist;
+    stats::Histogram endToEndHist;
+    double queueWaitMax = 0.0;
+    double serviceMax = 0.0;
+    double endToEndMax = 0.0;
+    uint64_t batchCount = 0;
+    uint64_t questionCount = 0;
+};
+
+} // namespace mnnfast::serve
+
+#endif // MNNFAST_SERVE_LATENCY_RECORDER_HH

@@ -1,0 +1,152 @@
+#include "serve/live_server.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace mnnfast::serve {
+
+namespace {
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+LiveServer::LiveServer(const core::KnowledgeBase &kb,
+                       const LiveServerConfig &cfg)
+    : kb(kb), cfg(cfg),
+      timeoutNs(std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double>(cfg.batchTimeout))),
+      queue(cfg.queueCapacity), pool(cfg.workers)
+{
+    if (cfg.maxBatch == 0 || cfg.workers == 0)
+        fatal("live server needs a nonzero batch cap and worker count");
+    if (cfg.batchTimeout < 0.0)
+        fatal("batch timeout must be non-negative");
+    if (kb.size() == 0)
+        fatal("live server needs a non-empty knowledge base");
+
+    workerSlots.reserve(cfg.workers);
+    for (size_t i = 0; i < cfg.workers; ++i)
+        workerSlots.push_back(std::make_unique<Worker>(kb, cfg));
+    for (size_t i = 0; i < cfg.workers; ++i)
+        pool.submit([this, i] { workerLoop(i); });
+}
+
+LiveServer::~LiveServer()
+{
+    shutdown();
+}
+
+Ticket
+LiveServer::submit(const float *u)
+{
+    Ticket ticket;
+    arrived.fetch_add(1, std::memory_order_relaxed);
+    if (stopping.load(std::memory_order_acquire)) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        ticket.status = SubmitStatus::ShuttingDown;
+        return ticket;
+    }
+
+    Request req;
+    req.u.assign(u, u + kb.dim());
+    std::future<Answer> answer = req.promise.get_future();
+    if (!queue.tryPush(std::move(req))) {
+        // Full queue or a close that raced with the stopping check;
+        // either way the request was not admitted and the (unused)
+        // promise dies with `req`.
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        ticket.status = queue.isClosed() ? SubmitStatus::ShuttingDown
+                                         : SubmitStatus::Rejected;
+        return ticket;
+    }
+    ticket.status = SubmitStatus::Accepted;
+    ticket.answer = std::move(answer);
+    return ticket;
+}
+
+void
+LiveServer::workerLoop(size_t slot)
+{
+    Worker &w = *workerSlots[slot];
+    const size_t ed = kb.dim();
+    std::vector<RequestQueue<Request>::Entry> batch;
+    std::vector<float> uflat;
+    std::vector<float> oflat;
+
+    while (queue.popBatch(cfg.maxBatch, timeoutNs, batch)) {
+        const auto dispatched = std::chrono::steady_clock::now();
+        const size_t n = batch.size();
+        uflat.resize(n * ed);
+        oflat.resize(n * ed);
+        for (size_t i = 0; i < n; ++i)
+            std::memcpy(uflat.data() + i * ed, batch[i].item.u.data(),
+                        ed * sizeof(float));
+
+        Timer timer;
+        w.engine.inferBatch(uflat.data(), n, oflat.data());
+        const double service = timer.seconds();
+        const auto done = std::chrono::steady_clock::now();
+
+        {
+            std::lock_guard<std::mutex> lock(w.recorderMutex);
+            w.recorder.recordBatch(n);
+            for (size_t i = 0; i < n; ++i) {
+                w.recorder.recordRequest(
+                    secondsBetween(batch[i].enqueued, dispatched),
+                    service,
+                    secondsBetween(batch[i].enqueued, done));
+            }
+        }
+
+        for (size_t i = 0; i < n; ++i) {
+            Answer a;
+            a.o.assign(oflat.data() + i * ed,
+                       oflat.data() + (i + 1) * ed);
+            a.batchSize = n;
+            a.queueWaitSeconds =
+                secondsBetween(batch[i].enqueued, dispatched);
+            a.serviceSeconds = service;
+            batch[i].item.promise.set_value(std::move(a));
+        }
+    }
+}
+
+void
+LiveServer::shutdown()
+{
+    std::call_once(shutdownOnce, [this] {
+        // Order matters: refuse new admissions, then wake the workers
+        // so they drain the queue as immediate partial batches, then
+        // wait for the last batch to complete. popBatch returns false
+        // only once the queue is closed *and* empty, so no accepted
+        // request can be left behind.
+        stopping.store(true, std::memory_order_release);
+        queue.close();
+        pool.waitIdle();
+    });
+}
+
+LatencySnapshot
+LiveServer::snapshot() const
+{
+    LatencyRecorder merged(cfg.histogramMaxSeconds, cfg.histogramBins);
+    for (const auto &w : workerSlots) {
+        std::lock_guard<std::mutex> lock(w->recorderMutex);
+        w->recorder.mergeInto(merged);
+    }
+    LatencySnapshot s = merged.snapshot();
+    s.arrived = arrived.load(std::memory_order_relaxed);
+    s.rejected = rejected.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace mnnfast::serve

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The live QA serving runtime: a real, multi-threaded counterpart of
+ * the discrete-event simulator in qa_server.hh.
+ *
+ *   clients --submit()--> RequestQueue --popBatch()--> engine workers
+ *                         (bounded,      (size cap +    (one column
+ *                          rejects        oldest-Q       engine each,
+ *                          when full)     timeout)       shared KB)
+ *
+ * Admission. submit() copies the question vector, stamps it, and
+ * offers it to a bounded queue. A full (or closing) queue rejects the
+ * request immediately — backpressure by refusal, never by blocking
+ * the client — and the rejection is counted. An accepted request
+ * returns a std::future<Answer> that is guaranteed to become ready:
+ * shutdown drains the queue before the workers exit, so every
+ * accepted request is answered exactly once (tested).
+ *
+ * Batching. Workers pull batches with RequestQueue::popBatch, whose
+ * dispatch rule — release at `maxBatch` pending or when the oldest
+ * pending request has waited `batchTimeout` — is the same policy the
+ * simulator implements in simulated time. This is deliberate: the
+ * serving claim inherited from the paper is that a batch shares one
+ * streaming pass over the knowledge base (t(n) = base + n * slope),
+ * and keeping the policies identical lets bench/serving_live replay
+ * one workload through both and compare the model against wall-clock
+ * reality.
+ *
+ * Execution. Each worker owns a private ColumnEngine over the shared
+ * (read-only) KnowledgeBase — engines hold scratch state and are not
+ * thread-safe, but the KB is immutable while serving, so workers scale
+ * without locking. Worker threads come from a runtime::ThreadPool;
+ * per-worker ScratchArenas inside the engines reach steady state after
+ * the first batch, so the serving loop is allocation-quiet.
+ *
+ * Observability. Each worker updates a private LatencyRecorder
+ * (queue-wait / service / end-to-end histograms + batch counters)
+ * under a per-worker mutex that snapshot() also takes, so a live
+ * snapshot is always consistent; admission counters (arrived,
+ * rejected) are atomics on the submit path.
+ */
+
+#ifndef MNNFAST_SERVE_LIVE_SERVER_HH
+#define MNNFAST_SERVE_LIVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/column_engine.hh"
+#include "core/knowledge_base.hh"
+#include "runtime/thread_pool.hh"
+#include "serve/latency_recorder.hh"
+#include "serve/request_queue.hh"
+
+namespace mnnfast::serve {
+
+/** Outcome of one submit() call. */
+enum class SubmitStatus {
+    Accepted,     ///< queued; the ticket's future will become ready
+    Rejected,     ///< bounded queue full — backpressure, try later
+    ShuttingDown, ///< server is draining; no new admissions
+};
+
+/** A completed request: the response vector plus its timings. */
+struct Answer
+{
+    std::vector<float> o;          ///< ed-dimensional response
+    size_t batchSize = 0;          ///< size of the batch it rode in
+    double queueWaitSeconds = 0.0; ///< enqueue -> batch dispatch
+    double serviceSeconds = 0.0;   ///< the engine call (batch-shared)
+};
+
+/** submit() result: a status and, when accepted, the answer future. */
+struct Ticket
+{
+    SubmitStatus status = SubmitStatus::Rejected;
+    std::future<Answer> answer; ///< valid only when accepted()
+
+    bool accepted() const { return status == SubmitStatus::Accepted; }
+};
+
+/** Live-runtime tunables; the batching fields mirror ServerConfig. */
+struct LiveServerConfig
+{
+    /** Maximum questions per dispatched batch. */
+    size_t maxBatch = 32;
+    /** Dispatch a partial batch once its oldest question waited this
+     *  long (seconds). Zero means dispatch immediately when nonempty. */
+    double batchTimeout = 2.0e-3;
+    /** Engine workers; each owns a private ColumnEngine. */
+    size_t workers = 1;
+    /** Bounded-queue capacity; submissions beyond it are rejected. */
+    size_t queueCapacity = 1024;
+    /** Per-worker engine tunables (threads=0 keeps engines inline —
+     *  parallelism comes from serving concurrent batches, and nested
+     *  pools would oversubscribe the cores). */
+    core::EngineConfig engine;
+    /** Latency histogram range; samples above land in overflow (and
+     *  clamp quantiles to the range — the exact max is still kept). */
+    double histogramMaxSeconds = 0.5;
+    /** Latency histogram resolution. The default (~7.6 us bins over
+     *  0.5 s) resolves microsecond-scale engine latencies while still
+     *  covering deep-overload queueing; 3 histograms x 8 B bins is
+     *  ~1.5 MiB per worker. */
+    size_t histogramBins = 65536;
+};
+
+/** The live serving runtime. See file header. */
+class LiveServer
+{
+  public:
+    /**
+     * Start the workers. The knowledge base must be non-empty, must
+     * not be mutated while the server runs, and must outlive it.
+     */
+    LiveServer(const core::KnowledgeBase &kb,
+               const LiveServerConfig &cfg);
+
+    LiveServer(const LiveServer &) = delete;
+    LiveServer &operator=(const LiveServer &) = delete;
+
+    /** Drains and stops (equivalent to shutdown()). */
+    ~LiveServer();
+
+    /**
+     * Submit one question (ed floats, copied). Never blocks: returns
+     * Rejected when the bounded queue is full and ShuttingDown once
+     * shutdown began.
+     */
+    Ticket submit(const float *u);
+
+    /**
+     * Stop admissions, serve every already-accepted request, and join
+     * the workers. Idempotent; after it returns, every accepted
+     * future is ready and the counters are final.
+     */
+    void shutdown();
+
+    /** Consistent service-wide statistics (callable while serving). */
+    LatencySnapshot snapshot() const;
+
+    /** Embedding dimension submit() expects. */
+    size_t embeddingDim() const { return kb.dim(); }
+
+    /** False once shutdown has begun. */
+    bool accepting() const { return !stopping.load(); }
+
+    const LiveServerConfig &config() const { return cfg; }
+
+  private:
+    struct Request
+    {
+        std::vector<float> u;
+        std::promise<Answer> promise;
+    };
+
+    /** One worker slot: engine + its privately-written recorder. */
+    struct Worker
+    {
+        Worker(const core::KnowledgeBase &kb,
+               const LiveServerConfig &cfg)
+            : engine(kb, cfg.engine),
+              recorder(cfg.histogramMaxSeconds, cfg.histogramBins)
+        {}
+
+        core::ColumnEngine engine;
+        LatencyRecorder recorder;
+        std::mutex recorderMutex; ///< worker writes vs snapshot reads
+    };
+
+    void workerLoop(size_t slot);
+
+    const core::KnowledgeBase &kb;
+    LiveServerConfig cfg;
+    std::chrono::nanoseconds timeoutNs;
+
+    RequestQueue<Request> queue;
+    std::vector<std::unique_ptr<Worker>> workerSlots;
+
+    std::atomic<uint64_t> arrived{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<bool> stopping{false};
+    std::once_flag shutdownOnce;
+
+    // Declared last so the pool (and its worker loops, which touch
+    // every member above) is torn down first.
+    runtime::ThreadPool pool;
+};
+
+} // namespace mnnfast::serve
+
+#endif // MNNFAST_SERVE_LIVE_SERVER_HH

@@ -70,6 +70,54 @@ Histogram::fractionBelow(double x) const
     return static_cast<double>(below) / static_cast<double>(samples);
 }
 
+double
+Histogram::quantile(double p) const
+{
+    if (!(p >= 0.0 && p <= 1.0))
+        fatal("quantile probability %g outside [0, 1]", p);
+    if (samples == 0)
+        return 0.0;
+
+    // Rank of the requested quantile among all recorded samples
+    // (under/overflow included, so a heavy tail outside the range
+    // still pulls the quantile toward the boundary it escaped past).
+    const double rank = p * static_cast<double>(samples);
+    if (rank <= static_cast<double>(under))
+        return lo;
+
+    double cum = static_cast<double>(under);
+    const double width =
+        (hi - lo) / static_cast<double>(counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const double c = static_cast<double>(counts[i]);
+        if (cum + c >= rank && c > 0.0) {
+            const double frac = (rank - cum) / c;
+            return binLow(i) + frac * width;
+        }
+        cum += c;
+    }
+    // The rank lands in the overflow mass.
+    return hi;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (lo != other.lo || hi != other.hi
+        || counts.size() != other.counts.size()) {
+        fatal("merging histograms of different geometry: "
+              "[%g, %g) x %zu vs [%g, %g) x %zu",
+              lo, hi, counts.size(), other.lo, other.hi,
+              other.counts.size());
+    }
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    under += other.under;
+    over += other.over;
+    samples += other.samples;
+    sum += other.sum;
+}
+
 std::string
 Histogram::toString(size_t bar_width) const
 {

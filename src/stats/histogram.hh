@@ -52,6 +52,23 @@ class Histogram
     /** Fraction of samples falling at or below x (approximate, by bin). */
     double fractionBelow(double x) const;
 
+    /**
+     * The p-quantile (0 <= p <= 1) of the recorded samples,
+     * interpolated linearly within the containing bin. Underflow mass
+     * is attributed to `lo` and overflow mass to `hi` (the histogram
+     * cannot resolve positions outside its range, so the returned
+     * value is clamped to [lo, hi]). Returns 0 for an empty histogram.
+     */
+    double quantile(double p) const;
+
+    /**
+     * Fold another histogram's samples into this one. Both histograms
+     * must have identical geometry (lo, hi, bin count); merging
+     * mismatched geometries is a fatal error. Used to aggregate
+     * per-worker latency histograms into one service-wide snapshot.
+     */
+    void merge(const Histogram &other);
+
     /** Render a compact multi-line ASCII bar chart. */
     std::string toString(size_t bar_width = 40) const;
 

@@ -30,6 +30,15 @@ for preset in "${presets[@]}"; do
     # are still checked above, where both backends are reachable).
     echo "==> preset: ${preset} (MNNFAST_NO_SIMD=1)"
     MNNFAST_NO_SIMD=1 ctest --preset "${preset}" -j "${jobs}"
+    # Live-server smoke under the leak-checking build: a short
+    # low-rate open-loop run whose shutdown must drain every accepted
+    # request — ASan flags any promise/thread/arena leaked on the
+    # serve or teardown paths.
+    if [ "${preset}" = "asan-ubsan" ]; then
+        echo "==> preset: ${preset} (live-server smoke)"
+        MNNFAST_BENCH_JSON=build-asan/BENCH_serving_smoke.json \
+            ./build-asan/bench/serving_live --smoke
+    fi
 done
 
 echo "all checks passed: ${presets[*]} (simd + scalar dispatch)"

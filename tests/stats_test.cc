@@ -119,6 +119,119 @@ TEST(Histogram, ResetClears)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBin)
+{
+    // 100 samples spread one per centile over [0, 1): the p-quantile
+    // of the recorded distribution is ~p itself, and interpolation
+    // keeps the error below one bin width.
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i * 0.01);
+    EXPECT_NEAR(h.quantile(0.50), 0.50, 0.1);
+    EXPECT_NEAR(h.quantile(0.95), 0.95, 0.1);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+    // Quantiles are monotone in p.
+    EXPECT_LE(h.quantile(0.25), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+}
+
+TEST(Histogram, QuantileSingleBinUsesLinearPosition)
+{
+    Histogram h(0.0, 1.0, 1);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.5);
+    // The histogram cannot resolve inside a bin: the quantile is the
+    // linear position of the rank within [binLow, binHigh).
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 1e-9);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 1e-9);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileAttributesUnderAndOverflowToBounds)
+{
+    Histogram h(0.0, 1.0, 4);
+    // 40% of the mass below lo, 40% above hi, 20% mid-range.
+    for (int i = 0; i < 4; ++i)
+        h.add(-1.0);
+    for (int i = 0; i < 4; ++i)
+        h.add(5.0);
+    h.add(0.5);
+    h.add(0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.2), 0.0); // inside underflow mass
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0); // inside overflow mass
+    const double mid = h.quantile(0.5);
+    EXPECT_GE(mid, 0.25);
+    EXPECT_LE(mid, 0.75);
+}
+
+TEST(Histogram, QuantileRejectsOutOfRangeProbability)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    EXPECT_EXIT(h.quantile(-0.1), ::testing::ExitedWithCode(1),
+                "outside");
+    EXPECT_EXIT(h.quantile(1.5), ::testing::ExitedWithCode(1),
+                "outside");
+}
+
+TEST(Histogram, MergeAccumulatesAllMass)
+{
+    Histogram a(0.0, 1.0, 4);
+    Histogram b(0.0, 1.0, 4);
+    a.add(0.1);
+    a.add(-2.0); // underflow
+    b.add(0.9);
+    b.add(3.0); // overflow
+    b.add(0.6);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.binCount(0), 1u);
+    EXPECT_EQ(a.binCount(2), 1u);
+    EXPECT_EQ(a.binCount(3), 1u);
+    // Mean covers the merged sample set (0.1 - 2 + 0.9 + 3 + 0.6)/5.
+    EXPECT_NEAR(a.mean(), 0.52, 1e-12);
+    // The source histogram is untouched.
+    EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Histogram, MergeMatchesSingleHistogramQuantiles)
+{
+    // Splitting a sample stream across two same-geometry histograms
+    // and merging must give the same quantiles as one histogram fed
+    // everything — the per-worker aggregation contract.
+    Histogram whole(0.0, 1.0, 64);
+    Histogram part1(0.0, 1.0, 64);
+    Histogram part2(0.0, 1.0, 64);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = (i % 100) * 0.01;
+        whole.add(x);
+        (i % 2 ? part1 : part2).add(x);
+    }
+    part1.merge(part2);
+    EXPECT_EQ(part1.count(), whole.count());
+    for (double p : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_DOUBLE_EQ(part1.quantile(p), whole.quantile(p));
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry)
+{
+    Histogram a(0.0, 1.0, 4);
+    Histogram bins(0.0, 1.0, 8);
+    Histogram range(0.0, 2.0, 4);
+    EXPECT_EXIT(a.merge(bins), ::testing::ExitedWithCode(1),
+                "geometry");
+    EXPECT_EXIT(a.merge(range), ::testing::ExitedWithCode(1),
+                "geometry");
+}
+
 TEST(Histogram, ToStringRendersBars)
 {
     Histogram h(0.0, 1.0, 2);
