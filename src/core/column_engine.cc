@@ -218,8 +218,8 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
     }
 }
 
-void
-ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
+ColumnEngine::RunTotals
+ColumnEngine::runGroups(const float *u, size_t nq)
 {
     const size_t ns = kb.size();
     const size_t ed = kb.dim();
@@ -246,7 +246,6 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
         p.tInner = p.tSoftmax = p.tWsum = 0.0;
     }
 
-    Timer timer;
     // Per-worker slots, indexed by the unique worker/part id, so the
     // hot path needs no merge lock.
     keptPerWorker.assign(workers, 0);
@@ -276,11 +275,21 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
             });
     }
 
-    uint64_t kept_total = 0, skipped_total = 0;
+    RunTotals totals;
+    totals.nChunks = n_chunks;
     for (size_t w = 0; w < workers; ++w) {
-        kept_total += keptPerWorker[w];
-        skipped_total += skippedPerWorker[w];
+        totals.kept += keptPerWorker[w];
+        totals.skipped += skippedPerWorker[w];
     }
+    return totals;
+}
+
+void
+ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
+{
+    const size_t ed = kb.dim();
+    Timer timer;
+    const RunTotals totals = runGroups(u, nq);
 
     // Merge partials in group order (deterministic; see header) and
     // apply the lazy softmax division: O(ed) divisions per question
@@ -313,10 +322,74 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
         }
     }
 
+    // The lazy-softmax division happened above; the partial entry
+    // point defers it to the gathering merge.
+    counterGroup["div_ops"].add(nq * ed);
+    recordRunStats(totals, nq, timer.seconds());
+}
+
+void
+ColumnEngine::inferPartial(const float *u, size_t nq, StreamPartial &out)
+{
+    const size_t ed = kb.dim();
+    Timer timer;
+    const RunTotals totals = runGroups(u, nq);
+
+    out.nq = nq;
+    out.o.resize(nq * ed);
+    out.expSum.resize(nq);
+    out.runMax.resize(nq);
+
+    // Merge the group partials in group order with exactly the same
+    // operation sequence as inferBatch — minus the division, which
+    // the gather side applies after the cross-shard merge. With a
+    // single group this is a bit-exact copy of its accumulators
+    // (0 + x and 1.0 * x are exact), the property the sharded
+    // bit-identity guarantee rests on.
+    if (cfg.onlineNormalize) {
+        for (size_t q = 0; q < nq; ++q) {
+            float gmax = -std::numeric_limits<float>::infinity();
+            for (const Partial &p : partials)
+                gmax = std::max(gmax, p.runmax[q]);
+            double s = 0.0;
+            blas::zero(out.o.data() + q * ed, ed);
+            for (const Partial &p : partials) {
+                if (p.psum[q] == 0.0)
+                    continue;
+                const float scale = std::exp(p.runmax[q] - gmax);
+                s += p.psum[q] * scale;
+                blas::axpy(scale, p.o + q * ed, out.o.data() + q * ed,
+                           ed);
+            }
+            out.expSum[q] = s;
+            out.runMax[q] = gmax;
+        }
+    } else {
+        for (size_t q = 0; q < nq; ++q) {
+            double s = 0.0;
+            blas::zero(out.o.data() + q * ed, ed);
+            for (const Partial &p : partials) {
+                s += p.psum[q];
+                blas::axpy(1.0f, p.o + q * ed, out.o.data() + q * ed,
+                           ed);
+            }
+            out.expSum[q] = s;
+            out.runMax[q] = -std::numeric_limits<float>::infinity();
+        }
+    }
+
+    recordRunStats(totals, nq, timer.seconds());
+}
+
+void
+ColumnEngine::recordRunStats(const RunTotals &totals, size_t nq,
+                             double wall_seconds)
+{
     // Attribute phase times. With workers, per-group phase seconds
     // overlap in wall-clock; dividing by the worker count gives the
     // effective contribution (exact in the inline/1-thread case used
     // for the Fig. 9a breakdown).
+    const size_t workers = std::max<size_t>(1, pool.threadCount());
     double t_inner = 0.0, t_soft = 0.0, t_wsum = 0.0;
     for (const Partial &p : partials) {
         t_inner += p.tInner;
@@ -327,7 +400,7 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
     times.innerProduct += t_inner / denom;
     times.softmax += t_soft / denom;
     times.weightedSum += t_wsum / denom;
-    times.other += std::max(0.0, timer.seconds()
+    times.other += std::max(0.0, wall_seconds
                                  - (t_inner + t_soft + t_wsum) / denom);
 
     // The honest scratch footprint: every arena's retained capacity —
@@ -338,12 +411,11 @@ ColumnEngine::inferBatch(const float *u, size_t nq, float *o)
     counterGroup["intermediate_bytes"].reset();
     counterGroup["intermediate_bytes"].add(scratch_bytes);
 
-    counterGroup["div_ops"].add(nq * ed);
-    counterGroup["chunks_processed"].add(n_chunks);
-    counterGroup["rows_kept"].add(kept_total);
-    counterGroup["rows_skipped"].add(skipped_total);
-    counterGroup["flops_inner"].add(2ull * nq * ns * ed);
-    counterGroup["flops_wsum"].add(2ull * kept_total * ed);
+    counterGroup["chunks_processed"].add(totals.nChunks);
+    counterGroup["rows_kept"].add(totals.kept);
+    counterGroup["rows_skipped"].add(totals.skipped);
+    counterGroup["flops_inner"].add(2ull * nq * kb.size() * kb.dim());
+    counterGroup["flops_wsum"].add(2ull * totals.kept * kb.dim());
 }
 
 } // namespace mnnfast::core

@@ -72,6 +72,30 @@
 
 namespace mnnfast::core {
 
+/**
+ * The merged online-softmax state of one engine pass over (a shard
+ * of) the knowledge base, *before* the lazy-softmax division: per
+ * question a (rescaled) weighted-sum accumulator, a (rescaled)
+ * running exp-sum, and the running maximum the rescaling is relative
+ * to (-inf when onlineNormalize is off — the plain paper form never
+ * shifts). Partials from disjoint sentence ranges merge exactly:
+ *
+ *   m  = max(m_a, m_b)
+ *   S  = S_a * e^(m_a - m) + S_b * e^(m_b - m)
+ *   o  = o_a * e^(m_a - m) + o_b * e^(m_b - m)
+ *
+ * which is the same algebra ColumnEngine already applies to its
+ * per-group partials. Produced by ColumnEngine::inferPartial and
+ * consumed by ShardedEngine's canonical shard-order merge.
+ */
+struct StreamPartial
+{
+    std::vector<float> o;       ///< nq x ed weighted-sum accumulators
+    std::vector<double> expSum; ///< nq running exp sums
+    std::vector<float> runMax;  ///< nq running maxima
+    size_t nq = 0;              ///< questions this partial covers
+};
+
 /** Column-based (chunked, lazy-softmax) engine. See file header. */
 class ColumnEngine : public InferenceEngine
 {
@@ -86,6 +110,22 @@ class ColumnEngine : public InferenceEngine
     ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg);
 
     void inferBatch(const float *u, size_t nq, float *o) override;
+
+    /**
+     * Run the same chunked pass as inferBatch but stop before the
+     * lazy-softmax division, leaving the merged online-softmax state
+     * in `out` (buffers resized as needed; reused capacity makes the
+     * steady state allocation-free). This is the scatter half of
+     * sharded inference: partials from engines over disjoint shards
+     * merge exactly (see StreamPartial), and the gather side applies
+     * the single deferred division.
+     *
+     * When this engine's group decomposition has exactly one group
+     * (scheduleGroups = 1), `out` *is* that group's accumulator state
+     * bit-for-bit — the property ShardedEngine builds its
+     * bit-identity guarantee on.
+     */
+    void inferPartial(const float *u, size_t nq, StreamPartial &out);
 
     const char *name() const override;
 
@@ -115,6 +155,26 @@ class ColumnEngine : public InferenceEngine
 
     /** Group decomposition for the current KB size (cached). */
     const std::vector<runtime::Range> &chunkGroups(size_t n_chunks);
+
+    /** Zero-skip totals of one full pass over the chunk groups. */
+    struct RunTotals
+    {
+        uint64_t kept = 0;
+        uint64_t skipped = 0;
+        size_t nChunks = 0;
+    };
+
+    /**
+     * The shared pass: schedule every chunk group across the pool,
+     * leaving per-group accumulators in `partials`. inferBatch merges
+     * them with the final division; inferPartial merges them into a
+     * StreamPartial without it.
+     */
+    RunTotals runGroups(const float *u, size_t nq);
+
+    /** Phase-time/counter accounting shared by both entry points. */
+    void recordRunStats(const RunTotals &totals, size_t nq,
+                        double wall_seconds);
 
     const KnowledgeBase &kb;
     EngineConfig cfg;

@@ -38,8 +38,37 @@ KnowledgeBase::KnowledgeBase(size_t embedding_dim, Precision precision)
 void
 KnowledgeBase::reserve(size_t ns)
 {
+    if (viewed)
+        fatal("reserve() on a knowledge-base view");
     if (ns > capacity)
         grow(ns);
+}
+
+void
+KnowledgeBase::clear()
+{
+    if (viewed)
+        fatal("clear() on a knowledge-base view");
+    count = 0;
+}
+
+KnowledgeBase
+KnowledgeBase::view(size_t row_begin, size_t row_end) const
+{
+    if (row_begin >= row_end || row_end > count)
+        fatal("knowledge-base view [%zu, %zu) outside [0, %zu)",
+              row_begin, row_end, count);
+    KnowledgeBase v(ed, prec);
+    v.viewed = true;
+    v.count = row_end - row_begin;
+    if (prec == Precision::F32) {
+        v.vmin = minData() + row_begin * ed;
+        v.vmout = moutData() + row_begin * ed;
+    } else {
+        v.vmin16 = minData16() + row_begin * ed;
+        v.vmout16 = moutData16() + row_begin * ed;
+    }
+    return v;
 }
 
 void
@@ -76,6 +105,8 @@ KnowledgeBase::grow(size_t min_capacity)
 void
 KnowledgeBase::addSentence(const float *min_row, const float *mout_row)
 {
+    if (viewed)
+        fatal("addSentence() on a knowledge-base view");
     if (count == capacity)
         grow(count + 1);
     if (prec == Precision::F32) {
@@ -99,7 +130,7 @@ KnowledgeBase::minData() const
 {
     mnn_assert(prec == Precision::F32,
                "minData() on a non-F32 knowledge base");
-    return min.data();
+    return viewed ? vmin : min.data();
 }
 
 const float *
@@ -107,7 +138,7 @@ KnowledgeBase::moutData() const
 {
     mnn_assert(prec == Precision::F32,
                "moutData() on a non-F32 knowledge base");
-    return mout.data();
+    return viewed ? vmout : mout.data();
 }
 
 const uint16_t *
@@ -115,7 +146,7 @@ KnowledgeBase::minData16() const
 {
     mnn_assert(prec == Precision::BF16,
                "minData16() on a non-BF16 knowledge base");
-    return min16.data();
+    return viewed ? vmin16 : min16.data();
 }
 
 const uint16_t *
@@ -123,7 +154,7 @@ KnowledgeBase::moutData16() const
 {
     mnn_assert(prec == Precision::BF16,
                "moutData16() on a non-BF16 knowledge base");
-    return mout16.data();
+    return viewed ? vmout16 : mout16.data();
 }
 
 const float *

@@ -46,6 +46,12 @@ size_t precisionBytes(Precision p);
  * minRow() are valid only in F32 mode, minData16()/minRow16() only in
  * BF16 mode, so a caller can never silently reinterpret one layout as
  * the other.
+ *
+ * view() produces a non-owning window over a contiguous row range —
+ * the storage behind knowledge-base sharding (sharded_knowledge_base
+ * .hh). A view aliases the parent's rows (zero copy), reports the
+ * window's size()/bytes(), and refuses mutation (addSentence/reserve/
+ * clear are fatal); the parent must outlive every view.
  */
 class KnowledgeBase
 {
@@ -63,8 +69,22 @@ class KnowledgeBase
      */
     void addSentence(const float *min_row, const float *mout_row);
 
-    /** Remove all sentences (capacity retained). */
-    void clear() { count = 0; }
+    /** Remove all sentences (capacity retained). Fatal on a view. */
+    void clear();
+
+    /**
+     * Non-owning window over rows [row_begin, row_end) of this
+     * knowledge base (same embedding dimension and precision; the
+     * range must be non-empty and in bounds). The view aliases this
+     * KB's storage — no rows are copied — so it is valid only while
+     * this KB is alive and un-mutated. Views are read-only: mutating
+     * calls on them are fatal. Taking a view of a view is allowed and
+     * windows the underlying rows.
+     */
+    KnowledgeBase view(size_t row_begin, size_t row_end) const;
+
+    /** True for non-owning views produced by view(). */
+    bool isView() const { return viewed; }
 
     /** Number of stored sentences (ns). */
     size_t size() const { return count; }
@@ -119,6 +139,14 @@ class KnowledgeBase
     AlignedBuffer<float> mout;
     AlignedBuffer<uint16_t> min16; ///< BF16 mode storage
     AlignedBuffer<uint16_t> mout16;
+
+    // View state: when `viewed`, the v* pointers alias a window of
+    // the parent's rows and the AlignedBuffers above stay empty.
+    bool viewed = false;
+    const float *vmin = nullptr;
+    const float *vmout = nullptr;
+    const uint16_t *vmin16 = nullptr;
+    const uint16_t *vmout16 = nullptr;
 };
 
 } // namespace mnnfast::core

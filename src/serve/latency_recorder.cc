@@ -96,13 +96,19 @@ LatencySnapshot::toJson(int indent) const
 {
     const std::string pad(static_cast<size_t>(indent), ' ');
     const std::string in = pad + "  ";
-    char head[512];
+    char head[768];
     std::snprintf(head, sizeof(head),
                   "{\n%s\"arrived\": %llu,\n%s\"rejected\": %llu,\n"
+                  "%s\"rejected_full\": %llu,\n"
+                  "%s\"rejected_shutdown\": %llu,\n"
                   "%s\"completed\": %llu,\n%s\"batches\": %llu,\n"
                   "%s\"mean_batch_size\": %.4f,\n",
                   in.c_str(), static_cast<unsigned long long>(arrived),
                   in.c_str(), static_cast<unsigned long long>(rejected),
+                  in.c_str(),
+                  static_cast<unsigned long long>(rejectedFull),
+                  in.c_str(),
+                  static_cast<unsigned long long>(rejectedShutdown),
                   in.c_str(), static_cast<unsigned long long>(completed),
                   in.c_str(), static_cast<unsigned long long>(batches),
                   in.c_str(), meanBatchSize);

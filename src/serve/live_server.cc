@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "util/logging.hh"
-#include "util/timer.hh"
 
 namespace mnnfast::serve {
 
@@ -24,7 +23,8 @@ LiveServer::LiveServer(const core::KnowledgeBase &kb,
     : kb(kb), cfg(cfg),
       timeoutNs(std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::duration<double>(cfg.batchTimeout))),
-      queue(cfg.queueCapacity), pool(cfg.workers)
+      queue(cfg.queueCapacity),
+      pool(cfg.shards >= 2 ? 1 : cfg.workers)
 {
     if (cfg.maxBatch == 0 || cfg.workers == 0)
         fatal("live server needs a nonzero batch cap and worker count");
@@ -33,10 +33,26 @@ LiveServer::LiveServer(const core::KnowledgeBase &kb,
     if (kb.size() == 0)
         fatal("live server needs a non-empty knowledge base");
 
-    workerSlots.reserve(cfg.workers);
-    for (size_t i = 0; i < cfg.workers; ++i)
-        workerSlots.push_back(std::make_unique<Worker>(kb, cfg));
-    for (size_t i = 0; i < cfg.workers; ++i)
+    if (sharded()) {
+        // One dispatch loop scattering each batch across the worker
+        // pool, one shard per worker (see file header). The dispatch
+        // loop blocks inside the scatter, so the active thread count
+        // matches the replicated mode's.
+        sharding = std::make_unique<core::ShardedKnowledgeBase>(
+            kb, cfg.engine.chunkSize, cfg.shards);
+        core::EngineConfig ecfg = cfg.engine;
+        ecfg.threads = cfg.workers;
+        workerSlots.push_back(std::make_unique<Worker>(
+            std::make_unique<core::ShardedEngine>(*sharding, ecfg),
+            cfg));
+    } else {
+        workerSlots.reserve(cfg.workers);
+        for (size_t i = 0; i < cfg.workers; ++i)
+            workerSlots.push_back(std::make_unique<Worker>(
+                std::make_unique<core::ColumnEngine>(kb, cfg.engine),
+                cfg));
+    }
+    for (size_t i = 0; i < workerSlots.size(); ++i)
         pool.submit([this, i] { workerLoop(i); });
 }
 
@@ -51,7 +67,7 @@ LiveServer::submit(const float *u)
     Ticket ticket;
     arrived.fetch_add(1, std::memory_order_relaxed);
     if (stopping.load(std::memory_order_acquire)) {
-        rejected.fetch_add(1, std::memory_order_relaxed);
+        rejectedShutdown.fetch_add(1, std::memory_order_relaxed);
         ticket.status = SubmitStatus::ShuttingDown;
         return ticket;
     }
@@ -62,10 +78,15 @@ LiveServer::submit(const float *u)
     if (!queue.tryPush(std::move(req))) {
         // Full queue or a close that raced with the stopping check;
         // either way the request was not admitted and the (unused)
-        // promise dies with `req`.
-        rejected.fetch_add(1, std::memory_order_relaxed);
-        ticket.status = queue.isClosed() ? SubmitStatus::ShuttingDown
-                                         : SubmitStatus::Rejected;
+        // promise dies with `req`. Attribute the refusal to its cause
+        // so backpressure metrics stay clean of shutdown noise.
+        if (queue.isClosed()) {
+            rejectedShutdown.fetch_add(1, std::memory_order_relaxed);
+            ticket.status = SubmitStatus::ShuttingDown;
+        } else {
+            rejectedFull.fetch_add(1, std::memory_order_relaxed);
+            ticket.status = SubmitStatus::Rejected;
+        }
         return ticket;
     }
     ticket.status = SubmitStatus::Accepted;
@@ -77,45 +98,64 @@ void
 LiveServer::workerLoop(size_t slot)
 {
     Worker &w = *workerSlots[slot];
+    core::InferenceEngine &engine = *w.engine;
     const size_t ed = kb.dim();
     std::vector<RequestQueue<Request>::Entry> batch;
     std::vector<float> uflat;
     std::vector<float> oflat;
+    std::vector<double> waits;
 
+    // The dispatch critical path — everything between popBatch and
+    // the last set_value — is kept lean: single-request batches (the
+    // serial policy, and any low-load partial dispatch) infer straight
+    // from the request's question buffer into the answer's, skipping
+    // the flatten/unflatten copies; queue waits are computed once into
+    // a reused buffer; and the recorder update runs only after every
+    // waiting client has been released, off the critical path.
     while (queue.popBatch(cfg.maxBatch, timeoutNs, batch)) {
         const auto dispatched = std::chrono::steady_clock::now();
         const size_t n = batch.size();
-        uflat.resize(n * ed);
-        oflat.resize(n * ed);
+        waits.resize(n);
         for (size_t i = 0; i < n; ++i)
-            std::memcpy(uflat.data() + i * ed, batch[i].item.u.data(),
-                        ed * sizeof(float));
+            waits[i] = secondsBetween(batch[i].enqueued, dispatched);
 
-        Timer timer;
-        w.engine.inferBatch(uflat.data(), n, oflat.data());
-        const double service = timer.seconds();
-        const auto done = std::chrono::steady_clock::now();
+        double service;
+        if (n == 1) {
+            Answer a;
+            a.o.resize(ed);
+            engine.inferBatch(batch[0].item.u.data(), 1, a.o.data());
+            service = secondsBetween(dispatched,
+                                     std::chrono::steady_clock::now());
+            a.batchSize = 1;
+            a.queueWaitSeconds = waits[0];
+            a.serviceSeconds = service;
+            batch[0].item.promise.set_value(std::move(a));
+        } else {
+            uflat.resize(n * ed);
+            oflat.resize(n * ed);
+            for (size_t i = 0; i < n; ++i)
+                std::memcpy(uflat.data() + i * ed,
+                            batch[i].item.u.data(), ed * sizeof(float));
+            engine.inferBatch(uflat.data(), n, oflat.data());
+            service = secondsBetween(dispatched,
+                                     std::chrono::steady_clock::now());
+            for (size_t i = 0; i < n; ++i) {
+                Answer a;
+                a.o.assign(oflat.data() + i * ed,
+                           oflat.data() + (i + 1) * ed);
+                a.batchSize = n;
+                a.queueWaitSeconds = waits[i];
+                a.serviceSeconds = service;
+                batch[i].item.promise.set_value(std::move(a));
+            }
+        }
 
         {
             std::lock_guard<std::mutex> lock(w.recorderMutex);
             w.recorder.recordBatch(n);
-            for (size_t i = 0; i < n; ++i) {
-                w.recorder.recordRequest(
-                    secondsBetween(batch[i].enqueued, dispatched),
-                    service,
-                    secondsBetween(batch[i].enqueued, done));
-            }
-        }
-
-        for (size_t i = 0; i < n; ++i) {
-            Answer a;
-            a.o.assign(oflat.data() + i * ed,
-                       oflat.data() + (i + 1) * ed);
-            a.batchSize = n;
-            a.queueWaitSeconds =
-                secondsBetween(batch[i].enqueued, dispatched);
-            a.serviceSeconds = service;
-            batch[i].item.promise.set_value(std::move(a));
+            for (size_t i = 0; i < n; ++i)
+                w.recorder.recordRequest(waits[i], service,
+                                         waits[i] + service);
         }
     }
 }
@@ -138,14 +178,26 @@ LiveServer::shutdown()
 LatencySnapshot
 LiveServer::snapshot() const
 {
+    // Latch the admission counters *before* merging the completion
+    // histograms — arrived first, then the rejection split (each
+    // rejection was preceded by its arrival increment, each completion
+    // by its admission). See the header for the backlog guarantee
+    // this ordering buys.
+    const uint64_t a = arrived.load(std::memory_order_relaxed);
+    const uint64_t rf = rejectedFull.load(std::memory_order_relaxed);
+    const uint64_t rs =
+        rejectedShutdown.load(std::memory_order_relaxed);
+
     LatencyRecorder merged(cfg.histogramMaxSeconds, cfg.histogramBins);
     for (const auto &w : workerSlots) {
         std::lock_guard<std::mutex> lock(w->recorderMutex);
         w->recorder.mergeInto(merged);
     }
     LatencySnapshot s = merged.snapshot();
-    s.arrived = arrived.load(std::memory_order_relaxed);
-    s.rejected = rejected.load(std::memory_order_relaxed);
+    s.arrived = a;
+    s.rejectedFull = rf;
+    s.rejectedShutdown = rs;
+    s.rejected = rf + rs;
     return s;
 }
 

@@ -4,17 +4,19 @@
  * the discrete-event simulator in qa_server.hh.
  *
  *   clients --submit()--> RequestQueue --popBatch()--> engine workers
- *                         (bounded,      (size cap +    (one column
- *                          rejects        oldest-Q       engine each,
- *                          when full)     timeout)       shared KB)
+ *                         (bounded,      (size cap +    (replicated or
+ *                          rejects        oldest-Q       sharded KB,
+ *                          when full)     timeout)       see below)
  *
  * Admission. submit() copies the question vector, stamps it, and
  * offers it to a bounded queue. A full (or closing) queue rejects the
  * request immediately — backpressure by refusal, never by blocking
- * the client — and the rejection is counted. An accepted request
- * returns a std::future<Answer> that is guaranteed to become ready:
- * shutdown drains the queue before the workers exit, so every
- * accepted request is answered exactly once (tested).
+ * the client — and the rejection is counted, split by cause
+ * (queue-full vs. shutdown) so overload metrics are not polluted by
+ * clean shutdowns. An accepted request returns a std::future<Answer>
+ * that is guaranteed to become ready: shutdown drains the queue
+ * before the workers exit, so every accepted request is answered
+ * exactly once (tested).
  *
  * Batching. Workers pull batches with RequestQueue::popBatch, whose
  * dispatch rule — release at `maxBatch` pending or when the oldest
@@ -26,18 +28,37 @@
  * one workload through both and compare the model against wall-clock
  * reality.
  *
- * Execution. Each worker owns a private ColumnEngine over the shared
- * (read-only) KnowledgeBase — engines hold scratch state and are not
- * thread-safe, but the KB is immutable while serving, so workers scale
- * without locking. Worker threads come from a runtime::ThreadPool;
- * per-worker ScratchArenas inside the engines reach steady state after
- * the first batch, so the serving loop is allocation-quiet.
+ * Execution has two modes, selected by LiveServerConfig::shards:
  *
- * Observability. Each worker updates a private LatencyRecorder
+ *  - Replicated (shards <= 1): each of the `workers` dispatch loops
+ *    owns a private ColumnEngine over the whole (read-only) KB, so
+ *    concurrent batches proceed independently — but N workers stream
+ *    the KB N times, paying redundant bandwidth (the paper's §6
+ *    scalability critique).
+ *  - Sharded (shards >= 2): the KB is partitioned once into
+ *    chunk-aligned shards (core::ShardedKnowledgeBase) and a single
+ *    dispatch loop scatters each batch across a core::ShardedEngine
+ *    whose `workers`-thread pool streams one shard per worker; the
+ *    dispatching loop gathers the online-softmax partials in
+ *    canonical shard order. One batch at a time, every worker on the
+ *    same batch, each KB byte streamed once per batch — and the
+ *    answers are bit-identical to the replicated mode's (see
+ *    sharded_engine.hh).
+ *
+ * Engines hold scratch state and are not thread-safe, but the KB is
+ * immutable while serving, so workers scale without locking. Worker
+ * threads come from a runtime::ThreadPool; per-worker ScratchArenas
+ * inside the engines reach steady state after the first batch, so the
+ * serving loop is allocation-quiet.
+ *
+ * Observability. Each dispatch loop updates a private LatencyRecorder
  * (queue-wait / service / end-to-end histograms + batch counters)
- * under a per-worker mutex that snapshot() also takes, so a live
+ * under a per-slot mutex that snapshot() also takes, so a live
  * snapshot is always consistent; admission counters (arrived,
- * rejected) are atomics on the submit path.
+ * rejectedFull, rejectedShutdown) are atomics on the submit path.
+ * snapshot() latches the admission counters *before* merging the
+ * completion histograms — see LiveServer::snapshot for the ordering
+ * guarantee that buys.
  */
 
 #ifndef MNNFAST_SERVE_LIVE_SERVER_HH
@@ -52,6 +73,8 @@
 
 #include "core/column_engine.hh"
 #include "core/knowledge_base.hh"
+#include "core/sharded_engine.hh"
+#include "core/sharded_knowledge_base.hh"
 #include "runtime/thread_pool.hh"
 #include "serve/latency_recorder.hh"
 #include "serve/request_queue.hh"
@@ -91,13 +114,21 @@ struct LiveServerConfig
     /** Dispatch a partial batch once its oldest question waited this
      *  long (seconds). Zero means dispatch immediately when nonempty. */
     double batchTimeout = 2.0e-3;
-    /** Engine workers; each owns a private ColumnEngine. */
+    /** Engine workers. Replicated mode: independent dispatch loops,
+     *  each owning a private full-KB ColumnEngine. Sharded mode: the
+     *  scatter width of the single ShardedEngine. */
     size_t workers = 1;
+    /** Knowledge-base shards for scatter/gather dispatch. 0 or 1
+     *  keeps the replicated mode; >= 2 partitions the KB (boundaries
+     *  aligned to engine.chunkSize) and scatters every batch across
+     *  the worker pool, one shard per worker. See the file header. */
+    size_t shards = 0;
     /** Bounded-queue capacity; submissions beyond it are rejected. */
     size_t queueCapacity = 1024;
     /** Per-worker engine tunables (threads=0 keeps engines inline —
-     *  parallelism comes from serving concurrent batches, and nested
-     *  pools would oversubscribe the cores). */
+     *  parallelism comes from serving concurrent batches or, in
+     *  sharded mode, from the scatter pool; nested pools would
+     *  oversubscribe the cores). */
     core::EngineConfig engine;
     /** Latency histogram range; samples above land in overflow (and
      *  clamp quantiles to the range — the exact max is still kept). */
@@ -140,7 +171,20 @@ class LiveServer
      */
     void shutdown();
 
-    /** Consistent service-wide statistics (callable while serving). */
+    /**
+     * Consistent service-wide statistics (callable while serving).
+     *
+     * Ordering guarantee: the admission counters (arrived, then the
+     * rejection split) are latched *before* the completion histograms
+     * are merged. Every admitted request lives in the bounded queue
+     * or a dispatched batch until its completion is recorded, so the
+     * apparent backlog `arrived - rejected - completed` never exceeds
+     * queueCapacity + engineSlots * maxBatch — a snapshot can show a
+     * just-completed request as completed-but-not-yet-arrived
+     * (transiently *under*-counting the backlog) but never reports
+     * phantom in-flight requests (the artifact of the reverse order).
+     * After shutdown(), arrived == rejected + completed exactly.
+     */
     LatencySnapshot snapshot() const;
 
     /** Embedding dimension submit() expects. */
@@ -148,6 +192,12 @@ class LiveServer
 
     /** False once shutdown has begun. */
     bool accepting() const { return !stopping.load(); }
+
+    /** True when batches are scattered across a sharded KB. */
+    bool sharded() const { return cfg.shards >= 2; }
+
+    /** Dispatch loops: cfg.workers replicated slots, or 1 sharded. */
+    size_t engineSlots() const { return workerSlots.size(); }
 
     const LiveServerConfig &config() const { return cfg; }
 
@@ -158,16 +208,16 @@ class LiveServer
         std::promise<Answer> promise;
     };
 
-    /** One worker slot: engine + its privately-written recorder. */
+    /** One dispatch slot: engine + its privately-written recorder. */
     struct Worker
     {
-        Worker(const core::KnowledgeBase &kb,
+        Worker(std::unique_ptr<core::InferenceEngine> engine,
                const LiveServerConfig &cfg)
-            : engine(kb, cfg.engine),
+            : engine(std::move(engine)),
               recorder(cfg.histogramMaxSeconds, cfg.histogramBins)
         {}
 
-        core::ColumnEngine engine;
+        std::unique_ptr<core::InferenceEngine> engine;
         LatencyRecorder recorder;
         std::mutex recorderMutex; ///< worker writes vs snapshot reads
     };
@@ -179,10 +229,13 @@ class LiveServer
     std::chrono::nanoseconds timeoutNs;
 
     RequestQueue<Request> queue;
+    /** The shard partition (sharded mode only; engines point at it). */
+    std::unique_ptr<core::ShardedKnowledgeBase> sharding;
     std::vector<std::unique_ptr<Worker>> workerSlots;
 
     std::atomic<uint64_t> arrived{0};
-    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> rejectedFull{0};
+    std::atomic<uint64_t> rejectedShutdown{0};
     std::atomic<bool> stopping{false};
     std::once_flag shutdownOnce;
 

@@ -66,16 +66,26 @@ class RequestQueue
     bool
     tryPush(T &&item)
     {
+        bool wake;
         {
             std::lock_guard<std::mutex> lock(mutex);
             if (closed || entries.size() >= capacity)
                 return false;
             entries.push_back(Entry{std::move(item), Clock::now()});
+            // Notify only when a consumer is actually parked: under
+            // overload every consumer is busy computing, and an
+            // unconditional notify_one per push is a syscall on the
+            // producer's (latency-sensitive) admission path. The
+            // waiter count is mutated under this mutex, and a
+            // consumer re-checks the queue under the same mutex
+            // before parking, so a push can never be missed.
+            wake = waiters > 0;
         }
         // A single new item can complete a full batch or be a new
         // head; either way at most one waiting consumer can make
         // progress from it.
-        cv_consumer.notify_one();
+        if (wake)
+            cv_consumer.notify_one();
         return true;
     }
 
@@ -99,14 +109,18 @@ class RequestQueue
             if (entries.empty()) {
                 if (closed)
                     return false;
+                ++waiters;
                 cv_consumer.wait(lock);
+                --waiters;
                 continue;
             }
             const auto deadline = entries.front().enqueued + timeout;
             if (closed || entries.size() >= maxBatch
                 || Clock::now() >= deadline)
                 break;
+            ++waiters;
             cv_consumer.wait_until(lock, deadline);
+            --waiters;
         }
         const size_t n = std::min(entries.size(), maxBatch);
         out.reserve(n);
@@ -116,7 +130,9 @@ class RequestQueue
         }
         // If items remain (queue was over the cap, or a close is
         // draining), another consumer may be able to run right away.
-        if (!entries.empty())
+        const bool wake = !entries.empty() && waiters > 0;
+        lock.unlock();
+        if (wake)
             cv_consumer.notify_one();
         return true;
     }
@@ -156,6 +172,7 @@ class RequestQueue
     mutable std::mutex mutex;
     std::condition_variable cv_consumer;
     std::deque<Entry> entries;
+    size_t waiters = 0; ///< consumers parked on cv (guarded by mutex)
     bool closed = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/parallel_for.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -33,50 +34,90 @@ class PhaseRecorder
         : cache(cache), phase(phase)
     {}
 
-    /** Demand access to one address. */
-    void
+    /** Demand access to one address; true when a line was fetched. */
+    bool
     touch(uint64_t addr, bool write = false)
     {
         ++phase.accesses;
-        if (cache.access(addr, write))
+        if (cache.access(addr, write)) {
             ++phase.hits;
-        else
-            ++phase.demandMisses;
+            return false;
+        }
+        ++phase.demandMisses;
+        return true;
     }
 
     /**
      * Streamed (prefetched) access: fills the cache like a demand
      * access, but a miss is counted as a prefetched line (bandwidth
-     * consumed, no stall).
+     * consumed, no stall). Returns true when a line was fetched.
      */
-    void
+    bool
     touchStreamed(uint64_t addr, bool write = false)
     {
         ++phase.accesses;
-        if (cache.access(addr, write))
+        if (cache.access(addr, write)) {
             ++phase.hits;
-        else
-            ++phase.prefetchedLines;
+            return false;
+        }
+        ++phase.prefetchedLines;
+        return true;
     }
 
-    /** Touch a [addr, addr+bytes) range at line granularity. */
-    void
+    /**
+     * Touch a [addr, addr+bytes) range at line granularity; returns
+     * the number of lines fetched from DRAM (demand or prefetched).
+     */
+    uint64_t
     touchRange(uint64_t addr, uint64_t bytes, bool write, bool streamed)
     {
         const uint64_t line = cache.lineBytes();
         const uint64_t first = addr / line * line;
+        uint64_t fetched = 0;
         for (uint64_t a = first; a < addr + bytes; a += line) {
             if (streamed)
-                touchStreamed(a, write);
+                fetched += touchStreamed(a, write) ? 1 : 0;
             else
-                touch(a, write);
+                fetched += touch(a, write) ? 1 : 0;
         }
+        return fetched;
     }
 
   private:
     CacheModel &cache;
     PhaseTraffic &phase;
 };
+
+/**
+ * Chunk-aligned sentence-row partition, mirroring
+ * core::ShardedKnowledgeBase: splitRange over the chunk count, scaled
+ * back to rows, last shard absorbing the trailing partial chunk.
+ */
+std::vector<runtime::Range>
+shardRowRanges(const WorkloadParams &wp)
+{
+    const size_t chunk = std::min<size_t>(wp.chunkSize, wp.ns);
+    const size_t n_chunks = (wp.ns + chunk - 1) / chunk;
+    const size_t want = std::max<size_t>(1, wp.shards);
+    const auto groups =
+        runtime::splitRange(n_chunks, std::min(n_chunks, want));
+    std::vector<runtime::Range> rows;
+    rows.reserve(groups.size());
+    for (const runtime::Range &g : groups)
+        rows.push_back({g.begin * chunk,
+                        std::min<size_t>(wp.ns, g.end * chunk)});
+    return rows;
+}
+
+/** Shard owning sentence row `i` (ranges are contiguous, in order). */
+size_t
+shardOfRow(const std::vector<runtime::Range> &ranges, uint64_t row)
+{
+    size_t s = 0;
+    while (s + 1 < ranges.size() && row >= ranges[s].end)
+        ++s;
+    return s;
+}
 
 /**
  * Baseline dataflow (paper Fig. 5a): three layer-at-a-time passes
@@ -91,14 +132,17 @@ runBaseline(const WorkloadParams &wp, CacheModel &cache,
     const uint64_t kb_row_bytes = wp.ed * wp.kbElemBytes;
     const uint64_t row_bytes = wp.ed * sizeof(float);
     const uint64_t vec_elems = uint64_t(wp.nq) * wp.ns;
+    const auto shard_rows = shardRowRanges(wp);
+    result.shardKbLines.assign(shard_rows.size(), 0);
 
     // ---- Phase 1: inner product  T_IN[q][i] = u_q . M_IN[i] ----
     result.phases.push_back({"inner_product", 0, 0, 0, 0, 0, false});
     {
         PhaseRecorder rec(cache, result.phases.back());
         for (uint64_t i = 0; i < wp.ns; ++i) {
-            rec.touchRange(kMinBase + i * kb_row_bytes, kb_row_bytes,
-                           false, false);
+            result.shardKbLines[shardOfRow(shard_rows, i)] +=
+                rec.touchRange(kMinBase + i * kb_row_bytes,
+                               kb_row_bytes, false, false);
             for (uint64_t q = 0; q < wp.nq; ++q) {
                 // u_q is tiny and stays resident.
                 rec.touch(kUBase + q * row_bytes);
@@ -138,8 +182,9 @@ runBaseline(const WorkloadParams &wp, CacheModel &cache,
     {
         PhaseRecorder rec(cache, result.phases.back());
         for (uint64_t i = 0; i < wp.ns; ++i) {
-            rec.touchRange(kMoutBase + i * kb_row_bytes, kb_row_bytes,
-                           false, false);
+            result.shardKbLines[shardOfRow(shard_rows, i)] +=
+                rec.touchRange(kMoutBase + i * kb_row_bytes,
+                               kb_row_bytes, false, false);
             for (uint64_t q = 0; q < wp.nq; ++q) {
                 rec.touch(kPBase + (q * wp.ns + i) * sizeof(float));
                 // o accumulators are tiny and resident.
@@ -164,6 +209,8 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
     const uint64_t kb_row_bytes = wp.ed * wp.kbElemBytes;
     const uint64_t row_bytes = wp.ed * sizeof(float);
     const uint64_t vec_elems = uint64_t(wp.nq) * wp.ns;
+    const auto shard_rows = shardRowRanges(wp);
+    result.shardKbLines.assign(shard_rows.size(), 0);
 
     result.phases.push_back(
         {"inner_product", 0, 0, 0, 0, 0, streamed});
@@ -179,13 +226,16 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
 
     for (uint64_t c0 = 0; c0 < wp.ns; c0 += wp.chunkSize) {
         const uint64_t c1 = std::min<uint64_t>(c0 + wp.chunkSize, wp.ns);
+        // Shards are chunk-aligned, so one lookup covers the chunk.
+        const size_t shard = shardOfRow(shard_rows, c0);
 
         // Phase 1: inner products over the chunk.
         {
             PhaseRecorder rec(cache, inner);
             for (uint64_t i = c0; i < c1; ++i) {
-                rec.touchRange(kMinBase + i * kb_row_bytes,
-                               kb_row_bytes, false, streamed);
+                result.shardKbLines[shard] +=
+                    rec.touchRange(kMinBase + i * kb_row_bytes,
+                                   kb_row_bytes, false, streamed);
                 for (uint64_t q = 0; q < wp.nq; ++q) {
                     rec.touch(kUBase + q * row_bytes);
                     // Chunk scratch is reused across chunks: same
@@ -224,8 +274,9 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
                             keep_rng.chance(wp.zskipKeepFraction);
                 }
                 if (row_needed) {
-                    rec.touchRange(kMoutBase + i * kb_row_bytes,
-                                   kb_row_bytes, false, streamed);
+                    result.shardKbLines[shard] +=
+                        rec.touchRange(kMoutBase + i * kb_row_bytes,
+                                       kb_row_bytes, false, streamed);
                 }
                 for (uint64_t q = 0; q < wp.nq; ++q) {
                     rec.touch(kScratchBase
@@ -280,6 +331,15 @@ uint64_t
 TrafficResult::dramLines() const
 {
     return demandMisses() + prefetchedLines();
+}
+
+uint64_t
+TrafficResult::kbDramLines() const
+{
+    uint64_t n = 0;
+    for (uint64_t lines : shardKbLines)
+        n += lines;
+    return n;
 }
 
 uint64_t

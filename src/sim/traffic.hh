@@ -59,6 +59,17 @@ struct WorkloadParams
      * fp32 storage, 2 models the bf16 knowledge base.
      */
     size_t kbElemBytes = sizeof(float);
+    /**
+     * Knowledge-base shards for scatter/gather serving. 0 or 1 models
+     * an unsharded KB; >= 2 partitions the sentence rows into
+     * chunk-aligned contiguous shards using the same splitRange
+     * decomposition as core::ShardedKnowledgeBase, and
+     * TrafficResult::shardKbLines attributes every M_IN/M_OUT DRAM
+     * line to the shard its row belongs to. Sharding only changes the
+     * attribution, never the access stream — the column dataflow
+     * already sweeps shard by shard because shards are chunk-aligned.
+     */
+    size_t shards = 0;
 };
 
 /** Per-phase traffic and compute volume. */
@@ -79,10 +90,21 @@ struct TrafficResult
     Dataflow dataflow = Dataflow::Baseline;
     WorkloadParams params;
     std::vector<PhaseTraffic> phases;
+    /**
+     * DRAM lines (demand misses + prefetched) fetched from the
+     * M_IN/M_OUT regions, attributed to the shard owning the touched
+     * row. Always has max(1, effective shards) entries — one entry
+     * holding the whole KB traffic when unsharded — and its sum is
+     * exactly the KB's share of dramLines(), so per-shard bandwidth
+     * budgeting (one serving worker streams one shard) reads straight
+     * off this vector.
+     */
+    std::vector<uint64_t> shardKbLines;
 
     uint64_t demandMisses() const;
     uint64_t prefetchedLines() const;
     uint64_t dramLines() const; ///< demand + prefetched
+    uint64_t kbDramLines() const; ///< sum of shardKbLines
     uint64_t accesses() const;
     double flops() const;
 };

@@ -1,6 +1,7 @@
 #include "stats/histogram.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/logging.hh"
@@ -19,6 +20,14 @@ Histogram::Histogram(double lo, double hi, size_t bins)
 void
 Histogram::add(double sample)
 {
+    // A NaN would fall through both range tests below and reach the
+    // bin computation, where casting NaN * bins to size_t is undefined
+    // behavior; infinities would poison `sum`. Quarantine every
+    // non-finite sample in its own counter instead.
+    if (!std::isfinite(sample)) {
+        ++nonfinite;
+        return;
+    }
     ++samples;
     sum += sample;
     if (sample < lo) {
@@ -115,27 +124,53 @@ Histogram::merge(const Histogram &other)
     under += other.under;
     over += other.over;
     samples += other.samples;
+    nonfinite += other.nonfinite;
     sum += other.sum;
 }
 
 std::string
 Histogram::toString(size_t bar_width) const
 {
+    // Under/overflow scale the bars too: an overloaded latency
+    // histogram whose mass escaped past `hi` must show that, not
+    // render a flat (and misleading) in-range picture.
     uint64_t peak = 1;
     for (uint64_t c : counts)
         peak = std::max(peak, c);
+    peak = std::max(peak, std::max(under, over));
 
     std::string out;
     char line[160];
+    const auto bar = [&](uint64_t c) {
+        return static_cast<size_t>(static_cast<double>(c)
+                                   / static_cast<double>(peak)
+                                   * static_cast<double>(bar_width));
+    };
+    if (under > 0) {
+        std::snprintf(line, sizeof(line), "[%8s<%.3g) %10llu |", "",
+                      lo, static_cast<unsigned long long>(under));
+        out += line;
+        out.append(bar(under), '#');
+        out += '\n';
+    }
     for (size_t i = 0; i < counts.size(); ++i) {
-        const size_t len = static_cast<size_t>(
-            static_cast<double>(counts[i]) / static_cast<double>(peak)
-            * static_cast<double>(bar_width));
         std::snprintf(line, sizeof(line), "[%10.4g) %10llu |", binLow(i),
                       static_cast<unsigned long long>(counts[i]));
         out += line;
-        out.append(len, '#');
+        out.append(bar(counts[i]), '#');
         out += '\n';
+    }
+    if (over > 0) {
+        std::snprintf(line, sizeof(line), "[%7s>=%.3g) %10llu |", "",
+                      hi, static_cast<unsigned long long>(over));
+        out += line;
+        out.append(bar(over), '#');
+        out += '\n';
+    }
+    if (nonfinite > 0) {
+        std::snprintf(line, sizeof(line), "non-finite: %llu\n",
+                      static_cast<unsigned long long>(nonfinite));
+        out += line;
     }
     return out;
 }
@@ -144,7 +179,7 @@ void
 Histogram::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
-    under = over = samples = 0;
+    under = over = samples = nonfinite = 0;
     sum = 0.0;
 }
 

@@ -27,10 +27,17 @@ class Histogram
      */
     Histogram(double lo, double hi, size_t bins);
 
-    /** Record one sample. */
+    /**
+     * Record one sample. Non-finite samples (NaN, +-inf) are counted
+     * in a dedicated bucket — see nonFinite() — and excluded from the
+     * bins, the under/overflow buckets, count(), and the mean: a NaN
+     * must never reach the bin computation (casting NaN * bins to an
+     * integer is undefined behavior) and an infinity would poison the
+     * running sum.
+     */
     void add(double sample);
 
-    /** Number of samples recorded so far (including under/overflow). */
+    /** Finite samples recorded so far (including under/overflow). */
     uint64_t count() const { return samples; }
 
     /** Count in bin i (0 <= i < bins()). */
@@ -46,7 +53,10 @@ class Histogram
     uint64_t underflow() const { return under; }
     uint64_t overflow() const { return over; }
 
-    /** Mean of all recorded samples. */
+    /** Non-finite samples quarantined by add(). */
+    uint64_t nonFinite() const { return nonfinite; }
+
+    /** Mean of all recorded finite samples. */
     double mean() const;
 
     /** Fraction of samples falling at or below x (approximate, by bin). */
@@ -69,7 +79,13 @@ class Histogram
      */
     void merge(const Histogram &other);
 
-    /** Render a compact multi-line ASCII bar chart. */
+    /**
+     * Render a compact multi-line ASCII bar chart. Underflow and
+     * overflow mass get their own leading/trailing rows (rendered
+     * only when nonzero, and included in the bar scaling), so a
+     * histogram whose samples escaped the tracked range is visibly
+     * different from one that captured everything.
+     */
     std::string toString(size_t bar_width = 40) const;
 
     /** Drop all samples. */
@@ -82,6 +98,7 @@ class Histogram
     uint64_t under = 0;
     uint64_t over = 0;
     uint64_t samples = 0;
+    uint64_t nonfinite = 0;
     double sum = 0.0;
 };
 

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <string>
 #include <thread>
@@ -352,11 +354,14 @@ TEST(LatencyRecorder, SnapshotJsonHasEveryField)
     r.recordBatch(1);
     r.recordRequest(0.001, 0.002, 0.003);
     LatencySnapshot s = r.snapshot();
-    s.arrived = 2;
-    s.rejected = 1;
+    s.arrived = 3;
+    s.rejected = 2;
+    s.rejectedFull = 1;
+    s.rejectedShutdown = 1;
     const std::string j = s.toJson();
     for (const char *key :
-         {"\"arrived\"", "\"rejected\"", "\"completed\"",
+         {"\"arrived\"", "\"rejected\"", "\"rejected_full\"",
+          "\"rejected_shutdown\"", "\"completed\"",
           "\"batches\"", "\"mean_batch_size\"",
           "\"queue_wait_seconds\"", "\"service_seconds\"",
           "\"end_to_end_seconds\"", "\"p50\"", "\"p95\"", "\"p99\""})
@@ -462,10 +467,19 @@ TEST(LiveServer, ShutdownDrainsInFlightWithoutLosingFutures)
         ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
         EXPECT_EQ(f.get().o.size(), 8u);
     }
+    // One straggler after shutdown: refused for a different reason
+    // than the queue-full rejections above, and the snapshot must
+    // attribute each to its own counter (backpressure tuning needs
+    // "full", deploy-drain monitoring needs "shutdown").
+    Ticket late = server.submit(q.data());
+    EXPECT_EQ(late.status, SubmitStatus::ShuttingDown);
+
     const LatencySnapshot s = server.snapshot();
-    EXPECT_EQ(s.arrived, 200u);
+    EXPECT_EQ(s.arrived, 201u);
     EXPECT_EQ(s.completed, accepted);
-    EXPECT_EQ(s.rejected, refused);
+    EXPECT_EQ(s.rejectedFull, refused);
+    EXPECT_EQ(s.rejectedShutdown, 1u);
+    EXPECT_EQ(s.rejected, s.rejectedFull + s.rejectedShutdown);
     EXPECT_EQ(s.completed + s.rejected, s.arrived);
 }
 
@@ -505,6 +519,10 @@ TEST(LiveServer, FullQueueRejectsWithBackpressureStatus)
     EXPECT_EQ(late.status, SubmitStatus::ShuttingDown);
     const LatencySnapshot s = server.snapshot();
     EXPECT_EQ(s.completed, 4u);
+    // 6 queue-full rejections while serving, 1 post-shutdown refusal:
+    // the split must attribute each to the right cause.
+    EXPECT_EQ(s.rejectedFull, 6u);
+    EXPECT_EQ(s.rejectedShutdown, 1u);
     EXPECT_EQ(s.rejected, 7u);
     EXPECT_EQ(s.arrived, 11u);
 }
@@ -584,6 +602,65 @@ TEST(LiveServer, SnapshotQuantilesAreOrderedAndComplete)
     EXPECT_GE(s.endToEnd.mean, s.queueWait.mean);
     EXPECT_GE(s.endToEnd.mean, s.service.mean);
     EXPECT_GE(s.batches, 1u);
+}
+
+TEST(LiveServer, ConcurrentSnapshotsNeverShowPhantomBacklog)
+{
+    // snapshot() latches `arrived` before the rejection counters and
+    // both before merging the completion histograms (see
+    // live_server.hh). A monitor thread polling mid-flood must
+    // therefore never observe an apparent backlog
+    // (arrived - rejected - completed) beyond what can physically be
+    // in flight: the queue plus one dispatched batch per engine slot.
+    // Reading the counters in the opposite order would routinely
+    // violate this under load. The guarantee is one-sided: between
+    // latching `arrived` and the later reads, more requests can be
+    // rejected/completed, so the signed backlog may transiently go
+    // *negative* — it must only never exceed the physical bound.
+    const core::KnowledgeBase kb = makeKb(150, 8);
+    LiveServerConfig cfg = liveConfig();
+    cfg.queueCapacity = 32;
+    cfg.batchTimeout = 0.0;
+    LiveServer server(kb, cfg);
+    const uint64_t in_flight_bound =
+        cfg.queueCapacity + server.engineSlots() * cfg.maxBatch;
+
+    std::atomic<bool> done{false};
+    std::thread monitor([&] {
+        uint64_t prev_arrived = 0, prev_completed = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            const LatencySnapshot s = server.snapshot();
+            const int64_t backlog = int64_t(s.arrived)
+                                  - int64_t(s.rejected)
+                                  - int64_t(s.completed);
+            ASSERT_LE(backlog, int64_t(in_flight_bound));
+            ASSERT_EQ(s.rejected, s.rejectedFull + s.rejectedShutdown);
+            // Successive snapshots from one thread are monotone.
+            ASSERT_GE(s.arrived, prev_arrived);
+            ASSERT_GE(s.completed, prev_completed);
+            prev_arrived = s.arrived;
+            prev_completed = s.completed;
+        }
+    });
+
+    std::vector<float> q(8, 0.4f);
+    std::vector<std::future<Answer>> futures;
+    for (int i = 0; i < 600; ++i) {
+        Ticket t = server.submit(q.data());
+        if (t.accepted())
+            futures.push_back(std::move(t.answer));
+    }
+    server.shutdown();
+    done.store(true, std::memory_order_release);
+    monitor.join();
+    for (auto &f : futures)
+        f.get();
+
+    // After shutdown the books balance exactly.
+    const LatencySnapshot s = server.snapshot();
+    EXPECT_EQ(s.arrived,
+              s.completed + s.rejectedFull + s.rejectedShutdown);
+    EXPECT_EQ(s.completed, futures.size());
 }
 
 TEST(LiveServer, ShutdownIsIdempotentAndDtorSafe)

@@ -176,6 +176,60 @@ TEST(Traffic, ResultAccessorsSumPhases)
     EXPECT_EQ(r.dramLines(), r.demandMisses() + r.prefetchedLines());
 }
 
+TEST(Traffic, ShardAttributionPartitionsKbTraffic)
+{
+    // Sharding only relabels where each KB line's traffic is charged
+    // (one serving worker streams one shard); the access stream itself
+    // is untouched because shards are chunk-aligned and the column
+    // dataflow already sweeps shard by shard.
+    auto wp = testWorkload();
+    const auto llc = testLlc();
+    for (Dataflow df :
+         {Dataflow::Baseline, Dataflow::Column, Dataflow::MnnFast}) {
+        wp.shards = 0;
+        const auto whole = simulateDataflow(df, wp, llc);
+        ASSERT_EQ(whole.shardKbLines.size(), 1u) << dataflowName(df);
+        EXPECT_EQ(whole.shardKbLines[0], whole.kbDramLines());
+        EXPECT_GT(whole.kbDramLines(), 0u);
+        EXPECT_LE(whole.kbDramLines(), whole.dramLines());
+
+        wp.shards = 4;
+        const auto sharded = simulateDataflow(df, wp, llc);
+        ASSERT_EQ(sharded.shardKbLines.size(), 4u) << dataflowName(df);
+        uint64_t sum = 0;
+        for (uint64_t lines : sharded.shardKbLines) {
+            EXPECT_GT(lines, 0u) << dataflowName(df);
+            sum += lines;
+        }
+        EXPECT_EQ(sum, sharded.kbDramLines());
+        // Attribution, not perturbation: the totals are unchanged.
+        EXPECT_EQ(sharded.kbDramLines(), whole.kbDramLines())
+            << dataflowName(df);
+        EXPECT_EQ(sharded.dramLines(), whole.dramLines())
+            << dataflowName(df);
+        // 16384 rows over 4 chunk-aligned shards split evenly, so the
+        // per-shard KB stream does too (zero-skipping keeps a random
+        // subset per shard, hence the loose factor-of-two bound).
+        const uint64_t lo = sharded.kbDramLines() / 8;
+        const uint64_t hi = sharded.kbDramLines();
+        for (uint64_t lines : sharded.shardKbLines) {
+            EXPECT_GE(lines, lo) << dataflowName(df);
+            EXPECT_LT(lines, hi) << dataflowName(df);
+        }
+    }
+}
+
+TEST(Traffic, ShardCountClampsToChunkCount)
+{
+    auto wp = testWorkload();
+    wp.ns = 512;
+    wp.chunkSize = 256; // 2 chunks: at most 2 shards
+    wp.shards = 16;
+    const auto r = simulateDataflow(Dataflow::Column, wp, testLlc());
+    EXPECT_EQ(r.shardKbLines.size(), 2u);
+    EXPECT_EQ(r.shardKbLines[0] + r.shardKbLines[1], r.kbDramLines());
+}
+
 // ---------------------------------------------------------------
 // CPU timing model
 // ---------------------------------------------------------------

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "stats/counter.hh"
@@ -240,6 +241,57 @@ TEST(Histogram, ToStringRendersBars)
     h.add(0.75);
     const std::string s = h.toString(8);
     EXPECT_NE(s.find("########"), std::string::npos);
+}
+
+TEST(Histogram, NonFiniteSamplesAreQuarantined)
+{
+    // NaN reaching the bin computation is UB (casting NaN * bins to an
+    // integer); infinities would poison the running sum. add() must
+    // divert all three to a dedicated counter.
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.count(), 1u); // finite samples only
+    EXPECT_EQ(h.nonFinite(), 3u);
+    EXPECT_EQ(h.underflow(), 0u); // -inf did not land in underflow
+    EXPECT_EQ(h.overflow(), 0u);  // +inf did not land in overflow
+    EXPECT_DOUBLE_EQ(h.mean(), 0.5); // sum untouched by non-finites
+
+    // Merge carries the quarantine count; reset clears it.
+    Histogram other(0.0, 1.0, 4);
+    other.add(std::numeric_limits<double>::quiet_NaN());
+    h.merge(other);
+    EXPECT_EQ(h.nonFinite(), 4u);
+    h.reset();
+    EXPECT_EQ(h.nonFinite(), 0u);
+}
+
+TEST(Histogram, ToStringRendersUnderflowAndOverflowRows)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    for (int i = 0; i < 3; ++i)
+        h.add(-1.0); // underflow
+    for (int i = 0; i < 2; ++i)
+        h.add(5.0); // overflow
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    const std::string s = h.toString(6);
+    // Escaped mass gets its own rows and participates in bar scaling
+    // (under = 3 is the peak, so its bar is the full width).
+    EXPECT_NE(s.find("<0"), std::string::npos);
+    EXPECT_NE(s.find(">=1"), std::string::npos);
+    EXPECT_NE(s.find("######"), std::string::npos);
+    EXPECT_NE(s.find("non-finite: 1"), std::string::npos);
+
+    // A histogram that captured everything renders neither row.
+    Histogram clean(0.0, 1.0, 2);
+    clean.add(0.25);
+    const std::string cs = clean.toString(6);
+    EXPECT_EQ(cs.find("<0"), std::string::npos);
+    EXPECT_EQ(cs.find(">="), std::string::npos);
+    EXPECT_EQ(cs.find("non-finite"), std::string::npos);
 }
 
 TEST(Table, FormatsAlignedColumns)
