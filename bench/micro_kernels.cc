@@ -15,7 +15,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +26,7 @@
 #include "core/baseline_engine.hh"
 #include "core/column_engine.hh"
 #include "core/knowledge_base.hh"
+#include "runtime/kernel_tuner.hh"
 #include "util/bf16.hh"
 #include "util/rng.hh"
 
@@ -184,6 +188,66 @@ BM_WeightedSumSkipMultiBf16(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * nq * rows * d);
 }
 BENCHMARK(BM_WeightedSumSkipMultiBf16)
+    ->Args({512, 1, 0})
+    ->Args({512, 16, 0})
+    ->Args({512, 16, 1});
+
+std::vector<int8_t>
+randomVecI8(size_t n, uint64_t seed)
+{
+    XorShiftRng rng(seed);
+    std::vector<int8_t> v(n);
+    for (int8_t &x : v)
+        x = static_cast<int8_t>(static_cast<int>(rng.below(256)) - 128);
+    return v;
+}
+
+void
+BM_DotBatchMultiI8(benchmark::State &state)
+{
+    // int8-storage counterpart of BM_DotBatchMulti at the same shape:
+    // the rows stream at a quarter of the fp32 bytes and dequantize
+    // in-register via the factored affine form (DESIGN.md §10).
+    const size_t rows = state.range(0), nq = state.range(1), d = 256;
+    const auto x = randomVec(nq * d, 1);
+    const auto m = randomVecI8(rows * d, 2);
+    std::vector<float> out(nq * rows);
+    for (auto _ : state) {
+        blas::dotBatchMultiI8(x.data(), nq, d, m.data(), rows, d, d,
+                              0.0123f, -0.456f, out.data(), rows);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * nq * rows * d);
+}
+BENCHMARK(BM_DotBatchMultiI8)
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Args({512, 16});
+
+void
+BM_WeightedSumSkipMultiI8(benchmark::State &state)
+{
+    const size_t rows = state.range(0), nq = state.range(1), d = 256;
+    const float threshold = state.range(2) != 0 ? 0.1f : 0.f;
+    auto e = randomVec(nq * rows, 3);
+    for (float &v : e)
+        v = v * 0.5f + 0.5f; // positive exp-like weights
+    const auto m = randomVecI8(rows * d, 4);
+    std::vector<float> acc(nq * d, 0.f);
+    std::vector<double> s(nq);
+    for (auto _ : state) {
+        std::fill(s.begin(), s.end(), 0.0);
+        uint64_t kept = 0, skipped = 0;
+        blas::weightedSumSkipMultiI8(e.data(), nq, rows, m.data(),
+                                     rows, d, d, 0.0123f, -0.456f,
+                                     threshold, s.data(), acc.data(),
+                                     d, kept, skipped);
+        benchmark::DoNotOptimize(acc.data());
+        benchmark::DoNotOptimize(s.data());
+    }
+    state.SetItemsProcessed(state.iterations() * nq * rows * d);
+}
+BENCHMARK(BM_WeightedSumSkipMultiI8)
     ->Args({512, 1, 0})
     ->Args({512, 16, 0})
     ->Args({512, 16, 1});
@@ -394,10 +458,58 @@ BENCHMARK(BM_MnnFastEngine);
 
 } // namespace
 
+namespace {
+
+/**
+ * Splice the process-wide kernel-tuner table into the benchmark JSON
+ * artifact as a top-level "kernel_tuner" key, keeping the file valid
+ * JSON. First measures plans for the engine-relevant buckets (every
+ * precision at the ed/nq points the serving engines warm) so the
+ * exported table is populated even though the micro loops above call
+ * the kernels directly. No-op under MNNFAST_NO_TUNER=1.
+ */
+void
+appendTunerTable(const std::string &path)
+{
+    if (const char *env = std::getenv("MNNFAST_NO_TUNER"))
+        if (env[0] && env[0] != '0')
+            return;
+    auto &tuner = runtime::KernelTuner::instance();
+    for (const char *prec : {"f32", "bf16", "i8"})
+        for (size_t ed : {size_t{64}, size_t{128}, size_t{256}})
+            for (size_t nq : {size_t{1}, size_t{4}, size_t{16}})
+                tuner.plan(prec, ed, nq);
+
+    std::ifstream in(path);
+    if (!in)
+        return;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    in.close();
+    const size_t close = text.find_last_of('}');
+    if (close == std::string::npos)
+        return;
+    std::string spliced = text.substr(0, close);
+    // Trim trailing whitespace back to the last value before the brace.
+    while (!spliced.empty() &&
+           (spliced.back() == '\n' || spliced.back() == ' ' ||
+            spliced.back() == '\t' || spliced.back() == '\r'))
+        spliced.pop_back();
+    spliced += ",\n  \"kernel_tuner\": ";
+    spliced += tuner.exportJson();
+    spliced += "\n}\n";
+    std::ofstream out(path, std::ios::trunc);
+    out << spliced;
+}
+
+} // namespace
+
 /**
  * Like BENCHMARK_MAIN(), but defaults --benchmark_out to
  * ./BENCH_kernels.json (JSON format) so every run leaves a
- * machine-readable record; explicit --benchmark_out wins.
+ * machine-readable record (with the kernel-tuner table spliced in);
+ * explicit --benchmark_out wins and is left untouched.
  */
 int
 main(int argc, char **argv)
@@ -419,5 +531,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    if (!has_out)
+        appendTunerTable("BENCH_kernels.json");
     return 0;
 }

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Autotuner smoke check (DESIGN.md §10): a deterministic inference
+ * whose output bits are printed in hex, so a driver script can assert
+ * that the engine's answers are bit-identical no matter how the
+ * kernel plans were obtained — measured by the tuner, disabled via
+ * MNNFAST_NO_TUNER=1 (default plans), or imported from a JSON table
+ * via MNNFAST_TUNER_CACHE. Also prints the number of plans the tuner
+ * measured in this process, so the script can assert that an imported
+ * table short-circuits measurement entirely.
+ *
+ * Usage: tuner_smoke [--export FILE]
+ *   --export FILE  write the process's tuning table to FILE after the
+ *                  runs (the file a later MNNFAST_TUNER_CACHE run
+ *                  imports).
+ *
+ * Output: one "score <precision> <index> <hex32>" line per output
+ * element per storage precision, then "tuner_measured <n>".
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/column_engine.hh"
+#include "runtime/kernel_tuner.hh"
+#include "util/rng.hh"
+
+using namespace mnnfast;
+
+namespace {
+
+core::KnowledgeBase
+buildKb(size_t ns, size_t ed, core::Precision prec)
+{
+    core::KnowledgeBase kb(ed, prec);
+    kb.reserve(ns);
+    XorShiftRng rng(7);
+    std::vector<float> a(ed), b(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            a[e] = rng.uniformRange(-0.5f, 0.5f);
+            b[e] = rng.uniformRange(-0.5f, 0.5f);
+        }
+        kb.addSentence(a.data(), b.data());
+    }
+    return kb;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *export_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc)
+            export_path = argv[++i];
+    }
+
+    const size_t ns = 4096, ed = 64, nq = 3;
+    XorShiftRng rng(9);
+    std::vector<float> u(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-0.5f, 0.5f);
+
+    for (core::Precision prec : {core::Precision::F32,
+                                 core::Precision::BF16,
+                                 core::Precision::I8}) {
+        const core::KnowledgeBase kb = buildKb(ns, ed, prec);
+        core::EngineConfig cfg;
+        cfg.chunkSize = 512;
+        cfg.threads = 0;
+        cfg.streaming = true;
+        cfg.skipThreshold = 1e-4f;
+        core::ColumnEngine engine(kb, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        for (size_t i = 0; i < o.size(); ++i) {
+            uint32_t bits;
+            std::memcpy(&bits, &o[i], sizeof bits);
+            std::printf("score %s %zu %08x\n",
+                        core::precisionName(prec), i, bits);
+        }
+    }
+
+    auto &tuner = runtime::KernelTuner::instance();
+    std::printf("tuner_measured %zu\n", tuner.measuredCount());
+    if (export_path && !tuner.exportJsonFile(export_path)) {
+        std::fprintf(stderr, "export to %s failed\n", export_path);
+        return 1;
+    }
+    return 0;
+}

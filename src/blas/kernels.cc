@@ -31,6 +31,7 @@ scalarTable()
         scalar::dotBatch, scalar::dotBatchMulti,
         scalar::weightedSumSkip,               scalar::weightedSumSkipMulti,
         scalar::dotBatchMultiBf16,             scalar::weightedSumSkipMultiBf16,
+        scalar::dotBatchMultiI8,               scalar::weightedSumSkipMultiI8,
         scalar::gemm,    scalar::expInplace,   scalar::expShiftInplace,
     };
 }
@@ -196,6 +197,39 @@ weightedSumSkipMultiBf16(const float *e, size_t ne, size_t estride,
             e + q0 * estride, qb, estride, rows, count, n, stride,
             threshold, running_sums + q0, acc + q0 * accstride,
             accstride, kept, skipped);
+    }
+}
+
+void
+dotBatchMultiI8(const float *x, size_t nx, size_t xstride,
+                const int8_t *rows, size_t count, size_t n,
+                size_t stride, float scale, float zero, float *out,
+                size_t ostride)
+{
+    mnn_assert(stride >= n && xstride >= n && ostride >= count,
+               "dotBatchMultiI8 stride shorter than row length");
+    active().dotBatchMultiI8(x, nx, xstride, rows, count, n, stride,
+                             scale, zero, out, ostride);
+}
+
+void
+weightedSumSkipMultiI8(const float *e, size_t ne, size_t estride,
+                       const int8_t *rows, size_t count, size_t n,
+                       size_t stride, float scale, float zero,
+                       float threshold, double *running_sums, float *acc,
+                       size_t accstride, uint64_t &kept,
+                       uint64_t &skipped)
+{
+    mnn_assert(stride >= n && accstride >= n && estride >= count,
+               "weightedSumSkipMultiI8 stride shorter than row length");
+    // Same kWsumQueryTile split as the f32/bf16 variants: the
+    // backend's kept-set scatter list is a fixed stack array.
+    for (size_t q0 = 0; q0 < ne; q0 += kWsumQueryTile) {
+        const size_t qb = std::min(kWsumQueryTile, ne - q0);
+        active().weightedSumSkipMultiI8(
+            e + q0 * estride, qb, estride, rows, count, n, stride,
+            scale, zero, threshold, running_sums + q0,
+            acc + q0 * accstride, accstride, kept, skipped);
     }
 }
 

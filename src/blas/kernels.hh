@@ -189,6 +189,53 @@ void weightedSumSkipMultiBf16(const float *e, size_t ne, size_t estride,
                               uint64_t &skipped);
 
 /**
+ * Query-blocked batched dot products over *int8* matrix rows sharing
+ * one affine code (scale, zero): the stored row elements q dequantize
+ * as scale*q + zero (see core::KnowledgeBase, DESIGN.md §10), and the
+ * kernel computes out[q * ostride + r] = dot(x_q, scale*row_r + zero)
+ * in the factored form
+ *
+ *   out[q][r] = fma(scale, rawdot(x_q, row_r), zero * qsum(x_q))
+ *
+ * where rawdot is the canonical bf16-style dot (eight fp32 fma lanes
+ * over the 8-aligned body of the int8->fp32 widened row, the fixed
+ * pairwise lane reduction, fma tail) and qsum is a canonical sum of
+ * x_q (same lane walk with adds). The factoring keeps the inner loop
+ * at one fma per element — the same arithmetic as the bf16 kernel on
+ * a quarter of the f32 bytes — and both backends implement exactly
+ * these orders, so scalar and AVX2 are **bit-identical** to each
+ * other (property-tested), and results never depend on how a sweep is
+ * split into calls. Rows in different quantization chunks need
+ * separate calls (the engines split at KnowledgeBase::i8GroupEnd).
+ * Requires stride >= n and xstride >= n; out must not alias inputs.
+ */
+void dotBatchMultiI8(const float *x, size_t nx, size_t xstride,
+                     const int8_t *rows, size_t count, size_t n,
+                     size_t stride, float scale, float zero, float *out,
+                     size_t ostride);
+
+/**
+ * Query-blocked zero-skip weighted sum over *int8* rows sharing one
+ * affine code (scale, zero): identical contract to
+ * weightedSumSkipMulti — per-(query, row) scalar double skip tests on
+ * the fp32 e values, fp32 accumulators — but each kept row element is
+ * dequantized in registers as fma(scale, float(q), zero) and
+ * accumulated with a second single-rounded fma. Skip decisions are
+ * bit-identical to the f32/bf16 kernels on the same e values, and the
+ * scalar and AVX2 backends are bit-identical to each other.
+ *
+ * The dispatch layer tiles ne by kWsumQueryTile, like the other
+ * variants. Requires stride >= n and accstride >= n; e rows and acc
+ * rows must not alias.
+ */
+void weightedSumSkipMultiI8(const float *e, size_t ne, size_t estride,
+                            const int8_t *rows, size_t count, size_t n,
+                            size_t stride, float scale, float zero,
+                            float threshold, double *running_sums,
+                            float *acc, size_t accstride,
+                            uint64_t &kept, uint64_t &skipped);
+
+/**
  * Matrix-vector product: y = A * x.
  * A is (rows x cols) row-major; x has cols elements; y has rows.
  * Dispatches to dotBatch, so the x vector is reused across rows.
@@ -297,6 +344,16 @@ void weightedSumSkipMultiBf16(const float *e, size_t ne, size_t estride,
                               double *running_sums, float *acc,
                               size_t accstride, uint64_t &kept,
                               uint64_t &skipped);
+void dotBatchMultiI8(const float *x, size_t nx, size_t xstride,
+                     const int8_t *rows, size_t count, size_t n,
+                     size_t stride, float scale, float zero, float *out,
+                     size_t ostride);
+void weightedSumSkipMultiI8(const float *e, size_t ne, size_t estride,
+                            const int8_t *rows, size_t count, size_t n,
+                            size_t stride, float scale, float zero,
+                            float threshold, double *running_sums,
+                            float *acc, size_t accstride,
+                            uint64_t &kept, uint64_t &skipped);
 void gemm(const float *a, const float *b, float *c,
           size_t m, size_t k, size_t n, bool accumulate);
 void expInplace(float *x, size_t n);

@@ -586,6 +586,408 @@ weightedSumSkipMultiBf16Avx2(const float *e, size_t ne, size_t estride,
     }
 }
 
+// --- int8 row kernels -----------------------------------------------
+
+/**
+ * Widen 8 int8 elements to fp32 lanes: sign-extend to 32 bits, then
+ * int->float convert. Exact for the int8 range (no rounding), so the
+ * widened lanes equal static_cast<float>(row[i]) element-for-element.
+ */
+inline __m256
+i8Load8(const int8_t *p)
+{
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p));
+    return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+}
+
+/**
+ * Canonical raw i8 dot (see kernels.hh): ONE 8-lane fma chain over
+ * the widened body, hsum8's pairwise reduction, std::fma tail —
+ * exactly the scalar backend's lane walk. The affine (scale, zero)
+ * code is applied by the caller in the factored form.
+ */
+float
+dotI8RawAvx2(const float *x, const int8_t *row, size_t n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), i8Load8(row + i),
+                              acc);
+    float r = hsum8(acc);
+    for (; i < n; ++i)
+        r = std::fma(x[i], static_cast<float>(row[i]), r);
+    return r;
+}
+
+/**
+ * Canonical query sum for the factored i8 dot: vertical 8-lane adds,
+ * hsum8, scalar tail — the scalar backend replays this order exactly.
+ */
+float
+querySumAvx2(const float *x, size_t n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + i));
+    float r = hsum8(acc);
+    for (; i < n; ++i)
+        r += x[i];
+    return r;
+}
+
+/**
+ * Prefetch one int8 row (n payload bytes at `row`) into L1. The i8
+ * sweeps retire 64 elements per cache line, so the out-of-order
+ * window alone holds too few line fills in flight to cover the L3
+ * latency (unlike f32, which turns over lines 4x faster); an explicit
+ * prefetch a few rows ahead keeps the stream saturated. Hint-only:
+ * never changes results.
+ *
+ * Look-ahead indices are deliberately NOT clamped to the call's row
+ * count: the engines sweep one contiguous matrix in strip-sized
+ * calls, so rows past this call are almost always the next call's
+ * rows, and clamping would stall the stream at every strip boundary.
+ * At the true end of the matrix the prefetch reaches at most
+ * kI8PrefetchRows rows past the allocation — prefetch instructions
+ * never fault, so this is harmless.
+ */
+inline void
+prefetchI8Row(const int8_t *row, size_t n)
+{
+    for (size_t b = 0; b < n; b += 64)
+        _mm_prefetch(reinterpret_cast<const char *>(row) + b,
+                     _MM_HINT_T0);
+}
+
+/** Row distance the i8 sweeps prefetch ahead of the compute. */
+constexpr size_t kI8PrefetchRows = 8;
+
+/**
+ * Query-blocked i8 batched dots: 2 queries x 4 rows in the main tile
+ * (one i8Load8 widen per row feeds both query fmas), a 1 x 8 then
+ * 1 x 4 tile for the odd query, dotI8RawAvx2 for row tails. Each
+ * (q, r) accumulator is its own canonical chain and the per-query
+ * zero*qsum constant is folded in at store time, so tiling never
+ * changes bits. All tiles prefetch kI8PrefetchRows ahead (see
+ * prefetchI8Row).
+ */
+void
+dotBatchMultiI8Avx2(const float *x, size_t nx, size_t xstride,
+                    const int8_t *rows, size_t count, size_t n,
+                    size_t stride, float scale, float zero, float *out,
+                    size_t ostride)
+{
+    size_t q = 0;
+    for (; q + 2 <= nx; q += 2) {
+        const float *x0 = x + q * xstride;
+        const float *x1 = x0 + xstride;
+        float *o0 = out + q * ostride;
+        float *o1 = o0 + ostride;
+        const float qs0 = zero * querySumAvx2(x0, n);
+        const float qs1 = zero * querySumAvx2(x1, n);
+        size_t r = 0;
+        for (; r + 4 <= count; r += 4) {
+            for (size_t k = 0; k < 4; ++k)
+                prefetchI8Row(
+                    rows + (r + kI8PrefetchRows + k) * stride, n);
+            const int8_t *r0 = rows + (r + 0) * stride;
+            const int8_t *r1 = rows + (r + 1) * stride;
+            const int8_t *r2 = rows + (r + 2) * stride;
+            const int8_t *r3 = rows + (r + 3) * stride;
+            __m256 a00 = _mm256_setzero_ps();
+            __m256 a01 = _mm256_setzero_ps();
+            __m256 a02 = _mm256_setzero_ps();
+            __m256 a03 = _mm256_setzero_ps();
+            __m256 a10 = _mm256_setzero_ps();
+            __m256 a11 = _mm256_setzero_ps();
+            __m256 a12 = _mm256_setzero_ps();
+            __m256 a13 = _mm256_setzero_ps();
+            size_t i = 0;
+            for (; i + 8 <= n; i += 8) {
+                const __m256 xv0 = _mm256_loadu_ps(x0 + i);
+                const __m256 xv1 = _mm256_loadu_ps(x1 + i);
+                // One widen per row feeds both query FMAs.
+                __m256 rv = i8Load8(r0 + i);
+                a00 = _mm256_fmadd_ps(xv0, rv, a00);
+                a10 = _mm256_fmadd_ps(xv1, rv, a10);
+                rv = i8Load8(r1 + i);
+                a01 = _mm256_fmadd_ps(xv0, rv, a01);
+                a11 = _mm256_fmadd_ps(xv1, rv, a11);
+                rv = i8Load8(r2 + i);
+                a02 = _mm256_fmadd_ps(xv0, rv, a02);
+                a12 = _mm256_fmadd_ps(xv1, rv, a12);
+                rv = i8Load8(r3 + i);
+                a03 = _mm256_fmadd_ps(xv0, rv, a03);
+                a13 = _mm256_fmadd_ps(xv1, rv, a13);
+            }
+            float s00 = hsum8(a00), s01 = hsum8(a01);
+            float s02 = hsum8(a02), s03 = hsum8(a03);
+            float s10 = hsum8(a10), s11 = hsum8(a11);
+            float s12 = hsum8(a12), s13 = hsum8(a13);
+            for (; i < n; ++i) {
+                const float xi0 = x0[i];
+                const float xi1 = x1[i];
+                const float e0 = static_cast<float>(r0[i]);
+                const float e1 = static_cast<float>(r1[i]);
+                const float e2 = static_cast<float>(r2[i]);
+                const float e3 = static_cast<float>(r3[i]);
+                s00 = std::fma(xi0, e0, s00);
+                s01 = std::fma(xi0, e1, s01);
+                s02 = std::fma(xi0, e2, s02);
+                s03 = std::fma(xi0, e3, s03);
+                s10 = std::fma(xi1, e0, s10);
+                s11 = std::fma(xi1, e1, s11);
+                s12 = std::fma(xi1, e2, s12);
+                s13 = std::fma(xi1, e3, s13);
+            }
+            o0[r + 0] = std::fma(scale, s00, qs0);
+            o0[r + 1] = std::fma(scale, s01, qs0);
+            o0[r + 2] = std::fma(scale, s02, qs0);
+            o0[r + 3] = std::fma(scale, s03, qs0);
+            o1[r + 0] = std::fma(scale, s10, qs1);
+            o1[r + 1] = std::fma(scale, s11, qs1);
+            o1[r + 2] = std::fma(scale, s12, qs1);
+            o1[r + 3] = std::fma(scale, s13, qs1);
+        }
+        for (; r < count; ++r) {
+            o0[r] = std::fma(scale,
+                             dotI8RawAvx2(x0, rows + r * stride, n),
+                             qs0);
+            o1[r] = std::fma(scale,
+                             dotI8RawAvx2(x1, rows + r * stride, n),
+                             qs1);
+        }
+    }
+    if (q < nx) {
+        // Last odd query: 8-row groups first — eight independent
+        // chains cover the fma latency AND keep enough line fills in
+        // flight that the single-query sweep streams from L3 at the
+        // convert-limited rate — then a 4-row group, then row tails.
+        const float *x0 = x + q * xstride;
+        float *o0 = out + q * ostride;
+        const float qs0 = zero * querySumAvx2(x0, n);
+        size_t r = 0;
+        for (; r + 8 <= count; r += 8) {
+            for (size_t k = 0; k < 8; ++k)
+                prefetchI8Row(
+                    rows + (r + kI8PrefetchRows + k) * stride, n);
+            const int8_t *rb = rows + r * stride;
+            __m256 a0 = _mm256_setzero_ps();
+            __m256 a1 = _mm256_setzero_ps();
+            __m256 a2 = _mm256_setzero_ps();
+            __m256 a3 = _mm256_setzero_ps();
+            __m256 a4 = _mm256_setzero_ps();
+            __m256 a5 = _mm256_setzero_ps();
+            __m256 a6 = _mm256_setzero_ps();
+            __m256 a7 = _mm256_setzero_ps();
+            size_t i = 0;
+            for (; i + 8 <= n; i += 8) {
+                const __m256 xv = _mm256_loadu_ps(x0 + i);
+                a0 = _mm256_fmadd_ps(xv, i8Load8(rb + 0 * stride + i),
+                                     a0);
+                a1 = _mm256_fmadd_ps(xv, i8Load8(rb + 1 * stride + i),
+                                     a1);
+                a2 = _mm256_fmadd_ps(xv, i8Load8(rb + 2 * stride + i),
+                                     a2);
+                a3 = _mm256_fmadd_ps(xv, i8Load8(rb + 3 * stride + i),
+                                     a3);
+                a4 = _mm256_fmadd_ps(xv, i8Load8(rb + 4 * stride + i),
+                                     a4);
+                a5 = _mm256_fmadd_ps(xv, i8Load8(rb + 5 * stride + i),
+                                     a5);
+                a6 = _mm256_fmadd_ps(xv, i8Load8(rb + 6 * stride + i),
+                                     a6);
+                a7 = _mm256_fmadd_ps(xv, i8Load8(rb + 7 * stride + i),
+                                     a7);
+            }
+            float s0 = hsum8(a0), s1 = hsum8(a1);
+            float s2 = hsum8(a2), s3 = hsum8(a3);
+            float s4 = hsum8(a4), s5 = hsum8(a5);
+            float s6 = hsum8(a6), s7 = hsum8(a7);
+            for (; i < n; ++i) {
+                const float xi = x0[i];
+                s0 = std::fma(xi, float(rb[0 * stride + i]), s0);
+                s1 = std::fma(xi, float(rb[1 * stride + i]), s1);
+                s2 = std::fma(xi, float(rb[2 * stride + i]), s2);
+                s3 = std::fma(xi, float(rb[3 * stride + i]), s3);
+                s4 = std::fma(xi, float(rb[4 * stride + i]), s4);
+                s5 = std::fma(xi, float(rb[5 * stride + i]), s5);
+                s6 = std::fma(xi, float(rb[6 * stride + i]), s6);
+                s7 = std::fma(xi, float(rb[7 * stride + i]), s7);
+            }
+            o0[r + 0] = std::fma(scale, s0, qs0);
+            o0[r + 1] = std::fma(scale, s1, qs0);
+            o0[r + 2] = std::fma(scale, s2, qs0);
+            o0[r + 3] = std::fma(scale, s3, qs0);
+            o0[r + 4] = std::fma(scale, s4, qs0);
+            o0[r + 5] = std::fma(scale, s5, qs0);
+            o0[r + 6] = std::fma(scale, s6, qs0);
+            o0[r + 7] = std::fma(scale, s7, qs0);
+        }
+        for (; r + 4 <= count; r += 4) {
+            const int8_t *r0 = rows + (r + 0) * stride;
+            const int8_t *r1 = rows + (r + 1) * stride;
+            const int8_t *r2 = rows + (r + 2) * stride;
+            const int8_t *r3 = rows + (r + 3) * stride;
+            __m256 a0 = _mm256_setzero_ps();
+            __m256 a1 = _mm256_setzero_ps();
+            __m256 a2 = _mm256_setzero_ps();
+            __m256 a3 = _mm256_setzero_ps();
+            size_t i = 0;
+            for (; i + 8 <= n; i += 8) {
+                const __m256 xv = _mm256_loadu_ps(x0 + i);
+                a0 = _mm256_fmadd_ps(xv, i8Load8(r0 + i), a0);
+                a1 = _mm256_fmadd_ps(xv, i8Load8(r1 + i), a1);
+                a2 = _mm256_fmadd_ps(xv, i8Load8(r2 + i), a2);
+                a3 = _mm256_fmadd_ps(xv, i8Load8(r3 + i), a3);
+            }
+            float s0 = hsum8(a0), s1 = hsum8(a1);
+            float s2 = hsum8(a2), s3 = hsum8(a3);
+            for (; i < n; ++i) {
+                const float xi = x0[i];
+                s0 = std::fma(xi, static_cast<float>(r0[i]), s0);
+                s1 = std::fma(xi, static_cast<float>(r1[i]), s1);
+                s2 = std::fma(xi, static_cast<float>(r2[i]), s2);
+                s3 = std::fma(xi, static_cast<float>(r3[i]), s3);
+            }
+            o0[r + 0] = std::fma(scale, s0, qs0);
+            o0[r + 1] = std::fma(scale, s1, qs0);
+            o0[r + 2] = std::fma(scale, s2, qs0);
+            o0[r + 3] = std::fma(scale, s3, qs0);
+        }
+        for (; r < count; ++r)
+            o0[r] = std::fma(scale,
+                             dotI8RawAvx2(x0, rows + r * stride, n),
+                             qs0);
+    }
+}
+
+/**
+ * Query-blocked i8 weighted sum: identical structure to the f32/bf16
+ * kernels — per-(query, row) scalar-double skip tests, kept-query
+ * scatter list — with each kept row widened and dequantized once per
+ * 8-lane block (fmadd(scale, q, zero)) and fma'd into every kept
+ * accumulator. Tail elements use the same two std::fma steps as the
+ * scalar backend, so the update rounding matches exactly.
+ */
+void
+weightedSumSkipMultiI8Avx2(const float *e, size_t ne, size_t estride,
+                           const int8_t *rows, size_t count, size_t n,
+                           size_t stride, float scale, float zero,
+                           float threshold, double *running_sums,
+                           float *acc, size_t accstride, uint64_t &kept,
+                           uint64_t &skipped)
+{
+    float alpha[blas::kWsumQueryTile];
+    float *dst[blas::kWsumQueryTile];
+    const __m256 sv = _mm256_set1_ps(scale);
+    const __m256 zv = _mm256_set1_ps(zero);
+    if (ne == 1) {
+        // Two-pass fast path for the single-query sweep, where the
+        // skip rate is high (the threshold prunes most rows once the
+        // running sum has grown): pass A is a branchless scalar scan
+        // that advances the running-sum chain with exactly the same
+        // serial double adds and skip predicate as the generic loop,
+        // compacting the kept rows' indices and weights; pass B then
+        // streams ONLY the kept rows, prefetching ahead through the
+        // index list. The generic loop instead prefetches every row
+        // unconditionally (the decision isn't known yet there), which
+        // at a 15% keep rate wastes ~6x the M_OUT bandwidth. Per kept
+        // row the arithmetic is the nk==1 case of the generic loop,
+        // in the same ascending row order, so outputs are
+        // bit-identical to it and to the scalar backend.
+        constexpr size_t kBlock = 512;
+        constexpr size_t kLookAhead = 8;
+        uint32_t idx[kBlock];
+        float evk[kBlock];
+        for (size_t b0 = 0; b0 < count; b0 += kBlock) {
+            const size_t b1 = std::min(b0 + kBlock, count);
+            double s = running_sums[0];
+            size_t nkept = 0;
+            for (size_t r = b0; r < b1; ++r) {
+                const float ev = e[r];
+                s += ev;
+                const bool skip = threshold > 0.f &&
+                                  double(ev) < double(threshold) * s;
+                idx[nkept] = static_cast<uint32_t>(r);
+                evk[nkept] = ev;
+                nkept += !skip;
+            }
+            running_sums[0] = s;
+            kept += nkept;
+            skipped += (b1 - b0) - nkept;
+            for (size_t j = 0; j < std::min(kLookAhead, nkept); ++j)
+                prefetchI8Row(rows + idx[j] * stride, n);
+            for (size_t j = 0; j < nkept; ++j) {
+                if (j + kLookAhead < nkept)
+                    prefetchI8Row(rows + idx[j + kLookAhead] * stride,
+                                  n);
+                const int8_t *row = rows + idx[j] * stride;
+                const float ev = evk[j];
+                const __m256 av = _mm256_set1_ps(ev);
+                size_t i = 0;
+                for (; i + 8 <= n; i += 8) {
+                    const __m256 rv =
+                        _mm256_fmadd_ps(sv, i8Load8(row + i), zv);
+                    _mm256_storeu_ps(
+                        acc + i,
+                        _mm256_fmadd_ps(av, rv,
+                                        _mm256_loadu_ps(acc + i)));
+                }
+                for (; i < n; ++i) {
+                    const float ri = std::fma(
+                        scale, static_cast<float>(row[i]), zero);
+                    acc[i] = std::fma(ev, ri, acc[i]);
+                }
+            }
+        }
+        return;
+    }
+    for (size_t r = 0; r < count; ++r) {
+        // Unconditional look-ahead prefetch: rows are visited in
+        // order even when most are skipped, and the skip decision for
+        // row r+k isn't known yet, so this trades a few spurious line
+        // fills for never stalling on a kept row's first touch.
+        prefetchI8Row(rows + (r + kI8PrefetchRows) * stride, n);
+        const int8_t *row = rows + r * stride;
+        size_t nk = 0;
+        for (size_t q = 0; q < ne; ++q) {
+            const float ev = e[q * estride + r];
+            const double s = running_sums[q] + ev;
+            running_sums[q] = s;
+            if (threshold > 0.f && double(ev) < double(threshold) * s) {
+                ++skipped;
+                continue;
+            }
+            ++kept;
+            alpha[nk] = ev;
+            dst[nk] = acc + q * accstride;
+            ++nk;
+        }
+        if (nk == 0)
+            continue;
+        size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            const __m256 rv = _mm256_fmadd_ps(sv, i8Load8(row + i), zv);
+            for (size_t j = 0; j < nk; ++j) {
+                _mm256_storeu_ps(
+                    dst[j] + i,
+                    _mm256_fmadd_ps(_mm256_set1_ps(alpha[j]), rv,
+                                    _mm256_loadu_ps(dst[j] + i)));
+            }
+        }
+        for (; i < n; ++i) {
+            const float ri =
+                std::fma(scale, static_cast<float>(row[i]), zero);
+            for (size_t j = 0; j < nk; ++j)
+                dst[j][i] = std::fma(alpha[j], ri, dst[j][i]);
+        }
+    }
+}
+
 /**
  * Vector e^x, Cephes-style: split x = n*ln2 + r with |r| <= ln2/2,
  * evaluate a degree-6 polynomial for e^r, scale by 2^n through the
@@ -804,6 +1206,7 @@ const KernelTable kAvx2Table = {
     dotBatchAvx2,   dotBatchMultiAvx2,
     weightedSumSkipAvx2,              weightedSumSkipMultiAvx2,
     dotBatchMultiBf16Avx2,            weightedSumSkipMultiBf16Avx2,
+    dotBatchMultiI8Avx2,              weightedSumSkipMultiI8Avx2,
     gemmAvx2,       expInplaceAvx2,   expShiftInplaceAvx2,
 };
 

@@ -42,6 +42,15 @@ struct KernelTable
                                      const uint16_t *, size_t, size_t,
                                      size_t, float, double *, float *,
                                      size_t, uint64_t &, uint64_t &);
+    void (*dotBatchMultiI8)(const float *, size_t, size_t,
+                            const int8_t *, size_t, size_t, size_t,
+                            float, float, float *, size_t);
+    /** Query tile bounded by blas::kWsumQueryTile (dispatch splits). */
+    void (*weightedSumSkipMultiI8)(const float *, size_t, size_t,
+                                   const int8_t *, size_t, size_t,
+                                   size_t, float, float, float,
+                                   double *, float *, size_t,
+                                   uint64_t &, uint64_t &);
     void (*gemm)(const float *, const float *, float *, size_t, size_t,
                  size_t, bool);
     void (*expInplace)(float *, size_t);

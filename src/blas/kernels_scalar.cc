@@ -203,6 +203,105 @@ weightedSumSkipMultiBf16(const float *e, size_t ne, size_t estride,
 
 namespace {
 
+/**
+ * Canonical raw int8 dot: the bf16 lane walk over the exactly-widened
+ * int8 elements (int8 -> fp32 is lossless, matching the AVX2 cvt
+ * pair), so lane j holds fma chains of x[i]*float(row[i]). The affine
+ * code is applied by the caller in the factored form of kernels.hh.
+ */
+float
+dotI8RawOne(const float *x, const int8_t *row, size_t n)
+{
+    float lane[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        for (size_t j = 0; j < 8; ++j)
+            lane[j] = std::fma(x[i + j],
+                               static_cast<float>(row[i + j]), lane[j]);
+    }
+    float r = ((lane[0] + lane[4]) + (lane[2] + lane[6]))
+            + ((lane[1] + lane[5]) + (lane[3] + lane[7]));
+    for (; i < n; ++i)
+        r = std::fma(x[i], static_cast<float>(row[i]), r);
+    return r;
+}
+
+/**
+ * Canonical query sum for the i8 factored dot: the same 8-lane walk
+ * and pairwise reduction as the dot chains, with plain adds (the AVX2
+ * backend's vertical add + hsum8 is exactly this).
+ */
+float
+querySumOne(const float *x, size_t n)
+{
+    float lane[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        for (size_t j = 0; j < 8; ++j)
+            lane[j] += x[i + j];
+    }
+    float r = ((lane[0] + lane[4]) + (lane[2] + lane[6]))
+            + ((lane[1] + lane[5]) + (lane[3] + lane[7]));
+    for (; i < n; ++i)
+        r += x[i];
+    return r;
+}
+
+} // namespace
+
+void
+dotBatchMultiI8(const float *x, size_t nx, size_t xstride,
+                const int8_t *rows, size_t count, size_t n,
+                size_t stride, float scale, float zero, float *out,
+                size_t ostride)
+{
+    for (size_t q = 0; q < nx; ++q) {
+        const float *xq = x + q * xstride;
+        // zero * qsum(x_q) is a per-query constant, so the combine
+        // below depends only on (x_q, row, scale, zero) — sweep
+        // splits and tile shapes can never change bits.
+        const float qs = zero * querySumOne(xq, n);
+        for (size_t r = 0; r < count; ++r)
+            out[q * ostride + r] =
+                std::fma(scale, dotI8RawOne(xq, rows + r * stride, n),
+                         qs);
+    }
+}
+
+void
+weightedSumSkipMultiI8(const float *e, size_t ne, size_t estride,
+                       const int8_t *rows, size_t count, size_t n,
+                       size_t stride, float scale, float zero,
+                       float threshold, double *running_sums, float *acc,
+                       size_t accstride, uint64_t &kept,
+                       uint64_t &skipped)
+{
+    // Same per-(query, row) scalar-double skip arithmetic as the
+    // f32/bf16 kernels; each element takes one dequant fma plus one
+    // accumulate fma, both single-rounded like the AVX2 fmadds.
+    for (size_t r = 0; r < count; ++r) {
+        const int8_t *row = rows + r * stride;
+        for (size_t q = 0; q < ne; ++q) {
+            const float ev = e[q * estride + r];
+            const double s = running_sums[q] + ev;
+            running_sums[q] = s;
+            if (threshold > 0.f && double(ev) < double(threshold) * s) {
+                ++skipped;
+                continue;
+            }
+            ++kept;
+            float *dst = acc + q * accstride;
+            for (size_t i = 0; i < n; ++i) {
+                const float ri =
+                    std::fma(scale, static_cast<float>(row[i]), zero);
+                dst[i] = std::fma(ev, ri, dst[i]);
+            }
+        }
+    }
+}
+
+namespace {
+
 // Blocked inner kernel: accumulate a (4 x n) strip of C from a
 // (4 x kc) strip of A and a (kc x n) panel of B.
 void

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "blas/kernels.hh"
+#include "runtime/kernel_tuner.hh"
 #include "runtime/parallel_for.hh"
 #include "util/logging.hh"
 
@@ -24,6 +25,16 @@ BaselineEngine::BaselineEngine(const KnowledgeBase &kb,
                                const EngineConfig &cfg)
     : kb(kb), cfg(cfg), pool(cfg.threads)
 {
+    // Warm the process-wide tuning table like the column engine does:
+    // the baseline consumes only the strip-rows pick (as its step-1
+    // claim grain), but warming here keeps "construct any engine →
+    // table is populated" uniform for serving workers and tests.
+    if (kb.size() > 0 && this->cfg.stripRows == 0) {
+        auto &tuner = runtime::KernelTuner::instance();
+        const char *prec = precisionName(kb.precision());
+        for (size_t nq : {size_t{1}, size_t{4}, size_t{16}})
+            tuner.plan(prec, kb.dim(), nq);
+    }
 }
 
 void
@@ -47,23 +58,57 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
     // block's T_IN column strip for all questions at once. Rows are
     // claimed dynamically: every element is computed independently,
     // so scheduling cannot change the result.
+    // The tuned strip pick doubles as the dynamic claim grain when it
+    // is larger than the fixed default (row blocks are independent,
+    // so the grain never affects results). Config overrides win.
+    const runtime::KernelPlan plan =
+        cfg.stripRows > 0
+            ? runtime::KernelPlan{std::max<size_t>(4,
+                                                   cfg.stripRows / 4 * 4),
+                                  0}
+            : runtime::KernelTuner::instance().plan(
+                  precisionName(kb.precision()), ed, nq);
+    const size_t grain = std::max(kStep1Grain, plan.stripRows);
+
     timer.start();
-    if (kb.precision() == Precision::BF16) {
-        const uint16_t *min = kb.minData16();
-        runtime::parallelForDynamic(
-            pool, ns, kStep1Grain, [&](size_t, runtime::Range r) {
-                blas::dotBatchMultiBf16(u, nq, ed, min + r.begin * ed,
-                                        r.size(), ed, ed,
-                                        tin.data() + r.begin, ns);
-            });
-    } else {
+    switch (kb.precision()) {
+      case Precision::F32: {
         const float *min = kb.minData();
         runtime::parallelForDynamic(
-            pool, ns, kStep1Grain, [&](size_t, runtime::Range r) {
+            pool, ns, grain, [&](size_t, runtime::Range r) {
                 blas::dotBatchMulti(u, nq, ed, min + r.begin * ed,
                                     r.size(), ed, ed,
                                     tin.data() + r.begin, ns);
             });
+        break;
+      }
+      case Precision::BF16: {
+        const uint16_t *min = kb.minData16();
+        runtime::parallelForDynamic(
+            pool, ns, grain, [&](size_t, runtime::Range r) {
+                blas::dotBatchMultiBf16(u, nq, ed, min + r.begin * ed,
+                                        r.size(), ed, ed,
+                                        tin.data() + r.begin, ns);
+            });
+        break;
+      }
+      case Precision::I8: {
+        // One kernel call per quantization group inside each claimed
+        // block, so every call carries a single (scale, zero) pair.
+        const int8_t *min = kb.minData8();
+        runtime::parallelForDynamic(
+            pool, ns, grain, [&](size_t, runtime::Range r) {
+                for (size_t g0 = r.begin; g0 < r.end;) {
+                    const size_t g1 = std::min(r.end, kb.i8GroupEnd(g0));
+                    blas::dotBatchMultiI8(u, nq, ed, min + g0 * ed,
+                                          g1 - g0, ed, ed,
+                                          kb.minScale(g0), kb.minZero(g0),
+                                          tin.data() + g0, ns);
+                    g0 = g1;
+                }
+            });
+        break;
+      }
     }
     timer.stop();
     times.innerProduct += timer.seconds();
@@ -114,7 +159,22 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
         scratch.reset();
         float *partial = scratch.floats(parts * nq * ed);
         blas::zero(partial, parts * nq * ed);
-        if (kb.precision() == Precision::BF16) {
+        switch (kb.precision()) {
+          case Precision::F32: {
+            const float *mout = kb.moutData();
+            runtime::parallelForParts(
+                pool, ns, parts, [&](size_t part, runtime::Range r) {
+                    float *acc = partial + part * nq * ed;
+                    for (size_t i = r.begin; i < r.end; ++i) {
+                        const float *row = mout + i * ed;
+                        for (size_t q = 0; q < nq; ++q)
+                            blas::axpy(p[q * ns + i], row, acc + q * ed,
+                                       ed);
+                    }
+                });
+            break;
+          }
+          case Precision::BF16: {
             // The fused bf16 kernel with threshold 0 is exactly the
             // dense weighted sum (nothing skips); its running sums are
             // write-only here, claimed per part so parts stay
@@ -130,18 +190,31 @@ BaselineEngine::inferBatch(const float *u, size_t nq, float *o)
                         r.size(), ed, ed, 0.f, sums + part * nq,
                         partial + part * nq * ed, ed, kept, skipped);
                 });
-        } else {
-            const float *mout = kb.moutData();
+            break;
+          }
+          case Precision::I8: {
+            // Same fused-with-threshold-0 trick as bf16, split at
+            // quantization-group boundaries like step 1.
+            const int8_t *mout = kb.moutData8();
+            double *sums = scratch.doubles(parts * nq);
+            std::fill(sums, sums + parts * nq, 0.0);
             runtime::parallelForParts(
                 pool, ns, parts, [&](size_t part, runtime::Range r) {
-                    float *acc = partial + part * nq * ed;
-                    for (size_t i = r.begin; i < r.end; ++i) {
-                        const float *row = mout + i * ed;
-                        for (size_t q = 0; q < nq; ++q)
-                            blas::axpy(p[q * ns + i], row, acc + q * ed,
-                                       ed);
+                    uint64_t kept = 0, skipped = 0;
+                    for (size_t g0 = r.begin; g0 < r.end;) {
+                        const size_t g1 =
+                            std::min(r.end, kb.i8GroupEnd(g0));
+                        blas::weightedSumSkipMultiI8(
+                            p.data() + g0, nq, ns, mout + g0 * ed,
+                            g1 - g0, ed, ed, kb.moutScale(g0),
+                            kb.moutZero(g0), 0.f, sums + part * nq,
+                            partial + part * nq * ed, ed, kept,
+                            skipped);
+                        g0 = g1;
                     }
                 });
+            break;
+          }
         }
         blas::zero(o, nq * ed);
         for (size_t part = 0; part < parts; ++part)

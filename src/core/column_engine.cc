@@ -14,32 +14,35 @@ namespace mnnfast::core {
 namespace {
 
 /**
- * Issue software prefetches covering [ptr, ptr + bytes). Touching
- * every other line is enough: the hardware prefetcher follows the
- * sequential stream once started, and halving the instruction count
- * keeps the overhead negligible on memory systems where the data is
- * already close.
+ * Issue software prefetches covering [ptr, ptr + bytes), one every
+ * `stride` cache lines (0 = none). Sparse pacing is enough: the
+ * hardware prefetcher follows the sequential stream once started, and
+ * thinning the instruction count keeps the overhead negligible on
+ * memory systems where the data is already close. The stride comes
+ * from the engine's resolved runtime::KernelPlan.
  */
 inline void
-prefetchBytes(const void *ptr, size_t bytes)
+prefetchBytes(const void *ptr, size_t bytes, size_t stride)
 {
+    if (stride == 0)
+        return;
     const char *p = reinterpret_cast<const char *>(ptr);
-    for (size_t off = 0; off < bytes; off += 2 * kCacheLineBytes)
+    for (size_t off = 0; off < bytes; off += stride * kCacheLineBytes)
         __builtin_prefetch(p + off, 0 /* read */, 3 /* high locality */);
 }
 
 /**
- * Rows per strip in the query-blocked sweep. The strip is the reuse
- * unit: its M_IN/M_OUT rows stay cache-resident while every question
- * in the batch consumes them, so DRAM traffic per chunk is paid once
- * per batch. 16 rows x 1 KiB (ed=256) fits comfortably in L1 next to
- * the question tile; it is also a multiple of the kernels' 4-row
+ * The strip is the reuse unit of the query-blocked sweep: its
+ * M_IN/M_OUT rows stay cache-resident while every question in the
+ * batch consumes them, so DRAM traffic per chunk is paid once per
+ * batch. The strip row count is tuned (runtime::KernelPlan; default
+ * 16 rows — 1 KiB rows at ed=256 fit comfortably in L1 next to the
+ * question tile) and always a multiple of the kernels' 4-row register
  * group, so strip boundaries never change the accumulation grouping
  * relative to one whole-chunk kernel call (bit-identity). Prefetch of
  * the next chunk is paced across these strips, as in the paper's data
  * streaming.
  */
-constexpr size_t kStreamStrip = 16;
 
 /** Oversubscription factor for the automatic group count. */
 constexpr size_t kAutoGroupsPerWorker = 4;
@@ -58,6 +61,33 @@ ColumnEngine::ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg)
     if (kb.size() > 0)
         this->cfg.chunkSize = std::min(this->cfg.chunkSize, kb.size());
     workerArenas.resize(std::max<size_t>(1, pool.threadCount()));
+
+    // Warm the process-wide tuning table for this KB's precision and
+    // dimension now, so the first inference call (and every sibling
+    // engine over the same geometry — e.g. one per serving worker)
+    // finds a measured plan with a plain lookup. Skipped when the
+    // config pins both knobs; a no-op under MNNFAST_NO_TUNER.
+    if (kb.size() > 0
+        && (this->cfg.stripRows == 0 || this->cfg.prefetchStride < 0)) {
+        auto &tuner = runtime::KernelTuner::instance();
+        const char *prec = precisionName(kb.precision());
+        for (size_t nq : {size_t{1}, size_t{4}, size_t{16}})
+            tuner.plan(prec, kb.dim(), nq);
+    }
+}
+
+runtime::KernelPlan
+ColumnEngine::resolvePlan(size_t nq) const
+{
+    runtime::KernelPlan plan;
+    if (cfg.stripRows == 0 || cfg.prefetchStride < 0)
+        plan = runtime::KernelTuner::instance().plan(
+            precisionName(kb.precision()), kb.dim(), nq);
+    if (cfg.stripRows > 0)
+        plan.stripRows = std::max<size_t>(4, cfg.stripRows / 4 * 4);
+    if (cfg.prefetchStride >= 0)
+        plan.prefetchStride = static_cast<size_t>(cfg.prefetchStride);
+    return plan;
 }
 
 const char *
@@ -95,8 +125,10 @@ ColumnEngine::chunkGroups(size_t n_chunks)
 
 void
 ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
-                            size_t row_end, Partial &out, size_t worker,
-                            uint64_t &kept, uint64_t &skipped,
+                            size_t row_end,
+                            const runtime::KernelPlan &plan, Partial &out,
+                            size_t worker, uint64_t &kept,
+                            uint64_t &skipped,
                             runtime::ScratchArena &scratch) const
 {
     const size_t ed = kb.dim();
@@ -104,14 +136,50 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
     // Storage precision decides which fused kernels sweep the chunk;
     // everything else (strips, prefetch pacing, scratch, merge) is
     // precision-agnostic. Row prefetch distance shrinks with the
-    // element size, so bf16 halves both the streamed and the
-    // prefetched bytes per row.
-    const bool bf16 = kb.precision() == Precision::BF16;
-    const float *min = bf16 ? nullptr : kb.minData();
-    const float *mout = bf16 ? nullptr : kb.moutData();
-    const uint16_t *min16 = bf16 ? kb.minData16() : nullptr;
-    const uint16_t *mout16 = bf16 ? kb.moutData16() : nullptr;
+    // element size, so bf16 halves and i8 quarters both the streamed
+    // and the prefetched bytes per row. The i8 sweeps additionally
+    // split kernel calls at quantization-group boundaries
+    // (kb.i8GroupEnd) so each call carries one (scale, zero) pair;
+    // the split points cannot change results (see kernels.hh).
+    const Precision prec = kb.precision();
+    const float *min = nullptr, *mout = nullptr;
+    const uint16_t *min16 = nullptr, *mout16 = nullptr;
+    const int8_t *min8 = nullptr, *mout8 = nullptr;
+    switch (prec) {
+      case Precision::F32:
+        min = kb.minData();
+        mout = kb.moutData();
+        break;
+      case Precision::BF16:
+        min16 = kb.minData16();
+        mout16 = kb.moutData16();
+        break;
+      case Precision::I8:
+        min8 = kb.minData8();
+        mout8 = kb.moutData8();
+        break;
+    }
+    // Prefetch addressing is precision-agnostic given the byte view.
+    const char *min_bytes = reinterpret_cast<const char *>(
+        min ? static_cast<const void *>(min)
+            : min16 ? static_cast<const void *>(min16)
+                    : static_cast<const void *>(min8));
+    const char *mout_bytes = reinterpret_cast<const char *>(
+        mout ? static_cast<const void *>(mout)
+             : mout16 ? static_cast<const void *>(mout16)
+                      : static_cast<const void *>(mout8));
     const size_t row_bytes = ed * kb.elemBytes();
+    const size_t pf = plan.prefetchStride;
+    // The strip has two jobs: pacing the next-chunk prefetch (pf > 0)
+    // and keeping a row block L1-resident while it is reused across
+    // the question batch (nq > 1). With one question and prefetch
+    // disabled — e.g. the tuned int8 single-query plan, whose kernel
+    // prefetches internally — neither applies, so collapse the strip
+    // to the chunk and amortize per-call setup (dispatch, query sums)
+    // over 8x more rows. Call granularity never changes results: the
+    // per-(question, row) accumulation order is call-split invariant.
+    const size_t strip =
+        (nq == 1 && pf == 0) ? chunk : plan.stripRows;
     const bool online = cfg.onlineNormalize;
     const float th = cfg.skipThreshold;
 
@@ -145,19 +213,32 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         // the strip stays L1-resident across the batch, so the chunk
         // streams from memory once per batch, not once per question.
         phase_timer.reset();
-        for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
-            const size_t s1 = std::min(s0 + kStreamStrip, len);
-            if (bf16) {
-                for (size_t i = s0; i < std::min(s1, next_len); ++i)
-                    prefetchBytes(min16 + (c1 + i) * ed, row_bytes);
+        for (size_t s0 = 0; s0 < len; s0 += strip) {
+            const size_t s1 = std::min(s0 + strip, len);
+            for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                prefetchBytes(min_bytes + (c1 + i) * row_bytes,
+                              row_bytes, pf);
+            switch (prec) {
+              case Precision::F32:
+                blas::dotBatchMulti(u, nq, ed, min + (c0 + s0) * ed,
+                                    s1 - s0, ed, ed, t + s0, chunk);
+                break;
+              case Precision::BF16:
                 blas::dotBatchMultiBf16(u, nq, ed,
                                         min16 + (c0 + s0) * ed,
                                         s1 - s0, ed, ed, t + s0, chunk);
-            } else {
-                for (size_t i = s0; i < std::min(s1, next_len); ++i)
-                    prefetchBytes(min + (c1 + i) * ed, row_bytes);
-                blas::dotBatchMulti(u, nq, ed, min + (c0 + s0) * ed,
-                                    s1 - s0, ed, ed, t + s0, chunk);
+                break;
+              case Precision::I8:
+                for (size_t g0 = s0; g0 < s1;) {
+                    const size_t g1 =
+                        std::min(s1, kb.i8GroupEnd(c0 + g0) - c0);
+                    blas::dotBatchMultiI8(
+                        u, nq, ed, min8 + (c0 + g0) * ed, g1 - g0, ed,
+                        ed, kb.minScale(c0 + g0), kb.minZero(c0 + g0),
+                        t + g0, chunk);
+                    g0 = g1;
+                }
+                break;
             }
         }
         out.tInner += phase_timer.seconds();
@@ -194,21 +275,35 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         // identical to the per-question sweep; skipped rows never
         // touch M_OUT or the accumulator for that question.
         phase_timer.reset();
-        for (size_t s0 = 0; s0 < len; s0 += kStreamStrip) {
-            const size_t s1 = std::min(s0 + kStreamStrip, len);
-            if (bf16) {
-                for (size_t i = s0; i < std::min(s1, next_len); ++i)
-                    prefetchBytes(mout16 + (c1 + i) * ed, row_bytes);
-                blas::weightedSumSkipMultiBf16(
-                    t + s0, nq, chunk, mout16 + (c0 + s0) * ed, s1 - s0,
-                    ed, ed, th, out.psum, out.o, ed, kept, skipped);
-            } else {
-                for (size_t i = s0; i < std::min(s1, next_len); ++i)
-                    prefetchBytes(mout + (c1 + i) * ed, row_bytes);
+        for (size_t s0 = 0; s0 < len; s0 += strip) {
+            const size_t s1 = std::min(s0 + strip, len);
+            for (size_t i = s0; i < std::min(s1, next_len); ++i)
+                prefetchBytes(mout_bytes + (c1 + i) * row_bytes,
+                              row_bytes, pf);
+            switch (prec) {
+              case Precision::F32:
                 blas::weightedSumSkipMulti(t + s0, nq, chunk,
                                            mout + (c0 + s0) * ed,
                                            s1 - s0, ed, ed, th, out.psum,
                                            out.o, ed, kept, skipped);
+                break;
+              case Precision::BF16:
+                blas::weightedSumSkipMultiBf16(
+                    t + s0, nq, chunk, mout16 + (c0 + s0) * ed, s1 - s0,
+                    ed, ed, th, out.psum, out.o, ed, kept, skipped);
+                break;
+              case Precision::I8:
+                for (size_t g0 = s0; g0 < s1;) {
+                    const size_t g1 =
+                        std::min(s1, kb.i8GroupEnd(c0 + g0) - c0);
+                    blas::weightedSumSkipMultiI8(
+                        t + g0, nq, chunk, mout8 + (c0 + g0) * ed,
+                        g1 - g0, ed, ed, kb.moutScale(c0 + g0),
+                        kb.moutZero(c0 + g0), th, out.psum, out.o, ed,
+                        kept, skipped);
+                    g0 = g1;
+                }
+                break;
             }
         }
         out.tWsum += phase_timer.seconds();
@@ -228,6 +323,9 @@ ColumnEngine::runGroups(const float *u, size_t nq)
     const size_t workers = std::max<size_t>(1, pool.threadCount());
     const size_t n_chunks = (ns + cfg.chunkSize - 1) / cfg.chunkSize;
     const auto &groups = chunkGroups(n_chunks);
+    // One tuner lookup per pass, outside the worker loops (the table
+    // was warmed at construction, so this is a locked map hit).
+    const runtime::KernelPlan plan = resolvePlan(nq);
 
     // Group partials live in the persistent arena: the previous
     // call's spans are dead, so rewind and claim fresh ones. At a
@@ -254,8 +352,8 @@ ColumnEngine::runGroups(const float *u, size_t nq)
     auto runGroup = [&](size_t worker, size_t g) {
         const runtime::Range cr = groups[g];
         processChunks(u, nq, cr.begin * cfg.chunkSize,
-                      std::min(ns, cr.end * cfg.chunkSize), partials[g],
-                      worker, keptPerWorker[worker],
+                      std::min(ns, cr.end * cfg.chunkSize), plan,
+                      partials[g], worker, keptPerWorker[worker],
                       skippedPerWorker[worker], workerArenas[worker]);
     };
 

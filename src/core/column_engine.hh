@@ -66,6 +66,7 @@
 
 #include "core/config.hh"
 #include "core/engine.hh"
+#include "runtime/kernel_tuner.hh"
 #include "runtime/parallel_for.hh"
 #include "runtime/scratch_arena.hh"
 #include "runtime/thread_pool.hh"
@@ -149,9 +150,18 @@ class ColumnEngine : public InferenceEngine
     };
 
     void processChunks(const float *u, size_t nq, size_t row_begin,
-                       size_t row_end, Partial &out, size_t worker,
-                       uint64_t &kept, uint64_t &skipped,
+                       size_t row_end, const runtime::KernelPlan &plan,
+                       Partial &out, size_t worker, uint64_t &kept,
+                       uint64_t &skipped,
                        runtime::ScratchArena &scratch) const;
+
+    /**
+     * The (strip rows, prefetch stride) plan for a batch of nq
+     * questions: config overrides where set, the process-wide tuned
+     * plan otherwise. Resolved once per runGroups call, outside the
+     * worker loops, so the tuner lock is never taken on the hot path.
+     */
+    runtime::KernelPlan resolvePlan(size_t nq) const;
 
     /** Group decomposition for the current KB size (cached). */
     const std::vector<runtime::Range> &chunkGroups(size_t n_chunks);

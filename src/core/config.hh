@@ -78,6 +78,22 @@ struct EngineConfig
     /** Chunk-group scheduling policy (column engine). */
     Schedule schedule = Schedule::Dynamic;
     /**
+     * Rows per kernel call in the column engine's strip sweeps. 0
+     * (the default) defers to the autotuned plan from
+     * runtime::KernelTuner. Nonzero overrides are rounded down to a
+     * multiple of 4 — the kernels' register-group width — with a
+     * floor of 4, so any override still yields output bit-identical
+     * to every other strip choice.
+     */
+    size_t stripRows = 0;
+    /**
+     * Streaming-prefetch pacing: one prefetch instruction every this
+     * many cache lines of the next chunk's rows. -1 (the default)
+     * defers to the autotuned plan; 0 issues no prefetches. Pacing
+     * never affects results, only wall-clock.
+     */
+    int prefetchStride = -1;
+    /**
      * Number of chunk groups the column engine decomposes the KB into
      * (clamped to the chunk count). 0 = auto: 4x the worker count, so
      * dynamic scheduling has slack to rebalance while per-group merge

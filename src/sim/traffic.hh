@@ -55,8 +55,13 @@ struct WorkloadParams
     double zskipKeepFraction = 0.1;
     /**
      * Bytes per stored knowledge-base element (M_IN / M_OUT rows
-     * only; questions, scratch and accumulators stay fp32). 4 models
-     * fp32 storage, 2 models the bf16 knowledge base.
+     * only; questions, scratch and accumulators stay fp32). Set this
+     * to core::precisionBytes(p) of the modeled storage precision —
+     * 4 for f32, 2 for bf16, 1 for the int8 knowledge base — rather
+     * than special-casing any one precision; KB sweep traffic scales
+     * linearly with it (per-chunk i8 scale metadata is modeled as
+     * free: 16 bytes per thousand-row chunk is below line
+     * granularity).
      */
     size_t kbElemBytes = sizeof(float);
     /**

@@ -820,6 +820,230 @@ TEST(WeightedSumSkipMultiBf16, SkipDecisionsMatchFp32Kernel)
     }
 }
 
+// ---------------------------------------------------------------------
+// int8 storage kernels. Same bit-for-bit contract as bf16: the scalar
+// and AVX2 backends implement one canonical accumulation order, so the
+// dispatched kernel must match the scalar reference exactly. The
+// (scale, zero) pair is applied in the factored form documented in
+// kernels.hh, so results are additionally invariant to splitting a row
+// sweep into multiple calls — the property the engines rely on when
+// they cut sweeps at quantization-group boundaries.
+// ---------------------------------------------------------------------
+
+/** Deterministic int8 rows covering the full [-128, 127] range. */
+std::vector<int8_t>
+nastyVecI8(size_t n, uint64_t seed)
+{
+    XorShiftRng rng(seed);
+    std::vector<int8_t> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = static_cast<int8_t>(static_cast<int>(rng.below(256)) - 128);
+    return v;
+}
+
+TEST(DotBatchMultiI8, BitIdenticalToScalarReference)
+{
+    const float scale = 0.0123f, zero = -0.456f;
+    const size_t d_cases[] = {0, 1, 7, 8, 9, 15, 16, 17, 64, 129, 256};
+    for (size_t d : d_cases) {
+        const size_t stride = d + 3, xstride = d + 1;
+        for (size_t nq : {size_t(1), size_t(2), size_t(3), size_t(5),
+                          size_t(8), size_t(9)}) {
+            for (size_t count : {size_t(0), size_t(1), size_t(3),
+                                 size_t(4), size_t(5), size_t(17),
+                                 size_t(64)}) {
+                const size_t ostride = count + 2;
+                const auto x = nastyVec(nq * xstride, 641, 0);
+                const auto rows = nastyVecI8(count * stride, 642);
+                std::vector<float> got(nq * ostride, -9.f);
+                std::vector<float> ref(nq * ostride, -9.f);
+
+                dotBatchMultiI8(x.data(), nq, xstride, rows.data(),
+                                count, d, stride, scale, zero,
+                                got.data(), ostride);
+                scalar::dotBatchMultiI8(x.data(), nq, xstride,
+                                        rows.data(), count, d, stride,
+                                        scale, zero, ref.data(),
+                                        ostride);
+
+                for (size_t i = 0; i < got.size(); ++i)
+                    ASSERT_EQ(got[i], ref[i])
+                        << "d=" << d << " nq=" << nq
+                        << " count=" << count << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(DotBatchMultiI8, MatchesWideningDoubleReference)
+{
+    // Accuracy against a double-precision dot over the dequantized
+    // rows: the kernel computes fma(scale, rawdot, zero * qsum) with
+    // fp32 rawdot/qsum accumulation, so the usual O(d) rounding bound
+    // applies — scaled by the row magnitudes (|q| <= 128).
+    const size_t d = 256, count = 33, nq = 4;
+    const float scale = 0.0123f, zero = -0.456f;
+    const auto x = nastyVec(nq * d, 643, 0);
+    const auto rows = nastyVecI8(count * d, 644);
+    std::vector<float> got(nq * count);
+    dotBatchMultiI8(x.data(), nq, d, rows.data(), count, d, d, scale,
+                    zero, got.data(), count);
+    for (size_t q = 0; q < nq; ++q) {
+        for (size_t r = 0; r < count; ++r) {
+            double ref = 0.0;
+            for (size_t i = 0; i < d; ++i)
+                ref += double(x[q * d + i])
+                     * (double(scale) * rows[r * d + i] + double(zero));
+            ASSERT_NEAR(got[q * count + r], ref, 1e-4 * d)
+                << "q=" << q << " r=" << r;
+        }
+    }
+}
+
+TEST(DotBatchMultiI8, RowSweepSplitInvariant)
+{
+    // One call over [0, count) must equal a call over [0, c) plus a
+    // call over [c, count) at ANY split point: scores are per-(q, r)
+    // independent. The engines rely on this when they split sweeps at
+    // quantization-group boundaries.
+    const size_t d = 129, count = 37, nq = 5;
+    const float scale = 0.017f, zero = 0.31f;
+    const auto x = nastyVec(nq * d, 645, 0);
+    const auto rows = nastyVecI8(count * d, 646);
+    std::vector<float> whole(nq * count, -9.f);
+    dotBatchMultiI8(x.data(), nq, d, rows.data(), count, d, d, scale,
+                    zero, whole.data(), count);
+    for (size_t c : {size_t(1), size_t(4), size_t(13), size_t(36)}) {
+        std::vector<float> split(nq * count, -9.f);
+        dotBatchMultiI8(x.data(), nq, d, rows.data(), c, d, d, scale,
+                        zero, split.data(), count);
+        dotBatchMultiI8(x.data(), nq, d, rows.data() + c * d,
+                        count - c, d, d, scale, zero, split.data() + c,
+                        count);
+        for (size_t i = 0; i < whole.size(); ++i)
+            ASSERT_EQ(split[i], whole[i]) << "c=" << c << " i=" << i;
+    }
+}
+
+TEST(WeightedSumSkipMultiI8, BitIdenticalToScalarReference)
+{
+    const size_t d = 65, stride = 67;
+    const float scale = 0.0123f, zero = -0.456f;
+    for (size_t nq : {size_t(1), size_t(2), size_t(3), size_t(5),
+                      kWsumQueryTile, kWsumQueryTile + 1,
+                      2 * kWsumQueryTile + 1}) {
+        for (float threshold : {0.0f, 0.05f, 0.5f}) {
+            for (size_t count : {size_t(0), size_t(1), size_t(7),
+                                 size_t(100)}) {
+                const size_t estride = count + 3;
+                const size_t accstride = d + 5;
+                auto e = nastyVec(nq * estride, 651, 0);
+                for (float &v : e)
+                    v = std::abs(v) + 1e-3f; // exp outputs are positive
+                const auto rows = nastyVecI8(count * stride, 652);
+
+                auto acc1 = nastyVec(nq * accstride, 653, 0);
+                auto acc2 = acc1;
+                std::vector<double> s1(nq), s2(nq);
+                for (size_t q = 0; q < nq; ++q)
+                    s1[q] = s2[q] = 0.25 * double(q);
+                uint64_t kept1 = 0, skip1 = 0, kept2 = 0, skip2 = 0;
+
+                weightedSumSkipMultiI8(
+                    e.data(), nq, estride, rows.data(), count, d,
+                    stride, scale, zero, threshold, s1.data(),
+                    acc1.data(), accstride, kept1, skip1);
+                // The scalar reference takes any ne; no tiling needed.
+                scalar::weightedSumSkipMultiI8(
+                    e.data(), nq, estride, rows.data(), count, d,
+                    stride, scale, zero, threshold, s2.data(),
+                    acc2.data(), accstride, kept2, skip2);
+
+                ASSERT_EQ(kept1, kept2)
+                    << "nq=" << nq << " th=" << threshold
+                    << " count=" << count;
+                ASSERT_EQ(skip1, skip2);
+                ASSERT_EQ(kept1 + skip1, uint64_t(nq) * count);
+                for (size_t q = 0; q < nq; ++q)
+                    ASSERT_EQ(s1[q], s2[q]) << "nq=" << nq << " q=" << q;
+                for (size_t i = 0; i < acc1.size(); ++i)
+                    ASSERT_EQ(acc1[i], acc2[i])
+                        << "nq=" << nq << " th=" << threshold
+                        << " count=" << count << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(WeightedSumSkipMultiI8, SkipDecisionsMatchFp32Kernel)
+{
+    // The skip test is scalar double arithmetic on the e values in
+    // both precisions — rows never enter the decision — so kept and
+    // skipped counts must agree exactly with the fp32 kernel on the
+    // same e matrix.
+    const size_t d = 32, count = 200, nq = 5;
+    auto e = nastyVec(nq * count, 661, 0);
+    for (float &v : e)
+        v = std::abs(v) + 1e-3f;
+    const auto rows8 = nastyVecI8(count * d, 662);
+    const auto rows32 = nastyVec(count * d, 663, 0);
+    for (float threshold : {0.01f, 0.1f}) {
+        std::vector<float> a1(nq * d, 0.f), a2(nq * d, 0.f);
+        std::vector<double> s1(nq, 0.0), s2(nq, 0.0);
+        uint64_t kept1 = 0, skip1 = 0, kept2 = 0, skip2 = 0;
+        weightedSumSkipMultiI8(e.data(), nq, count, rows8.data(), count,
+                               d, d, 0.01f, -0.2f, threshold, s1.data(),
+                               a1.data(), d, kept1, skip1);
+        weightedSumSkipMulti(e.data(), nq, count, rows32.data(), count,
+                             d, d, threshold, s2.data(), a2.data(), d,
+                             kept2, skip2);
+        ASSERT_EQ(kept1, kept2) << "th=" << threshold;
+        ASSERT_EQ(skip1, skip2) << "th=" << threshold;
+        for (size_t q = 0; q < nq; ++q)
+            ASSERT_EQ(s1[q], s2[q]) << "q=" << q;
+    }
+}
+
+TEST(WeightedSumSkipMultiI8, RowSweepSplitInvariant)
+{
+    // Splitting the row range into consecutive calls (threading the
+    // running sums through) must reproduce the single-call result
+    // exactly: rows are processed in ascending order and the skip
+    // state is entirely in running_sums.
+    const size_t d = 48, count = 61, nq = 3;
+    const float scale = 0.02f, zero = 0.1f, threshold = 0.05f;
+    auto e = nastyVec(nq * count, 671, 0);
+    for (float &v : e)
+        v = std::abs(v) + 1e-3f;
+    const auto rows = nastyVecI8(count * d, 672);
+
+    std::vector<float> a1(nq * d, 0.f);
+    std::vector<double> s1(nq, 0.0);
+    uint64_t kept1 = 0, skip1 = 0;
+    weightedSumSkipMultiI8(e.data(), nq, count, rows.data(), count, d,
+                           d, scale, zero, threshold, s1.data(),
+                           a1.data(), d, kept1, skip1);
+
+    for (size_t c : {size_t(1), size_t(8), size_t(30), size_t(60)}) {
+        std::vector<float> a2(nq * d, 0.f);
+        std::vector<double> s2(nq, 0.0);
+        uint64_t kept2 = 0, skip2 = 0;
+        weightedSumSkipMultiI8(e.data(), nq, count, rows.data(), c, d,
+                               d, scale, zero, threshold, s2.data(),
+                               a2.data(), d, kept2, skip2);
+        weightedSumSkipMultiI8(e.data() + c, nq, count,
+                               rows.data() + c * d, count - c, d, d,
+                               scale, zero, threshold, s2.data(),
+                               a2.data(), d, kept2, skip2);
+        ASSERT_EQ(kept2, kept1) << "c=" << c;
+        ASSERT_EQ(skip2, skip1) << "c=" << c;
+        for (size_t q = 0; q < nq; ++q)
+            ASSERT_EQ(s2[q], s1[q]) << "c=" << c << " q=" << q;
+        for (size_t i = 0; i < a1.size(); ++i)
+            ASSERT_EQ(a2[i], a1[i]) << "c=" << c << " i=" << i;
+    }
+}
+
 TEST(GemmSimd, MatchesScalarAcrossShapes)
 {
     const GemmDims shapes[] = {{1, 1, 1},   {2, 3, 15},  {4, 8, 16},

@@ -30,9 +30,10 @@ namespace {
 /** Build a KB of ns random sentences with small-magnitude values. */
 KnowledgeBase
 randomKb(size_t ns, size_t ed, uint64_t seed, float scale = 0.5f,
-         Precision prec = Precision::F32)
+         Precision prec = Precision::F32,
+         size_t i8_chunk_rows = kI8ChunkRowsDefault)
 {
-    KnowledgeBase kb(ed, prec);
+    KnowledgeBase kb(ed, prec, i8_chunk_rows);
     kb.reserve(ns);
     XorShiftRng rng(seed);
     std::vector<float> min_row(ed), mout_row(ed);
@@ -819,6 +820,277 @@ TEST(Bf16Engines, RepeatedCallsAreBitIdentical)
         engine.inferBatch(u.data(), nq, again.data());
         for (size_t i = 0; i < first.size(); ++i)
             ASSERT_EQ(first[i], again[i]) << "rep=" << rep;
+    }
+}
+
+// ---------------------------------------------------------------------
+// int8 knowledge bases: per-chunk affine quantization at append time,
+// precision-guarded accessors, and engine equivalence. See DESIGN.md
+// §10 for the storage format.
+// ---------------------------------------------------------------------
+
+TEST(KnowledgeBaseI8, BytesReflectElementSize)
+{
+    const size_t ns = 64, ed = 48;
+    const KnowledgeBase f32 = randomKb(ns, ed, 91);
+    const KnowledgeBase i8 = randomKb(ns, ed, 91, 0.5f, Precision::I8);
+    EXPECT_EQ(i8.bytes(), 2 * ns * ed * sizeof(int8_t));
+    EXPECT_EQ(i8.bytes() * 4, f32.bytes());
+    EXPECT_EQ(i8.elemBytes(), sizeof(int8_t));
+    EXPECT_STREQ(precisionName(i8.precision()), "i8");
+    EXPECT_EQ(precisionBytes(Precision::I8), sizeof(int8_t));
+}
+
+TEST(KnowledgeBaseI8, StorageMatchesBatchQuantization)
+{
+    // Rows are quantized at append time with tail-chunk requantization
+    // when the running range grows, so the stored bytes must equal
+    // quantizing each full chunk against its final [lo, hi] — for
+    // M_IN and M_OUT independently. Small qchunk forces several
+    // chunks including a partial tail.
+    const size_t ed = 7, ns = 29, qchunk = 8;
+    KnowledgeBase kb(ed, Precision::I8, qchunk);
+    XorShiftRng rng(141);
+    std::vector<float> all_min, all_mout, min_row(ed), mout_row(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            min_row[e] = rng.uniformRange(-2.f, 3.f);
+            mout_row[e] = rng.uniformRange(-1.f, 0.5f);
+        }
+        all_min.insert(all_min.end(), min_row.begin(), min_row.end());
+        all_mout.insert(all_mout.end(), mout_row.begin(),
+                        mout_row.end());
+        kb.addSentence(min_row.data(), mout_row.data());
+    }
+    EXPECT_EQ(kb.i8ChunkRows(), qchunk);
+
+    auto check = [&](const std::vector<float> &src,
+                     auto rowAccessor, auto scaleAt, auto zeroAt) {
+        for (size_t c0 = 0; c0 < ns; c0 += qchunk) {
+            const size_t c1 = std::min(c0 + qchunk, ns);
+            float lo = src[c0 * ed], hi = src[c0 * ed];
+            for (size_t i = c0 * ed; i < c1 * ed; ++i) {
+                lo = std::min(lo, src[i]);
+                hi = std::max(hi, src[i]);
+            }
+            const float scale = (hi - lo) / 255.f;
+            const float zero = lo + 128.f * scale;
+            ASSERT_FLOAT_EQ(scaleAt(c0), scale) << "chunk@" << c0;
+            ASSERT_FLOAT_EQ(zeroAt(c0), zero) << "chunk@" << c0;
+            for (size_t i = c0; i < c1; ++i) {
+                for (size_t e = 0; e < ed; ++e) {
+                    const float x = src[i * ed + e];
+                    long q = std::lrintf((x - zero) * (1.f / scale));
+                    q = std::min(127l, std::max(-128l, q));
+                    ASSERT_EQ(long(rowAccessor(i)[e]), q)
+                        << "row " << i << " elem " << e;
+                    // The documented error bound of the format.
+                    const float back = scale * float(q) + zero;
+                    ASSERT_LE(std::abs(back - x),
+                              scale / 2 + 1e-6f)
+                        << "row " << i << " elem " << e;
+                }
+            }
+        }
+    };
+    check(all_min, [&](size_t i) { return kb.minRow8(i); },
+          [&](size_t i) { return kb.minScale(i); },
+          [&](size_t i) { return kb.minZero(i); });
+    check(all_mout, [&](size_t i) { return kb.moutRow8(i); },
+          [&](size_t i) { return kb.moutScale(i); },
+          [&](size_t i) { return kb.moutZero(i); });
+}
+
+TEST(KnowledgeBaseI8, WrongPrecisionAccessorPanics)
+{
+    KnowledgeBase i8 = randomKb(4, 4, 95, 0.5f, Precision::I8);
+    KnowledgeBase f32 = randomKb(4, 4, 95);
+    KnowledgeBase b16 = randomKb(4, 4, 95, 0.5f, Precision::BF16);
+    EXPECT_DEATH(i8.minRow(0), "non-F32");
+    EXPECT_DEATH(i8.moutData(), "non-F32");
+    EXPECT_DEATH(i8.minRow16(0), "non-BF16");
+    EXPECT_DEATH(f32.minRow8(0), "non-I8");
+    EXPECT_DEATH(f32.moutData8(), "non-I8");
+    EXPECT_DEATH(f32.minScale(0), "non-I8");
+    EXPECT_DEATH(b16.minData8(), "non-I8");
+    EXPECT_DEATH(b16.moutZero(0), "non-I8");
+    EXPECT_DEATH(b16.i8GroupEnd(0), "non-I8");
+}
+
+TEST(KnowledgeBaseI8, ViewsResolveParentScalesAndGroups)
+{
+    // A view at an arbitrary row offset must hand back the parent's
+    // quantization parameters for its rows, and i8GroupEnd must cut
+    // at the parent's chunk boundaries shifted by the view offset.
+    const size_t ed = 4, ns = 40, qchunk = 8;
+    const KnowledgeBase kb =
+        randomKb(ns, ed, 143, 0.5f, Precision::I8, qchunk);
+    const KnowledgeBase v = kb.view(5, 25);
+    ASSERT_EQ(v.size(), 20u);
+    for (size_t i = 0; i < v.size(); ++i) {
+        ASSERT_FLOAT_EQ(v.minScale(i), kb.minScale(5 + i)) << i;
+        ASSERT_FLOAT_EQ(v.minZero(i), kb.minZero(5 + i)) << i;
+        ASSERT_FLOAT_EQ(v.moutScale(i), kb.moutScale(5 + i)) << i;
+        for (size_t e = 0; e < ed; ++e)
+            ASSERT_EQ(v.minRow8(i)[e], kb.minRow8(5 + i)[e]) << i;
+    }
+    // Parent chunks end at rows 8, 16, 24, ... → view rows 3, 11, 19.
+    EXPECT_EQ(v.i8GroupEnd(0), 3u);
+    EXPECT_EQ(v.i8GroupEnd(2), 3u);
+    EXPECT_EQ(v.i8GroupEnd(3), 11u);
+    EXPECT_EQ(v.i8GroupEnd(12), 19u);
+    EXPECT_EQ(v.i8GroupEnd(19), 20u); // clamped to the view size
+}
+
+TEST(I8Engines, ColumnMatchesBaselineOnSameStorage)
+{
+    // Both engines read the identical int8 rows and scales, so they
+    // only differ in accumulation order — the same tolerance as the
+    // fp32 column-vs-baseline equivalence applies.
+    const size_t ns = 3000, ed = 24, nq = 4;
+    const KnowledgeBase kb = randomKb(ns, ed, 41, 0.5f, Precision::I8);
+    const auto u = randomBatch(nq, ed, 42);
+
+    EngineConfig cfg;
+    BaselineEngine baseline(kb, cfg);
+    ColumnEngine column(kb, cfg);
+    std::vector<float> ob(nq * ed), oc(nq * ed);
+    baseline.inferBatch(u.data(), nq, ob.data());
+    column.inferBatch(u.data(), nq, oc.data());
+    expectClose(ob, oc);
+}
+
+TEST(I8Engines, OutputStaysCloseToF32Engine)
+{
+    // End-to-end deviation bound: per-chunk affine quantization
+    // perturbs each element by at most scale/2 (see DESIGN.md §10),
+    // each dot by O(|u| ed scale/2), and each output element by the
+    // softmax reweighting of that logit shift. Same 0.02 envelope as
+    // the bf16 engine test at this geometry.
+    const size_t ns = 4000, ed = 32, nq = 5;
+    const KnowledgeBase f32 = randomKb(ns, ed, 43, 0.3f);
+    const KnowledgeBase i8 =
+        randomKb(ns, ed, 43, 0.3f, Precision::I8);
+    const auto u = randomBatch(nq, ed, 44);
+
+    for (float threshold : {0.0f, 1e-3f}) {
+        EngineConfig cfg;
+        cfg.skipThreshold = threshold;
+        ColumnEngine ef(f32, cfg);
+        ColumnEngine ei(i8, cfg);
+        std::vector<float> of(nq * ed), oi(nq * ed);
+        ef.inferBatch(u.data(), nq, of.data());
+        ei.inferBatch(u.data(), nq, oi.data());
+        for (size_t i = 0; i < of.size(); ++i)
+            ASSERT_NEAR(of[i], oi[i], 0.02)
+                << "th=" << threshold << " i=" << i;
+    }
+}
+
+TEST(I8Engines, RepeatedCallsAreBitIdentical)
+{
+    const size_t ns = 5000, ed = 16, nq = 3;
+    EngineConfig cfg;
+    cfg.chunkSize = 512;
+    cfg.skipThreshold = 0.05f;
+    const KnowledgeBase kb = randomKb(ns, ed, 45, 0.5f, Precision::I8);
+    const auto u = randomBatch(nq, ed, 46);
+
+    ColumnEngine engine(kb, cfg);
+    std::vector<float> first(nq * ed), again(nq * ed);
+    engine.inferBatch(u.data(), nq, first.data());
+    for (int rep = 0; rep < 3; ++rep) {
+        engine.inferBatch(u.data(), nq, again.data());
+        for (size_t i = 0; i < first.size(); ++i)
+            ASSERT_EQ(first[i], again[i]) << "rep=" << rep;
+    }
+}
+
+TEST(I8Engines, ChunkSizeCrossingQuantGroupsIsBitInvariant)
+{
+    // Engine chunk/group boundaries land anywhere relative to the
+    // quantization chunks; the sweep splitter must make the result
+    // independent of that alignment. Everything here is the same
+    // arithmetic in a different call decomposition, so the outputs
+    // must match bit-for-bit, not just approximately.
+    const size_t ns = 1000, ed = 12, nq = 4, qchunk = 96;
+    const KnowledgeBase kb =
+        randomKb(ns, ed, 47, 0.5f, Precision::I8, qchunk);
+    const auto u = randomBatch(nq, ed, 48);
+
+    std::vector<float> ref(nq * ed);
+    {
+        EngineConfig cfg;
+        cfg.chunkSize = ns; // one chunk spanning every quant group
+        ColumnEngine(kb, cfg).inferBatch(u.data(), nq, ref.data());
+    }
+    for (size_t chunk : {size_t(64), size_t(96), size_t(100),
+                         size_t(97), size_t(3)}) {
+        EngineConfig cfg;
+        cfg.chunkSize = chunk;
+        cfg.scheduleGroups = 1; // isolate chunking from group merge
+        ColumnEngine engine(kb, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        for (size_t i = 0; i < o.size(); ++i)
+            ASSERT_EQ(o[i], ref[i]) << "chunk=" << chunk << " i=" << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel-plan (autotuner) invariance: every (stripRows, prefetchStride)
+// candidate the tuner can pick must yield bit-identical engine output.
+// ---------------------------------------------------------------------
+
+TEST(TunedPlans, EngineOutputBitIdenticalAcrossPlanVariants)
+{
+    // Sweep nq across register-tile and dispatch-split boundaries
+    // (1..17), both schedules, and zero-skipping, comparing every
+    // plan variant against the tuned default — per storage precision.
+    const size_t ns = 600, ed = 32, max_nq = 17;
+    const auto u = randomBatch(max_nq, ed, 61);
+
+    struct Variant
+    {
+        size_t strip;
+        int prefetch;
+    };
+    const Variant variants[] = {{4, 0}, {8, 4}, {32, 0}, {64, 2}};
+
+    for (Precision prec :
+         {Precision::F32, Precision::BF16, Precision::I8}) {
+        const KnowledgeBase kb = randomKb(ns, ed, 62, 0.5f, prec);
+        for (size_t nq : {size_t(1), size_t(2), size_t(3), size_t(7),
+                          size_t(8), size_t(15), size_t(16),
+                          size_t(17)}) {
+            for (Schedule sched : {Schedule::Static, Schedule::Dynamic}) {
+                for (bool zskip : {false, true}) {
+                    EngineConfig cfg;
+                    cfg.chunkSize = 64;
+                    cfg.threads = 2;
+                    cfg.schedule = sched;
+                    cfg.skipThreshold = zskip ? 1e-4f : 0.f;
+                    std::vector<float> ref(nq * ed);
+                    ColumnEngine(kb, cfg).inferBatch(u.data(), nq,
+                                                     ref.data());
+                    for (const Variant &v : variants) {
+                        EngineConfig vcfg = cfg;
+                        vcfg.stripRows = v.strip;
+                        vcfg.prefetchStride = v.prefetch;
+                        std::vector<float> o(nq * ed);
+                        ColumnEngine(kb, vcfg).inferBatch(u.data(), nq,
+                                                          o.data());
+                        for (size_t i = 0; i < o.size(); ++i)
+                            ASSERT_EQ(o[i], ref[i])
+                                << precisionName(prec) << " nq=" << nq
+                                << " sched=" << int(sched)
+                                << " zskip=" << zskip
+                                << " strip=" << v.strip
+                                << " pf=" << v.prefetch << " i=" << i;
+                    }
+                }
+            }
+        }
     }
 }
 

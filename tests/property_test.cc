@@ -256,6 +256,148 @@ INSTANTIATE_TEST_SUITE_P(Seeds, Bf16EngineFuzz,
                          ::testing::Range<uint64_t>(101, 113));
 
 // ---------------------------------------------------------------
+// int8 engine fuzz
+// ---------------------------------------------------------------
+
+/** Double-precision reference over the *dequantized* i8 storage. */
+std::vector<float>
+referenceI8(const core::KnowledgeBase &kb, const float *u, size_t nq)
+{
+    const size_t ns = kb.size();
+    const size_t ed = kb.dim();
+    std::vector<float> out(nq * ed, 0.f);
+    std::vector<double> dots(ns);
+    for (size_t q = 0; q < nq; ++q) {
+        double m = -std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < ns; ++i) {
+            double d = 0.0;
+            const double s = kb.minScale(i), z = kb.minZero(i);
+            for (size_t e = 0; e < ed; ++e)
+                d += double(u[q * ed + e])
+                   * (s * kb.minRow8(i)[e] + z);
+            dots[i] = d;
+            m = std::max(m, d);
+        }
+        double s = 0.0;
+        for (size_t i = 0; i < ns; ++i)
+            s += std::exp(dots[i] - m);
+        for (size_t i = 0; i < ns; ++i) {
+            const double w = std::exp(dots[i] - m) / s;
+            const double os = kb.moutScale(i), oz = kb.moutZero(i);
+            for (size_t e = 0; e < ed; ++e)
+                out[q * ed + e] += static_cast<float>(
+                    w * (os * kb.moutRow8(i)[e] + oz));
+        }
+    }
+    return out;
+}
+
+/**
+ * One i8 fuzz iteration, mirroring the bf16 fuzz. Two properties:
+ *  1. Exactness: against the double reference over the *dequantized*
+ *     storage, the i8 engines are ordinary fp32 pipelines.
+ *  2. Deviation: against the fp32 engine on the unquantized KB the
+ *     outputs drift by the quantization error only. With per-chunk
+ *     range [lo, hi] within [-scale, scale], each dequantized element
+ *     errs by at most scale_q/2 = (hi-lo)/510 <= scale/255 — i.e. the
+ *     same ~2^-8 relative error as bf16 storage at these magnitudes —
+ *     so the analytic bound from the bf16 fuzz transfers unchanged:
+ *     each dot moves by <= ed * scale * (scale * 2^-8) and the output
+ *     deviation stays under 0.1 * scale + 2 * dot_shift + 1e-3
+ *     (DESIGN.md §10 derives the per-element bound).
+ */
+void
+fuzzI8Once(uint64_t seed)
+{
+    XorShiftRng rng(seed);
+    const size_t ns = 1 + rng.below(3000);
+    const size_t ed = 1 + rng.below(64);
+    const size_t nq = 1 + rng.below(6);
+    const size_t chunk = 1 + rng.below(ns + 100);
+    const size_t qchunk = 1 + rng.below(1200);
+    const size_t threads = rng.below(4);
+    const float scale = rng.uniformRange(0.05f, 0.4f);
+
+    core::KnowledgeBase kb32(ed);
+    core::KnowledgeBase kb8(ed, core::Precision::I8, qchunk);
+    kb32.reserve(ns);
+    kb8.reserve(ns);
+    std::vector<float> a(ed), b(ed);
+    for (size_t i = 0; i < ns; ++i) {
+        for (size_t e = 0; e < ed; ++e) {
+            a[e] = rng.uniformRange(-scale, scale);
+            b[e] = rng.uniformRange(-scale, scale);
+        }
+        kb32.addSentence(a.data(), b.data());
+        kb8.addSentence(a.data(), b.data());
+    }
+    std::vector<float> u(nq * ed);
+    for (float &x : u)
+        x = rng.uniformRange(-scale, scale);
+
+    const std::string ctx = "seed=" + std::to_string(seed)
+                          + " ns=" + std::to_string(ns)
+                          + " ed=" + std::to_string(ed)
+                          + " nq=" + std::to_string(nq)
+                          + " chunk=" + std::to_string(chunk)
+                          + " qchunk=" + std::to_string(qchunk)
+                          + " scale=" + std::to_string(scale);
+
+    // 1. Exactness vs the dequantized-storage reference.
+    const auto ref8 = referenceI8(kb8, u.data(), nq);
+    {
+        core::EngineConfig cfg;
+        cfg.threads = threads;
+        core::BaselineEngine engine(kb8, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        for (size_t i = 0; i < o.size(); ++i)
+            ASSERT_NEAR(o[i], ref8[i], 2e-3) << ctx << " baseline";
+    }
+    {
+        core::EngineConfig cfg;
+        cfg.chunkSize = chunk;
+        cfg.threads = threads;
+        cfg.streaming = true;
+        core::ColumnEngine engine(kb8, cfg);
+        std::vector<float> o(nq * ed);
+        engine.inferBatch(u.data(), nq, o.data());
+        for (size_t i = 0; i < o.size(); ++i)
+            ASSERT_NEAR(o[i], ref8[i], 2e-3) << ctx << " column";
+    }
+
+    // 2. Deviation vs the fp32 engine, zero-skipping off and on.
+    const double dot_shift =
+        double(ed) * double(scale) * double(scale) * 0x1p-8;
+    const double bound = 0.1 * double(scale) + 2.0 * dot_shift + 1e-3;
+    for (float threshold : {0.0f, 1e-3f}) {
+        core::EngineConfig cfg;
+        cfg.chunkSize = chunk;
+        cfg.threads = threads;
+        cfg.skipThreshold = threshold;
+        core::ColumnEngine e32(kb32, cfg);
+        core::ColumnEngine e8(kb8, cfg);
+        std::vector<float> o32(nq * ed), o8(nq * ed);
+        e32.inferBatch(u.data(), nq, o32.data());
+        e8.inferBatch(u.data(), nq, o8.data());
+        for (size_t i = 0; i < o32.size(); ++i)
+            ASSERT_NEAR(o32[i], o8[i], bound)
+                << ctx << " th=" << threshold;
+    }
+}
+
+class I8EngineFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(I8EngineFuzz, MatchesDequantizedReferenceAndBoundsDeviation)
+{
+    fuzzI8Once(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, I8EngineFuzz,
+                         ::testing::Range<uint64_t>(201, 213));
+
+// ---------------------------------------------------------------
 // Cache model geometry sweep
 // ---------------------------------------------------------------
 

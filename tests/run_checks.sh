@@ -19,6 +19,17 @@ fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
+# Build directory per configure preset (see CMakePresets.json).
+bindir_for() {
+    case "$1" in
+        release) echo build-release ;;
+        relwithdebinfo) echo build ;;
+        asan-ubsan) echo build-asan ;;
+        tsan) echo build-tsan ;;
+        *) echo build ;;
+    esac
+}
+
 for preset in "${presets[@]}"; do
     echo "==> preset: ${preset}"
     cmake --preset "${preset}"
@@ -28,8 +39,33 @@ for preset in "${presets[@]}"; do
     # above only exercises the vector backend, so this pins the scalar
     # reference kernels (and the scalar/AVX2 bit-identity contracts
     # are still checked above, where both backends are reachable).
+    # This also covers the int8 kernels: the dispatched run and this
+    # scalar run both execute the *I8* suites, whose fixtures assert
+    # the two backends agree bit for bit.
     echo "==> preset: ${preset} (MNNFAST_NO_SIMD=1)"
     MNNFAST_NO_SIMD=1 ctest --preset "${preset}" -j "${jobs}"
+    bindir="$(bindir_for "${preset}")"
+    # Autotuner smoke: the same deterministic inference must produce
+    # bit-identical output whether kernel plans are measured by the
+    # tuner, disabled (MNNFAST_NO_TUNER=1, default plans), or imported
+    # from an exported table — and an imported table must satisfy
+    # every plan lookup without re-measuring (tuner_measured 0).
+    if [ -x "${bindir}/bench/tuner_smoke" ]; then
+        echo "==> preset: ${preset} (autotuner smoke)"
+        tdir=$(mktemp -d)
+        "${bindir}/bench/tuner_smoke" --export "${tdir}/table.json" \
+            > "${tdir}/tuned.txt"
+        MNNFAST_NO_TUNER=1 "${bindir}/bench/tuner_smoke" \
+            > "${tdir}/untuned.txt"
+        MNNFAST_TUNER_CACHE="${tdir}/table.json" \
+            "${bindir}/bench/tuner_smoke" > "${tdir}/imported.txt"
+        diff <(grep '^score' "${tdir}/tuned.txt") \
+             <(grep '^score' "${tdir}/untuned.txt")
+        diff <(grep '^score' "${tdir}/tuned.txt") \
+             <(grep '^score' "${tdir}/imported.txt")
+        grep -q '^tuner_measured 0$' "${tdir}/imported.txt"
+        rm -rf "${tdir}"
+    fi
     # Live-server smoke under the leak-checking build: a short
     # low-rate open-loop run whose shutdown must drain every accepted
     # request — ASan flags any promise/thread/arena leaked on the

@@ -9,12 +9,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "runtime/kernel_tuner.hh"
 #include "runtime/parallel_for.hh"
 #include "runtime/scratch_arena.hh"
 #include "runtime/thread_pool.hh"
@@ -417,6 +420,107 @@ TEST(ScratchArena, MoveTransfersOwnership)
     c = std::move(b);
     EXPECT_EQ(c.capacityBytes(), cap);
     EXPECT_EQ(s[0], 42.f);
+}
+
+// ---------------------------------------------------------------------
+// Kernel autotuner. The table is process-wide, so these tests clear it
+// up front; later engine constructions simply re-measure their buckets.
+// ---------------------------------------------------------------------
+
+TEST(KernelTuner, PlanIsMeasuredOncePerBucketAndCached)
+{
+    KernelTuner &tuner = KernelTuner::instance();
+    tuner.clear();
+    const size_t c0 = tuner.measuredCount();
+
+    const KernelPlan p1 = tuner.plan("i8", 128, 4);
+    EXPECT_EQ(tuner.measuredCount(), c0 + 1);
+    // Every candidate strip is a multiple of the kernels' 4-row
+    // register group — the bit-identity precondition.
+    EXPECT_GT(p1.stripRows, 0u);
+    EXPECT_EQ(p1.stripRows % 4, 0u);
+
+    // Same bucket (ed <= 128 -> 128, nq in 2..8 -> 4): cache hit, no
+    // re-measurement, identical pick.
+    const KernelPlan p2 = tuner.plan("i8", 100, 3);
+    EXPECT_EQ(tuner.measuredCount(), c0 + 1);
+    EXPECT_EQ(p2.stripRows, p1.stripRows);
+    EXPECT_EQ(p2.prefetchStride, p1.prefetchStride);
+
+    // Different bucket: measured separately.
+    tuner.plan("i8", 128, 1);
+    EXPECT_EQ(tuner.measuredCount(), c0 + 2);
+}
+
+TEST(KernelTuner, ExportImportRoundTripSkipsMeasurement)
+{
+    KernelTuner &tuner = KernelTuner::instance();
+    tuner.clear();
+    tuner.plan("bf16", 64, 1);
+    tuner.plan("f32", 256, 16);
+    const auto before = tuner.entries();
+    ASSERT_EQ(before.size(), 2u);
+    const std::string json = tuner.exportJson();
+    // Schema fields documented in DESIGN.md §10.
+    for (const char *field :
+         {"\"backend\"", "\"entries\"", "\"precision\"", "\"ed\"",
+          "\"nq\"", "\"strip_rows\"", "\"prefetch_stride\"",
+          "\"seconds\"", "\"origin\"", "\"measured\""})
+        EXPECT_NE(json.find(field), std::string::npos) << field;
+
+    tuner.clear();
+    ASSERT_EQ(tuner.importJson(json), 2);
+    const size_t measured = tuner.measuredCount();
+    for (const auto &e : before) {
+        // Imported entries satisfy plan() without re-measuring and
+        // reproduce the exported picks exactly.
+        const KernelPlan p = tuner.plan(e.precision.c_str(), e.ed, e.nq);
+        EXPECT_EQ(p.stripRows, e.plan.stripRows) << e.precision;
+        EXPECT_EQ(p.prefetchStride, e.plan.prefetchStride)
+            << e.precision;
+    }
+    EXPECT_EQ(tuner.measuredCount(), measured);
+    for (const auto &e : tuner.entries())
+        EXPECT_EQ(e.origin, PlanOrigin::Imported)
+            << e.precision << "/" << e.ed << "/" << e.nq;
+}
+
+TEST(KernelTuner, ImportNeverOverridesLocalMeasurements)
+{
+    KernelTuner &tuner = KernelTuner::instance();
+    tuner.clear();
+    const KernelPlan local = tuner.plan("f32", 64, 4);
+    // An import claiming a different pick for the same bucket (and a
+    // new bucket) merges only the new one.
+    const std::string json =
+        "{\"backend\": \"test\", \"entries\": ["
+        "{\"precision\": \"f32\", \"ed\": 64, \"nq\": 4, "
+        "\"strip_rows\": 60, \"prefetch_stride\": 9, "
+        "\"seconds\": 1.0, \"origin\": \"measured\"},"
+        "{\"precision\": \"f32\", \"ed\": 512, \"nq\": 16, "
+        "\"strip_rows\": 8, \"prefetch_stride\": 0, "
+        "\"seconds\": 2.0, \"origin\": \"measured\"}]}";
+    EXPECT_EQ(tuner.importJson(json), 1);
+    const KernelPlan after = tuner.plan("f32", 64, 4);
+    EXPECT_EQ(after.stripRows, local.stripRows);
+    EXPECT_EQ(after.prefetchStride, local.prefetchStride);
+    const KernelPlan imported = tuner.plan("f32", 512, 16);
+    EXPECT_EQ(imported.stripRows, 8u);
+    EXPECT_EQ(imported.prefetchStride, 0u);
+    EXPECT_EQ(tuner.importJson("not json at all"), -1);
+}
+
+TEST(KernelTuner, NoTunerEnvReturnsDefaultsWithoutCaching)
+{
+    KernelTuner &tuner = KernelTuner::instance();
+    tuner.clear();
+    ::setenv("MNNFAST_NO_TUNER", "1", 1);
+    const KernelPlan p = tuner.plan("i8", 128, 16);
+    ::unsetenv("MNNFAST_NO_TUNER");
+    EXPECT_EQ(p.stripRows, KernelPlan{}.stripRows);
+    EXPECT_EQ(p.prefetchStride, KernelPlan{}.prefetchStride);
+    EXPECT_EQ(tuner.measuredCount(), 0u);
+    EXPECT_TRUE(tuner.entries().empty());
 }
 
 } // namespace

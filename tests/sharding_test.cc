@@ -122,7 +122,8 @@ TEST(ShardedEngine, BitIdenticalToSingleEngineAcrossConfigs)
     const std::vector<float> u = makeQuestions(nq, ed);
 
     for (core::Precision prec :
-         {core::Precision::F32, core::Precision::BF16}) {
+         {core::Precision::F32, core::Precision::BF16,
+          core::Precision::I8}) {
         const core::KnowledgeBase kb = makeKb(ns, ed, prec);
         for (float zskip : {0.0f, 0.05f}) {
             for (size_t shards : {size_t(1), size_t(2), size_t(4),
@@ -147,7 +148,7 @@ TEST(ShardedEngine, BitIdenticalToSingleEngineAcrossConfigs)
                 reference.inferBatch(u.data(), nq, o_ref.data());
                 for (size_t i = 0; i < o_ref.size(); ++i)
                     ASSERT_EQ(o_sharded[i], o_ref[i])
-                        << "prec=" << (prec == core::Precision::BF16)
+                        << "prec=" << core::precisionName(prec)
                         << " zskip=" << zskip << " shards=" << shards
                         << " elem=" << i;
             }

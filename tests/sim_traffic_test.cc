@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/knowledge_base.hh"
 #include "sim/contention.hh"
 #include "sim/cpu_system.hh"
 #include "sim/traffic.hh"
@@ -141,6 +142,30 @@ TEST(Traffic, Bf16AlsoHalvesBaselineKbStream)
     EXPECT_NEAR(double(r32.dramLines() - r16.dramLines()),
                 double(kb_lines32 - kb_lines16),
                 0.1 * double(kb_lines32));
+}
+
+TEST(Traffic, KbLineCountsScaleAsPrecisionBytes)
+{
+    // kbElemBytes generalizes over every storage precision via
+    // core::precisionBytes: the compulsory M_IN/M_OUT line stream of
+    // the streamed column dataflow must land in an exact 4:2:1 ratio
+    // across f32/bf16/i8 (rows are contiguous, so line counts are
+    // pure bytes/64).
+    const auto llc = testLlc();
+    uint64_t lines[3] = {0, 0, 0};
+    const core::Precision precs[3] = {core::Precision::F32,
+                                      core::Precision::BF16,
+                                      core::Precision::I8};
+    for (int i = 0; i < 3; ++i) {
+        auto wp = testWorkload();
+        wp.kbElemBytes = core::precisionBytes(precs[i]);
+        lines[i] =
+            simulateDataflow(Dataflow::ColumnStreaming, wp, llc)
+                .kbDramLines();
+    }
+    ASSERT_GT(lines[2], 0u);
+    EXPECT_EQ(lines[0], 2 * lines[1]) << "f32 vs bf16";
+    EXPECT_EQ(lines[1], 2 * lines[2]) << "bf16 vs i8";
 }
 
 TEST(Traffic, ZeroKbElemBytesIsFatal)
