@@ -16,17 +16,15 @@
  * MNNFAST_BENCH_JSON environment variable) for tracking.
  */
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "bench_util.hh"
 #include "core/column_engine.hh"
 #include "stats/table.hh"
 #include "util/rng.hh"
-#include "util/timer.hh"
 
 using namespace mnnfast;
 
@@ -39,36 +37,24 @@ struct EngineSpec
     float skipThreshold;
 };
 
-/** Median seconds of one inferBatch call at batch size nq. */
-double
-measure(core::ColumnEngine &engine, const float *u, size_t nq, float *o,
-        size_t reps)
-{
-    engine.inferBatch(u, nq, o); // warmup: page in KB, grow arenas
-    std::vector<double> samples(reps);
-    Timer t;
-    for (double &s : samples) {
-        t.reset();
-        engine.inferBatch(u, nq, o);
-        s = t.seconds();
-    }
-    std::sort(samples.begin(), samples.end());
-    return samples[samples.size() / 2];
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Args args(argc, argv);
+    const size_t ns = args.sizeOpt("ns", 16384);
+    const size_t ed = args.sizeOpt("ed", 256);
+    const size_t chunk = args.sizeOpt("chunk", 512);
+    const size_t reps = args.sizeOpt("reps", 5);
+    args.finish();
+
     bench::banner("Ablation: query-blocked batch amortization",
                   "Per-question latency vs batch size; the KB stream "
                   "is paid once per batch.");
 
-    const size_t ns = 16384, ed = 256, chunk = 512;
     const size_t batches[] = {1, 2, 4, 8, 16, 32};
     const size_t max_nq = 32;
-    const size_t reps = 5;
 
     core::KnowledgeBase kb(ed);
     kb.reserve(ns);
@@ -94,19 +80,15 @@ main()
         {"mnnfast", true, 1e-4f},
     };
 
-    const char *json_path = std::getenv("MNNFAST_BENCH_JSON");
-    if (!json_path)
-        json_path = "BENCH_query_batch.json";
-    FILE *json = std::fopen(json_path, "w");
-    if (!json) {
-        std::fprintf(stderr, "cannot open %s for writing\n", json_path);
-        return 1;
-    }
-    std::fprintf(json,
-                 "{\n  \"ns\": %zu,\n  \"ed\": %zu,\n"
-                 "  \"chunk\": %zu,\n  \"threads\": 0,\n"
-                 "  \"engines\": [",
-                 ns, ed, chunk);
+    bench::JsonWriter json(
+        bench::benchJsonPath("BENCH_query_batch.json"));
+    json.beginObject();
+    json.field("ns", ns);
+    json.field("ed", ed);
+    json.field("chunk", chunk);
+    json.field("threads", size_t{0});
+    json.key("engines");
+    json.beginArray();
 
     stats::Table table({"engine", "nq", "batch ms", "us/question",
                         "vs nq=1"});
@@ -115,7 +97,6 @@ main()
         csv->writeRow({"engine", "nq", "batch_seconds",
                        "per_question_seconds"});
 
-    bool first_engine = true;
     for (const EngineSpec &spec : specs) {
         core::EngineConfig cfg;
         cfg.chunkSize = chunk;
@@ -124,16 +105,16 @@ main()
         cfg.skipThreshold = spec.skipThreshold;
         core::ColumnEngine engine(kb, cfg);
 
-        std::fprintf(json, "%s\n    {\n      \"name\": \"%s\",\n"
-                           "      \"points\": [",
-                     first_engine ? "" : ",", spec.label);
-        first_engine = false;
+        json.beginObject();
+        json.field("name", spec.label);
+        json.key("points");
+        json.beginArray();
 
         double per_q1 = 0.0, per_q16 = 0.0;
-        bool first_point = true;
         for (size_t nq : batches) {
-            const double secs =
-                measure(engine, u.data(), nq, o.data(), reps);
+            const double secs = bench::minSeconds(
+                reps, [&] { engine.inferBatch(u.data(), nq, o.data()); },
+                /*warmups=*/1);
             const double per_q = secs / double(nq);
             if (nq == 1)
                 per_q1 = per_q;
@@ -148,24 +129,22 @@ main()
                 csv->writeRow({std::string(spec.label),
                                std::to_string(nq), std::to_string(secs),
                                std::to_string(per_q)});
-            std::fprintf(json,
-                         "%s\n        {\"nq\": %zu, "
-                         "\"batch_seconds\": %.9f, "
-                         "\"per_question_seconds\": %.9f}",
-                         first_point ? "" : ",", nq, secs, per_q);
-            first_point = false;
+            json.beginObject();
+            json.field("nq", nq);
+            json.field("batch_seconds", secs);
+            json.field("per_question_seconds", per_q);
+            json.endObject();
         }
-        std::fprintf(json,
-                     "\n      ],\n"
-                     "      \"t16_over_t1_per_query\": %.4f\n    }",
-                     per_q16 / per_q1);
+        json.endArray();
+        json.field("t16_over_t1_per_query", per_q16 / per_q1);
+        json.endObject();
     }
-    std::fprintf(json, "\n  ]\n}\n");
-    std::fclose(json);
+    json.endArray();
+    json.endObject();
 
     table.print();
     std::printf("\nwrote %s; t(16)/t(1) per question <= 0.6 means the "
                 "KB stream amortizes across the batch\n",
-                json_path);
+                json.path().c_str());
     return 0;
 }

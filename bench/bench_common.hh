@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Shared harness plumbing for the bench binaries: command-line
+ * parsing, best-of-N timing, and structured JSON emission. bench_util.hh
+ * keeps the *domain* helpers (trained tasks, synthetic KBs); this file
+ * keeps the *mechanics* every harness otherwise re-implements, so
+ * smoke flags and JSON layout stay uniform across benches.
+ *
+ * Conventions baked in:
+ *  - Options are `--name value` or `--name=value`; bare `--name` is a
+ *    flag. Unrecognized arguments are fatal at Args::finish(), so a
+ *    typo'd sweep never silently measures the defaults.
+ *  - Timing is min-of-N after warmup (see minSeconds): the engines are
+ *    deterministic, so the fastest repetition is the one least
+ *    disturbed by preemption and co-tenant cache traffic, and a fixed
+ *    noise quantum biases ratios against short runs — the estimator
+ *    the precision ablation documents, now shared.
+ *  - JSON goes to the harness's default path unless MNNFAST_BENCH_JSON
+ *    overrides it (benchJsonPath), matching every existing bench.
+ */
+
+#ifndef MNNFAST_BENCH_BENCH_COMMON_HH
+#define MNNFAST_BENCH_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace mnnfast::bench {
+
+/**
+ * Minimal command-line parser for bench harnesses. Construct over
+ * argv, pull typed options, then call finish() — any argument no call
+ * consumed is a user error (fatal), so misspelled options fail loudly
+ * instead of running the default configuration.
+ */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i)
+            tokens.emplace_back(argv[i]);
+        consumed.assign(tokens.size(), false);
+    }
+
+    /** True when bare `--name` appears. */
+    bool flag(const char *name)
+    {
+        const std::string want = std::string("--") + name;
+        for (size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i] == want) {
+                consumed[i] = true;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** `--name N` / `--name=N` as size_t, else `def`. */
+    size_t sizeOpt(const char *name, size_t def)
+    {
+        const char *v = rawOpt(name);
+        if (!v)
+            return def;
+        char *end = nullptr;
+        const unsigned long long n = std::strtoull(v, &end, 10);
+        if (end == v || *end != '\0')
+            fatal("--%s expects an unsigned integer, got '%s'", name, v);
+        return static_cast<size_t>(n);
+    }
+
+    /** `--name X` / `--name=X` as double, else `def`. */
+    double floatOpt(const char *name, double def)
+    {
+        const char *v = rawOpt(name);
+        if (!v)
+            return def;
+        char *end = nullptr;
+        const double x = std::strtod(v, &end);
+        if (end == v || *end != '\0')
+            fatal("--%s expects a number, got '%s'", name, v);
+        return x;
+    }
+
+    /** `--name S` / `--name=S`, else `def`. */
+    const char *strOpt(const char *name, const char *def)
+    {
+        const char *v = rawOpt(name);
+        return v ? v : def;
+    }
+
+    /** Fatal if any argument was never consumed by an accessor. */
+    void finish() const
+    {
+        for (size_t i = 0; i < tokens.size(); ++i)
+            if (!consumed[i])
+                fatal("unrecognized argument '%s'", tokens[i].c_str());
+    }
+
+  private:
+    /** Locate the value of `--name`, marking its tokens consumed. */
+    const char *rawOpt(const char *name)
+    {
+        const std::string want = std::string("--") + name;
+        const std::string pre = want + "=";
+        for (size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i] == want && i + 1 < tokens.size()) {
+                consumed[i] = consumed[i + 1] = true;
+                return tokens[i + 1].c_str();
+            }
+            if (tokens[i].compare(0, pre.size(), pre) == 0) {
+                consumed[i] = true;
+                return tokens[i].c_str() + pre.size();
+            }
+        }
+        return nullptr;
+    }
+
+    std::vector<std::string> tokens;
+    std::vector<bool> consumed;
+};
+
+/**
+ * Minimum seconds of `reps` calls to `fn`, after `warmups` untimed
+ * calls (page in buffers, grow arenas, settle the LLC set). See the
+ * file header for why min-of-N and not the median.
+ */
+template <typename Fn>
+double
+minSeconds(size_t reps, Fn &&fn, size_t warmups = 2)
+{
+    for (size_t w = 0; w < warmups; ++w)
+        fn();
+    double best = 0.0;
+    Timer t;
+    for (size_t rep = 0; rep < reps; ++rep) {
+        t.reset();
+        fn();
+        const double s = t.seconds();
+        if (rep == 0 || s < best)
+            best = s;
+    }
+    return best;
+}
+
+/** The harness's JSON output path: MNNFAST_BENCH_JSON or `def`. */
+inline const char *
+benchJsonPath(const char *def)
+{
+    const char *env = std::getenv("MNNFAST_BENCH_JSON");
+    return env ? env : def;
+}
+
+/**
+ * Structured JSON emitter: nesting-aware comma/indent tracking so
+ * harness code never hand-manages `first_point` booleans. Values are
+ * written eagerly (no buffering); numbers use enough digits to
+ * round-trip. The writer does not validate completeness — close what
+ * you open — but unbalanced nesting trips an assert in endObject /
+ * endArray.
+ */
+class JsonWriter
+{
+  public:
+    /** Opens `path` for writing; failure is fatal (a bench with no
+     *  output is a silently wasted run). */
+    explicit JsonWriter(const std::string &path) : path_(path)
+    {
+        f = std::fopen(path.c_str(), "w");
+        if (!f)
+            fatal("cannot open %s for writing", path.c_str());
+    }
+
+    ~JsonWriter()
+    {
+        if (f)
+            std::fclose(f);
+    }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject() { open('{'); }
+    void endObject() { close('}'); }
+    void beginArray() { open('['); }
+    void endArray() { close(']'); }
+
+    /** Key introducing a nested object/array: key("x"); beginArray(). */
+    void key(const char *k)
+    {
+        separate();
+        std::fprintf(f, "\"%s\": ", k);
+        pendingKey = true;
+    }
+
+    void field(const char *k, size_t v)
+    {
+        key(k);
+        std::fprintf(f, "%zu", v);
+        pendingKey = false;
+    }
+
+    void field(const char *k, double v)
+    {
+        key(k);
+        std::fprintf(f, "%.9g", v);
+        pendingKey = false;
+    }
+
+    void field(const char *k, const char *v)
+    {
+        key(k);
+        std::fprintf(f, "\"%s\"", v);
+        pendingKey = false;
+    }
+
+    void field(const char *k, bool v)
+    {
+        key(k);
+        std::fprintf(f, v ? "true" : "false");
+        pendingKey = false;
+    }
+
+    /** Bare array element. */
+    void value(double v)
+    {
+        separate();
+        std::fprintf(f, "%.9g", v);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void open(char c)
+    {
+        separate();
+        pendingKey = false;
+        std::fprintf(f, "%c", c);
+        needComma.push_back(false);
+    }
+
+    void close(char c)
+    {
+        mnn_assert(!needComma.empty(), "JsonWriter close without open");
+        needComma.pop_back();
+        std::fprintf(f, "\n%*s%c", int(2 * needComma.size()), "", c);
+        if (needComma.empty())
+            std::fprintf(f, "\n");
+    }
+
+    /** Comma + newline + indent before a sibling; nothing after a
+     *  key (the value belongs on the key's line). */
+    void separate()
+    {
+        if (pendingKey) {
+            pendingKey = false;
+            return;
+        }
+        if (needComma.empty())
+            return;
+        if (needComma.back())
+            std::fprintf(f, ",");
+        needComma.back() = true;
+        std::fprintf(f, "\n%*s", int(2 * needComma.size()), "");
+    }
+
+    FILE *f = nullptr;
+    std::string path_;
+    std::vector<bool> needComma;
+    bool pendingKey = false;
+};
+
+} // namespace mnnfast::bench
+
+#endif // MNNFAST_BENCH_BENCH_COMMON_HH

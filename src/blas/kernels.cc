@@ -32,6 +32,7 @@ scalarTable()
         scalar::weightedSumSkip,               scalar::weightedSumSkipMulti,
         scalar::dotBatchMultiBf16,             scalar::weightedSumSkipMultiBf16,
         scalar::dotBatchMultiI8,               scalar::weightedSumSkipMultiI8,
+        scalar::chunkBoundBatch,
         scalar::gemm,    scalar::expInplace,   scalar::expShiftInplace,
     };
 }
@@ -231,6 +232,17 @@ weightedSumSkipMultiI8(const float *e, size_t ne, size_t estride,
             scale, zero, threshold, running_sums + q0,
             acc + q0 * accstride, accstride, kept, skipped);
     }
+}
+
+void
+chunkBoundBatch(const float *x, size_t nx, size_t xstride,
+                const float *lo, const float *hi, size_t count, size_t n,
+                size_t stride, float *out, size_t ostride)
+{
+    mnn_assert(stride >= n && xstride >= n && ostride >= count,
+               "chunkBoundBatch stride shorter than row length");
+    active().chunkBoundBatch(x, nx, xstride, lo, hi, count, n, stride,
+                             out, ostride);
 }
 
 void

@@ -236,6 +236,34 @@ void weightedSumSkipMultiI8(const float *e, size_t ne, size_t estride,
                             uint64_t &kept, uint64_t &skipped);
 
 /**
+ * Fused max-inner-product bound over chunk-summary envelopes (the
+ * routed engine's coarse-selection kernel): for a tile of `nx` query
+ * rows and `count` per-dimension [lo, hi] envelope pairs,
+ *
+ *   out[q * ostride + c] =
+ *       sum_d max(x_qd * hi[c * stride + d], x_qd * lo[c * stride + d])
+ *
+ * Because max(x*hi, x*lo) >= x*m for every m in [lo, hi] (regardless
+ * of the sign of x), out[q][c] upper-bounds the inner product of x_q
+ * with every row the envelope covers — the max-inner-product bound
+ * core::ChunkSummaryIndex builds chunk routing on.
+ *
+ * Accumulation contract (as the bf16/i8 kernels): each (q, c) bound
+ * follows one canonical order — eight fp32 lanes over the 8-aligned
+ * body, each lane accumulating (a > b) ? a : b of the two
+ * single-rounded products, the fixed pairwise lane reduction, then a
+ * scalar tail — and both backends implement exactly that order (the
+ * scalar select replicates vmaxps operand semantics), so scalar and
+ * AVX2 are **bit-identical** to each other and results never depend
+ * on how a sweep is split into calls. Requires stride >= n and
+ * xstride >= n; out must not alias the inputs.
+ */
+void chunkBoundBatch(const float *x, size_t nx, size_t xstride,
+                     const float *lo, const float *hi, size_t count,
+                     size_t n, size_t stride, float *out,
+                     size_t ostride);
+
+/**
  * Matrix-vector product: y = A * x.
  * A is (rows x cols) row-major; x has cols elements; y has rows.
  * Dispatches to dotBatch, so the x vector is reused across rows.
@@ -354,6 +382,10 @@ void weightedSumSkipMultiI8(const float *e, size_t ne, size_t estride,
                             float threshold, double *running_sums,
                             float *acc, size_t accstride,
                             uint64_t &kept, uint64_t &skipped);
+void chunkBoundBatch(const float *x, size_t nx, size_t xstride,
+                     const float *lo, const float *hi, size_t count,
+                     size_t n, size_t stride, float *out,
+                     size_t ostride);
 void gemm(const float *a, const float *b, float *c,
           size_t m, size_t k, size_t n, bool accumulate);
 void expInplace(float *x, size_t n);

@@ -1200,6 +1200,51 @@ gemmAvx2(const float *a, const float *b, float *c,
     }
 }
 
+/**
+ * Canonical chunk-summary bound (see kernels.hh): 8-wide
+ * mul/mul/max/add over the body — vmaxps selects the second operand
+ * on equality, which the scalar backend's (a > b) ? a : b replays —
+ * then hsum8's pairwise reduction and a scalar tail.
+ */
+float
+chunkBoundAvx2(const float *x, const float *lo, const float *hi,
+               size_t n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 xv = _mm256_loadu_ps(x + i);
+        const __m256 a = _mm256_mul_ps(xv, _mm256_loadu_ps(hi + i));
+        const __m256 b = _mm256_mul_ps(xv, _mm256_loadu_ps(lo + i));
+        acc = _mm256_add_ps(acc, _mm256_max_ps(a, b));
+    }
+    float r = hsum8(acc);
+    for (; i < n; ++i) {
+        const float a = x[i] * hi[i];
+        const float b = x[i] * lo[i];
+        r += (a > b) ? a : b;
+    }
+    return r;
+}
+
+void
+chunkBoundBatchAvx2(const float *x, size_t nx, size_t xstride,
+                    const float *lo, const float *hi, size_t count,
+                    size_t n, size_t stride, float *out, size_t ostride)
+{
+    // The summary block is tiny next to the KB sweep it gates (two
+    // fp32 rows per *chunk*), so a plain per-(query, summary) loop is
+    // enough; the canonical per-pair order keeps results independent
+    // of any future tiling.
+    for (size_t q = 0; q < nx; ++q) {
+        const float *xq = x + q * xstride;
+        float *o = out + q * ostride;
+        for (size_t c = 0; c < count; ++c)
+            o[c] = chunkBoundAvx2(xq, lo + c * stride, hi + c * stride,
+                                  n);
+    }
+}
+
 const KernelTable kAvx2Table = {
     "avx2",         dotAvx2,          axpyAvx2,
     scalAvx2,       sumAvx2,          maxElementAvx2,
@@ -1207,6 +1252,7 @@ const KernelTable kAvx2Table = {
     weightedSumSkipAvx2,              weightedSumSkipMultiAvx2,
     dotBatchMultiBf16Avx2,            weightedSumSkipMultiBf16Avx2,
     dotBatchMultiI8Avx2,              weightedSumSkipMultiI8Avx2,
+    chunkBoundBatchAvx2,
     gemmAvx2,       expInplaceAvx2,   expShiftInplaceAvx2,
 };
 

@@ -51,6 +51,9 @@ struct KernelTable
                                    size_t, float, float, float,
                                    double *, float *, size_t,
                                    uint64_t &, uint64_t &);
+    void (*chunkBoundBatch)(const float *, size_t, size_t,
+                            const float *, const float *, size_t,
+                            size_t, size_t, float *, size_t);
     void (*gemm)(const float *, const float *, float *, size_t, size_t,
                  size_t, bool);
     void (*expInplace)(float *, size_t);

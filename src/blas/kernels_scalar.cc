@@ -302,6 +302,53 @@ weightedSumSkipMultiI8(const float *e, size_t ne, size_t estride,
 
 namespace {
 
+/**
+ * Canonical chunk-summary bound (see kernels.hh): the bf16-style
+ * 8-lane walk, each lane adding (a > b) ? a : b of the two
+ * single-rounded products — exactly vmaxps's select (second operand
+ * wins on equality), so the AVX2 backend's mul/mul/max/add chain is
+ * replayed bit for bit — then the fixed pairwise reduction and a
+ * scalar tail.
+ */
+float
+chunkBoundOne(const float *x, const float *lo, const float *hi, size_t n)
+{
+    float lane[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        for (size_t j = 0; j < 8; ++j) {
+            const float a = x[i + j] * hi[i + j];
+            const float b = x[i + j] * lo[i + j];
+            lane[j] += (a > b) ? a : b;
+        }
+    }
+    float r = ((lane[0] + lane[4]) + (lane[2] + lane[6]))
+            + ((lane[1] + lane[5]) + (lane[3] + lane[7]));
+    for (; i < n; ++i) {
+        const float a = x[i] * hi[i];
+        const float b = x[i] * lo[i];
+        r += (a > b) ? a : b;
+    }
+    return r;
+}
+
+} // namespace
+
+void
+chunkBoundBatch(const float *x, size_t nx, size_t xstride,
+                const float *lo, const float *hi, size_t count, size_t n,
+                size_t stride, float *out, size_t ostride)
+{
+    for (size_t q = 0; q < nx; ++q) {
+        const float *xq = x + q * xstride;
+        for (size_t c = 0; c < count; ++c)
+            out[q * ostride + c] =
+                chunkBoundOne(xq, lo + c * stride, hi + c * stride, n);
+    }
+}
+
+namespace {
+
 // Blocked inner kernel: accumulate a (4 x n) strip of C from a
 // (4 x kc) strip of A and a (kc x n) panel of B.
 void

@@ -54,6 +54,39 @@ ColumnEngine::ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg)
 {
     if (this->cfg.chunkSize == 0)
         fatal("column engine chunk size must be nonzero");
+    // Fail fast on pins the sweep could not honor: a stripRows not on
+    // the kernels' 4-row register grid would otherwise be silently
+    // rounded (the caller benchmarks one strip size and runs another),
+    // and a prefetchStride outside the tuner's candidate set makes
+    // pinned and tuned configurations incomparable.
+    if (this->cfg.stripRows > 0 && this->cfg.stripRows % 4 != 0)
+        fatal("EngineConfig::stripRows = %zu is not a multiple of 4",
+              this->cfg.stripRows);
+    if (this->cfg.prefetchStride > 0) {
+        bool in_grid = false;
+        for (size_t c : runtime::kPrefetchStrideCandidates)
+            in_grid = in_grid
+                   || static_cast<size_t>(this->cfg.prefetchStride) == c;
+        if (!in_grid)
+            fatal("EngineConfig::prefetchStride = %d is outside the "
+                  "tuner candidate set",
+                  this->cfg.prefetchStride);
+    }
+    switch (this->cfg.routePolicy) {
+      case RoutePolicy::None:
+        break;
+      case RoutePolicy::TopK:
+        if (this->cfg.routeTopK == 0)
+            fatal("RoutePolicy::TopK requires routeTopK > 0");
+        break;
+      case RoutePolicy::BoundThreshold:
+        if (!(this->cfg.routeBoundThreshold >= 0.f
+              && this->cfg.routeBoundThreshold <= 1.f))
+            fatal("RoutePolicy::BoundThreshold requires "
+                  "routeBoundThreshold in [0, 1], got %g",
+                  static_cast<double>(this->cfg.routeBoundThreshold));
+        break;
+    }
     // A chunk can never be larger than the KB, so clamp up front: the
     // scratch tiles, the reported chunk geometry, and chunkSize() all
     // reflect what actually runs. An empty KB is left alone so that
@@ -74,6 +107,13 @@ ColumnEngine::ColumnEngine(const KnowledgeBase &kb, const EngineConfig &cfg)
         for (size_t nq : {size_t{1}, size_t{4}, size_t{16}})
             tuner.plan(prec, kb.dim(), nq);
     }
+    // The coarse bound sweep has its own tuned shape ("bound": lo+hi
+    // fp32 row pairs); warm it too when routing is configured.
+    if (kb.size() > 0 && routingActive()) {
+        auto &tuner = runtime::KernelTuner::instance();
+        for (size_t nq : {size_t{1}, size_t{4}, size_t{16}})
+            tuner.plan("bound", kb.dim(), nq);
+    }
 }
 
 runtime::KernelPlan
@@ -84,7 +124,7 @@ ColumnEngine::resolvePlan(size_t nq) const
         plan = runtime::KernelTuner::instance().plan(
             precisionName(kb.precision()), kb.dim(), nq);
     if (cfg.stripRows > 0)
-        plan.stripRows = std::max<size_t>(4, cfg.stripRows / 4 * 4);
+        plan.stripRows = cfg.stripRows; // validated at construction
     if (cfg.prefetchStride >= 0)
         plan.prefetchStride = static_cast<size_t>(cfg.prefetchStride);
     return plan;
@@ -93,13 +133,14 @@ ColumnEngine::resolvePlan(size_t nq) const
 const char *
 ColumnEngine::name() const
 {
+    const bool routed = routingActive();
     if (cfg.skipThreshold > 0.f && cfg.streaming)
-        return "mnnfast";
+        return routed ? "mnnfast+routed" : "mnnfast";
     if (cfg.streaming)
-        return "column+streaming";
+        return routed ? "column+streaming+routed" : "column+streaming";
     if (cfg.skipThreshold > 0.f)
-        return "column+zskip";
-    return "column";
+        return routed ? "column+zskip+routed" : "column+zskip";
+    return routed ? "column+routed" : "column";
 }
 
 const std::vector<runtime::Range> &
@@ -129,7 +170,10 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
                             const runtime::KernelPlan &plan, Partial &out,
                             size_t worker, uint64_t &kept,
                             uint64_t &skipped,
-                            runtime::ScratchArena &scratch) const
+                            runtime::ScratchArena &scratch,
+                            const uint8_t *sel, size_t sel_stride,
+                            uint64_t &routed_rows,
+                            uint64_t &bypassed) const
 {
     const size_t ed = kb.dim();
     const size_t chunk = cfg.chunkSize;
@@ -185,27 +229,94 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
 
     // Chunk-local e-value tile, the only per-question temporary:
     // t[q * chunk + i] is the (exponentiated) score of chunk row i for
-    // question q. Claimed from this worker's persistent arena; any
-    // span a previous group claimed on this worker is dead by now, so
-    // reset first — steady state is a pure bump-pointer rewind.
-    scratch.reset();
+    // question q. Claimed from this worker's persistent arena (the
+    // caller reset it before this group's claims) — steady state is a
+    // pure bump-pointer rewind. Under routing, row q of the tile
+    // belongs to the q-th *selected* question of the current chunk.
     float *t = scratch.floats(nq * chunk);
+    // Compacted sub-batch buffers for partially selected chunks:
+    // gathered question vectors and accumulator state for the
+    // selected questions only, scattered back after the chunk.
+    float *u_sub = nullptr, *acc_sub = nullptr, *runmax_sub = nullptr;
+    double *psum_sub = nullptr;
+    uint32_t *qsel = nullptr;
+    if (sel) {
+        u_sub = scratch.floats(nq * ed);
+        acc_sub = scratch.floats(nq * ed);
+        runmax_sub = scratch.floats(nq);
+        psum_sub = scratch.doubles(nq);
+        qsel = reinterpret_cast<uint32_t *>(
+            scratch.bytes(nq * sizeof(uint32_t)));
+    }
+    const size_t first_chunk = row_begin / chunk;
     Timer phase_timer;
 
     for (size_t c0 = row_begin; c0 < row_end; c0 += chunk) {
         const size_t c1 = std::min(c0 + chunk, row_end);
         const size_t len = c1 - c0;
 
+        // Routing: gather this chunk's selected questions. A chunk no
+        // question selected is bypassed outright — its rows are never
+        // streamed, prefetched or observed.
+        size_t nb = nq;
+        if (sel) {
+            const size_t ci = c0 / chunk - first_chunk;
+            nb = 0;
+            for (size_t q = 0; q < nq; ++q)
+                if (sel[q * sel_stride + ci])
+                    qsel[nb++] = static_cast<uint32_t>(q);
+            if (nb == 0) {
+                ++bypassed;
+                continue;
+            }
+            routed_rows += len * nb;
+        }
+
         // Streaming: the next chunk's rows are prefetched strip-by-
         // strip while this chunk computes, so the prefetch latency
         // hides under the arithmetic instead of serializing in a
         // burst. Issued once per chunk regardless of the batch size —
-        // the strip sweep below already covers every question.
+        // the strip sweep below already covers every question. Under
+        // routing, a next chunk no question selected is not prefetched
+        // (its bytes will never be read).
         // next_len <= len always (a shorter chunk is the last).
-        const size_t next_len =
+        size_t next_len =
             cfg.streaming && c1 < row_end
                 ? std::min(chunk, row_end - c1)
                 : 0;
+        if (sel && next_len > 0) {
+            const size_t nci = c1 / chunk - first_chunk;
+            bool any = false;
+            for (size_t q = 0; q < nq && !any; ++q)
+                any = sel[q * sel_stride + nci] != 0;
+            if (!any)
+                next_len = 0;
+        }
+
+        // Partial selection runs the identical three phases over a
+        // compacted question sub-batch: gather the selected questions'
+        // query vectors and accumulator state, run the kernels at the
+        // sub-batch size, scatter back. Exact per question — the
+        // kernels' per-(question, row) accumulation order does not
+        // depend on which other questions share the call.
+        const float *uu = u;
+        float *acc = out.o;
+        double *psum = out.psum;
+        float *runmax = out.runmax;
+        const bool compact = sel && nb < nq;
+        if (compact) {
+            for (size_t j = 0; j < nb; ++j) {
+                const size_t q = qsel[j];
+                blas::copy(u + q * ed, u_sub + j * ed, ed);
+                blas::copy(out.o + q * ed, acc_sub + j * ed, ed);
+                psum_sub[j] = out.psum[q];
+                runmax_sub[j] = out.runmax[q];
+            }
+            uu = u_sub;
+            acc = acc_sub;
+            psum = psum_sub;
+            runmax = runmax_sub;
+        }
 
         // Phase 1: inner products, query-blocked. Each strip of M_IN
         // rows is loaded once and swept through the whole question
@@ -220,11 +331,11 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
                               row_bytes, pf);
             switch (prec) {
               case Precision::F32:
-                blas::dotBatchMulti(u, nq, ed, min + (c0 + s0) * ed,
+                blas::dotBatchMulti(uu, nb, ed, min + (c0 + s0) * ed,
                                     s1 - s0, ed, ed, t + s0, chunk);
                 break;
               case Precision::BF16:
-                blas::dotBatchMultiBf16(u, nq, ed,
+                blas::dotBatchMultiBf16(uu, nb, ed,
                                         min16 + (c0 + s0) * ed,
                                         s1 - s0, ed, ed, t + s0, chunk);
                 break;
@@ -233,7 +344,7 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
                     const size_t g1 =
                         std::min(s1, kb.i8GroupEnd(c0 + g0) - c0);
                     blas::dotBatchMultiI8(
-                        u, nq, ed, min8 + (c0 + g0) * ed, g1 - g0, ed,
+                        uu, nb, ed, min8 + (c0 + g0) * ed, g1 - g0, ed,
                         ed, kb.minScale(c0 + g0), kb.minZero(c0 + g0),
                         t + g0, chunk);
                     g0 = g1;
@@ -247,17 +358,16 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         // online mode the accumulators are rescaled whenever a new
         // running max appears, keeping exp arguments bounded.
         phase_timer.reset();
-        for (size_t q = 0; q < nq; ++q) {
+        for (size_t q = 0; q < nb; ++q) {
             float *tq = t + q * chunk;
             if (online) {
                 const float m =
-                    std::max(out.runmax[q], blas::maxElement(tq, len));
-                if (m > out.runmax[q]) {
-                    const float rescale =
-                        std::exp(out.runmax[q] - m);
-                    out.psum[q] *= rescale;
-                    blas::scal(rescale, out.o + q * ed, ed);
-                    out.runmax[q] = m;
+                    std::max(runmax[q], blas::maxElement(tq, len));
+                if (m > runmax[q]) {
+                    const float rescale = std::exp(runmax[q] - m);
+                    psum[q] *= rescale;
+                    blas::scal(rescale, acc + q * ed, ed);
+                    runmax[q] = m;
                 }
                 blas::expShiftInplace(tq, len, m);
             } else {
@@ -282,24 +392,24 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
                               row_bytes, pf);
             switch (prec) {
               case Precision::F32:
-                blas::weightedSumSkipMulti(t + s0, nq, chunk,
+                blas::weightedSumSkipMulti(t + s0, nb, chunk,
                                            mout + (c0 + s0) * ed,
-                                           s1 - s0, ed, ed, th, out.psum,
-                                           out.o, ed, kept, skipped);
+                                           s1 - s0, ed, ed, th, psum,
+                                           acc, ed, kept, skipped);
                 break;
               case Precision::BF16:
                 blas::weightedSumSkipMultiBf16(
-                    t + s0, nq, chunk, mout16 + (c0 + s0) * ed, s1 - s0,
-                    ed, ed, th, out.psum, out.o, ed, kept, skipped);
+                    t + s0, nb, chunk, mout16 + (c0 + s0) * ed, s1 - s0,
+                    ed, ed, th, psum, acc, ed, kept, skipped);
                 break;
               case Precision::I8:
                 for (size_t g0 = s0; g0 < s1;) {
                     const size_t g1 =
                         std::min(s1, kb.i8GroupEnd(c0 + g0) - c0);
                     blas::weightedSumSkipMultiI8(
-                        t + g0, nq, chunk, mout8 + (c0 + g0) * ed,
+                        t + g0, nb, chunk, mout8 + (c0 + g0) * ed,
                         g1 - g0, ed, ed, kb.moutScale(c0 + g0),
-                        kb.moutZero(c0 + g0), th, out.psum, out.o, ed,
+                        kb.moutZero(c0 + g0), th, psum, acc, ed,
                         kept, skipped);
                     g0 = g1;
                 }
@@ -308,9 +418,86 @@ ColumnEngine::processChunks(const float *u, size_t nq, size_t row_begin,
         }
         out.tWsum += phase_timer.seconds();
 
+        if (compact) {
+            for (size_t j = 0; j < nb; ++j) {
+                const size_t q = qsel[j];
+                blas::copy(acc_sub + j * ed, out.o + q * ed, ed);
+                out.psum[q] = psum_sub[j];
+                out.runmax[q] = runmax_sub[j];
+            }
+        }
+
         if (cfg.chunkObserver)
             cfg.chunkObserver(worker, c0 / chunk);
     }
+}
+
+const uint8_t *
+ColumnEngine::selectGroup(const float *u, size_t nq,
+                          runtime::Range chunks,
+                          const runtime::KernelPlan &plan,
+                          runtime::ScratchArena &scratch) const
+{
+    const size_t ed = kb.dim();
+    const size_t n_g = chunks.end - chunks.begin;
+    float *scores = scratch.floats(nq * n_g);
+    uint8_t *sel = scratch.bytes(nq * n_g);
+
+    // Coarse scoring: the fused bound kernel over this group's chunk
+    // summaries, strip-swept with the tuned "bound" plan. Strip
+    // boundaries cannot change scores (per-(question, chunk) pairs
+    // are independent).
+    const float *lo = routeIndex->loData() + chunks.begin * ed;
+    const float *hi = routeIndex->hiData() + chunks.begin * ed;
+    for (size_t s0 = 0; s0 < n_g; s0 += plan.stripRows) {
+        const size_t s1 = std::min(s0 + plan.stripRows, n_g);
+        blas::chunkBoundBatch(u, nq, ed, lo + s0 * ed, hi + s0 * ed,
+                              s1 - s0, ed, ed, scores + s0, n_g);
+    }
+
+    if (cfg.routePolicy == RoutePolicy::TopK) {
+        const size_t k = std::min(cfg.routeTopK, n_g);
+        if (k >= n_g) {
+            std::fill(sel, sel + nq * n_g, uint8_t(1));
+            return sel;
+        }
+        // Exact top-k per question under the total order (score desc,
+        // chunk index asc) — the tie-break makes the selected *set* a
+        // pure function of the scores, independent of how
+        // nth_element permutes within partitions.
+        uint32_t *idx = reinterpret_cast<uint32_t *>(
+            scratch.bytes(n_g * sizeof(uint32_t)));
+        for (size_t q = 0; q < nq; ++q) {
+            const float *s = scores + q * n_g;
+            uint8_t *m = sel + q * n_g;
+            std::fill(m, m + n_g, uint8_t(0));
+            for (size_t c = 0; c < n_g; ++c)
+                idx[c] = static_cast<uint32_t>(c);
+            std::nth_element(idx, idx + k, idx + n_g,
+                             [s](uint32_t a, uint32_t b) {
+                                 return s[a] != s[b] ? s[a] > s[b]
+                                                     : a < b;
+                             });
+            for (size_t c = 0; c < k; ++c)
+                m[idx[c]] = 1;
+        }
+    } else {
+        // BoundThreshold: keep chunks whose bound is within ln(th) of
+        // the group's best bound. th = 0 gives cut = -inf and keeps
+        // every chunk (exact attention).
+        const float lnth = std::log(cfg.routeBoundThreshold);
+        for (size_t q = 0; q < nq; ++q) {
+            const float *s = scores + q * n_g;
+            uint8_t *m = sel + q * n_g;
+            float gmax = s[0];
+            for (size_t c = 1; c < n_g; ++c)
+                gmax = std::max(gmax, s[c]);
+            const float cut = gmax + lnth;
+            for (size_t c = 0; c < n_g; ++c)
+                m[c] = s[c] >= cut ? uint8_t(1) : uint8_t(0);
+        }
+    }
+    return sel;
 }
 
 ColumnEngine::RunTotals
@@ -326,6 +513,21 @@ ColumnEngine::runGroups(const float *u, size_t nq)
     // One tuner lookup per pass, outside the worker loops (the table
     // was warmed at construction, so this is a locked map hit).
     const runtime::KernelPlan plan = resolvePlan(nq);
+
+    // Routing: make sure the chunk-summary index snapshot covers the
+    // current KB (lazy build; rebuilt only when the KB grew). Resolved
+    // on the caller thread, before workers start.
+    const bool routed = routingActive();
+    runtime::KernelPlan bound_plan;
+    if (routed) {
+        if (!routeIndex || routeIndexRows != ns) {
+            routeIndex =
+                std::make_unique<ChunkSummaryIndex>(kb, cfg.chunkSize);
+            routeIndexRows = ns;
+        }
+        bound_plan = runtime::KernelTuner::instance().plan(
+            "bound", kb.dim(), nq);
+    }
 
     // Group partials live in the persistent arena: the previous
     // call's spans are dead, so rewind and claim fresh ones. At a
@@ -348,13 +550,27 @@ ColumnEngine::runGroups(const float *u, size_t nq)
     // hot path needs no merge lock.
     keptPerWorker.assign(workers, 0);
     skippedPerWorker.assign(workers, 0);
+    routedPerWorker.assign(workers, 0);
+    bypassedPerWorker.assign(workers, 0);
 
     auto runGroup = [&](size_t worker, size_t g) {
         const runtime::Range cr = groups[g];
+        runtime::ScratchArena &scratch = workerArenas[worker];
+        // Any span a previous group claimed on this worker is dead by
+        // now; steady state is a pure bump-pointer rewind.
+        scratch.reset();
+        // Selection is per chunk group: shard s of a ShardedEngine
+        // sees exactly group s's rows, so group-local selection is
+        // what makes routing compose with sharding bit-identically.
+        const uint8_t *sel =
+            routed ? selectGroup(u, nq, cr, bound_plan, scratch)
+                   : nullptr;
         processChunks(u, nq, cr.begin * cfg.chunkSize,
                       std::min(ns, cr.end * cfg.chunkSize), plan,
                       partials[g], worker, keptPerWorker[worker],
-                      skippedPerWorker[worker], workerArenas[worker]);
+                      skippedPerWorker[worker], scratch, sel,
+                      cr.end - cr.begin, routedPerWorker[worker],
+                      bypassedPerWorker[worker]);
     };
 
     if (cfg.schedule == Schedule::Dynamic) {
@@ -378,6 +594,8 @@ ColumnEngine::runGroups(const float *u, size_t nq)
     for (size_t w = 0; w < workers; ++w) {
         totals.kept += keptPerWorker[w];
         totals.skipped += skippedPerWorker[w];
+        totals.routedRows += routedPerWorker[w];
+        totals.bypassed += bypassedPerWorker[w];
     }
     return totals;
 }
@@ -512,7 +730,21 @@ ColumnEngine::recordRunStats(const RunTotals &totals, size_t nq,
     counterGroup["chunks_processed"].add(totals.nChunks);
     counterGroup["rows_kept"].add(totals.kept);
     counterGroup["rows_skipped"].add(totals.skipped);
-    counterGroup["flops_inner"].add(2ull * nq * kb.size() * kb.dim());
+    if (routingActive()) {
+        // Inner-product flops reflect the pairs actually streamed;
+        // the coarse sweep's own cost (~4 flops per dimension per
+        // scored (question, chunk) pair: two muls, a max, an add) is
+        // reported separately so savings stay honest.
+        counterGroup["flops_inner"].add(2ull * totals.routedRows
+                                        * kb.dim());
+        counterGroup["rows_routed"].add(totals.routedRows);
+        counterGroup["chunks_bypassed"].add(totals.bypassed);
+        counterGroup["flops_route"].add(4ull * nq * totals.nChunks
+                                        * kb.dim());
+    } else {
+        counterGroup["flops_inner"].add(2ull * nq * kb.size()
+                                        * kb.dim());
+    }
     counterGroup["flops_wsum"].add(2ull * totals.kept * kb.dim());
 }
 

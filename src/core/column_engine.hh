@@ -57,13 +57,38 @@
  *                   post-hoc skip at equal threshold.
  *  - onlineNormalize: numerically-safe running-max rescaling (see
  *                   EngineConfig).
+ *  - routePolicy:   coarse-then-fine candidate selection (DESIGN.md
+ *                   §11). A lazily built ChunkSummaryIndex gives every
+ *                   chunk a per-dimension [lo, hi] envelope; before a
+ *                   chunk group streams, the fused chunkBoundBatch
+ *                   kernel scores each chunk's max-inner-product upper
+ *                   bound for every question, and the policy (top-k or
+ *                   bound-threshold, per group — see RoutePolicy)
+ *                   picks the candidate set. Chunks no question
+ *                   selected are bypassed entirely (no stream, no
+ *                   prefetch, no observer); chunks a strict subset
+ *                   selected run the same three phases over a
+ *                   *compacted* question sub-batch (gather the
+ *                   selected questions' state, run the kernels at the
+ *                   sub-batch size, scatter back) — exact per
+ *                   question, because the kernels fix a per-
+ *                   (question, row) accumulation order that is
+ *                   independent of which other questions share the
+ *                   call. Selection only decides which chunks stream;
+ *                   it never changes the value a streamed chunk
+ *                   contributes, so a selection that keeps every
+ *                   chunk (k >= group chunks, or threshold 0) is
+ *                   bit-identical to RoutePolicy::None.
  */
 
 #ifndef MNNFAST_CORE_COLUMN_ENGINE_HH
 #define MNNFAST_CORE_COLUMN_ENGINE_HH
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/chunk_summary_index.hh"
 #include "core/config.hh"
 #include "core/engine.hh"
 #include "runtime/kernel_tuner.hh"
@@ -149,11 +174,36 @@ class ColumnEngine : public InferenceEngine
         double tWsum = 0.0;       ///< seconds in weighted sum
     };
 
+    /**
+     * Stream the chunks of rows [row_begin, row_end) into `out`.
+     * `sel`, when non-null, is this group's routing mask —
+     * sel[q * sel_stride + ci] for group-local chunk ci — and
+     * `routed_rows` / `bypassed` accumulate the (question, row) pairs
+     * actually streamed and the chunks skipped outright. The caller
+     * resets `scratch` before any claims tied to this group.
+     */
     void processChunks(const float *u, size_t nq, size_t row_begin,
                        size_t row_end, const runtime::KernelPlan &plan,
                        Partial &out, size_t worker, uint64_t &kept,
-                       uint64_t &skipped,
-                       runtime::ScratchArena &scratch) const;
+                       uint64_t &skipped, runtime::ScratchArena &scratch,
+                       const uint8_t *sel, size_t sel_stride,
+                       uint64_t &routed_rows, uint64_t &bypassed) const;
+
+    /** True when a coarse selection policy is configured. */
+    bool routingActive() const
+    {
+        return cfg.routePolicy != RoutePolicy::None;
+    }
+
+    /**
+     * Score one chunk group's summaries for the batch and apply the
+     * selection policy; returns the nq x (group chunk count) mask,
+     * claimed from `scratch` (valid until its next reset).
+     */
+    const uint8_t *selectGroup(const float *u, size_t nq,
+                               runtime::Range chunks,
+                               const runtime::KernelPlan &plan,
+                               runtime::ScratchArena &scratch) const;
 
     /**
      * The (strip rows, prefetch stride) plan for a batch of nq
@@ -166,12 +216,16 @@ class ColumnEngine : public InferenceEngine
     /** Group decomposition for the current KB size (cached). */
     const std::vector<runtime::Range> &chunkGroups(size_t n_chunks);
 
-    /** Zero-skip totals of one full pass over the chunk groups. */
+    /** Zero-skip and routing totals of one pass over the groups. */
     struct RunTotals
     {
         uint64_t kept = 0;
         uint64_t skipped = 0;
         size_t nChunks = 0;
+        /** (question, row) pairs streamed in phase 1 (routing only). */
+        uint64_t routedRows = 0;
+        /** Chunks bypassed because no question selected them. */
+        uint64_t bypassed = 0;
     };
 
     /**
@@ -197,8 +251,16 @@ class ColumnEngine : public InferenceEngine
     std::vector<Partial> partials;
     std::vector<uint64_t> keptPerWorker;
     std::vector<uint64_t> skippedPerWorker;
+    std::vector<uint64_t> routedPerWorker;
+    std::vector<uint64_t> bypassedPerWorker;
     std::vector<runtime::Range> groupCache;
     size_t groupCacheChunks = 0; ///< n_chunks groupCache was built for
+
+    // Coarse routing state: the chunk-summary index, built lazily on
+    // the first routed pass and rebuilt when the KB grows (the index
+    // is a snapshot of routeIndexRows rows).
+    std::unique_ptr<ChunkSummaryIndex> routeIndex;
+    size_t routeIndexRows = 0;
 };
 
 } // namespace mnnfast::core

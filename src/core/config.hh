@@ -47,6 +47,42 @@ enum class Schedule {
     Dynamic,
 };
 
+/**
+ * Coarse-then-fine candidate selection over KB chunks (DESIGN.md §11).
+ *
+ * When enabled, the column engine builds a core::ChunkSummaryIndex
+ * over M_IN (lazily, rebuilt when the KB grows) and scores every chunk
+ * per question with the envelope's max-inner-product upper bound
+ * before streaming; only selected (question, chunk) pairs run the
+ * fused phase-1..3 kernels. Selection is *per chunk group* (the same
+ * fixed group decomposition the scheduler uses), which is what makes
+ * routing compose bit-identically with ShardedEngine: shard s sees
+ * exactly group s's rows and therefore makes exactly group s's
+ * selection. With threads = 0 and scheduleGroups defaulted, one group
+ * spans the whole KB and selection is global.
+ */
+enum class RoutePolicy {
+    /** Stream every chunk (exact attention; the default). */
+    None,
+    /**
+     * Per question, stream the routeTopK highest-bound chunks of each
+     * chunk group (ties broken toward the lower chunk index). k >=
+     * group chunk count streams everything — bit-identical to None.
+     */
+    TopK,
+    /**
+     * Per question, stream chunks whose bound is within
+     * ln(routeBoundThreshold) of the group's best bound — i.e. chunks
+     * that could still hold a row with softmax weight at least
+     * routeBoundThreshold times the (bound-estimated) max. Threshold
+     * 0 keeps every chunk — bit-identical to None.
+     */
+    BoundThreshold,
+};
+
+/** Human-readable routing-policy name. */
+const char *routePolicyName(RoutePolicy policy);
+
 /** Tunables of a single inference engine instance. */
 struct EngineConfig
 {
@@ -80,17 +116,23 @@ struct EngineConfig
     /**
      * Rows per kernel call in the column engine's strip sweeps. 0
      * (the default) defers to the autotuned plan from
-     * runtime::KernelTuner. Nonzero overrides are rounded down to a
-     * multiple of 4 — the kernels' register-group width — with a
-     * floor of 4, so any override still yields output bit-identical
-     * to every other strip choice.
+     * runtime::KernelTuner. A nonzero override must be a positive
+     * multiple of 4 — the kernels' register-group width — and is
+     * validated at engine construction (fatal otherwise): a silently
+     * rounded pin would run a different strip size than the caller
+     * benchmarked. Any valid override yields output bit-identical to
+     * every other strip choice.
      */
     size_t stripRows = 0;
     /**
      * Streaming-prefetch pacing: one prefetch instruction every this
      * many cache lines of the next chunk's rows. -1 (the default)
-     * defers to the autotuned plan; 0 issues no prefetches. Pacing
-     * never affects results, only wall-clock.
+     * defers to the autotuned plan; 0 issues no prefetches. Positive
+     * pins must come from the tuner's candidate set
+     * (runtime::kPrefetchStrideCandidates), validated at engine
+     * construction (fatal otherwise) so pinned configurations stay
+     * comparable with tuned ones. Pacing never affects results, only
+     * wall-clock.
      */
     int prefetchStride = -1;
     /**
@@ -109,6 +151,30 @@ struct EngineConfig
      * reporting; must be thread-safe. Leave empty to disable.
      */
     std::function<void(size_t worker, size_t chunk)> chunkObserver;
+    /**
+     * Coarse-then-fine candidate selection policy (see RoutePolicy).
+     * None streams the full KB; TopK/BoundThreshold score chunks with
+     * the summary-index bound and stream only candidates. Routing
+     * composes with every other knob (precision, zskip, streaming,
+     * threads, schedule, sharding).
+     */
+    RoutePolicy routePolicy = RoutePolicy::None;
+    /**
+     * Chunks streamed per question *per chunk group* under
+     * RoutePolicy::TopK. 0 under TopK is a configuration error
+     * (fatal at construction); values >= the group's chunk count
+     * stream everything.
+     */
+    size_t routeTopK = 0;
+    /**
+     * Relative bound threshold in [0, 1] under
+     * RoutePolicy::BoundThreshold: a chunk streams iff its bound
+     * score >= group best bound + ln(threshold). 1 keeps only chunks
+     * tied with the best bound; 0 keeps everything (ln 0 = -inf —
+     * exact attention); values outside [0, 1] are fatal at
+     * construction.
+     */
+    float routeBoundThreshold = 0.0f;
 };
 
 } // namespace mnnfast::core

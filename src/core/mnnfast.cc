@@ -21,6 +21,17 @@ engineKindName(EngineKind kind)
     panic("unknown EngineKind %d", static_cast<int>(kind));
 }
 
+const char *
+routePolicyName(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::None: return "none";
+      case RoutePolicy::TopK: return "topk";
+      case RoutePolicy::BoundThreshold: return "bound-threshold";
+    }
+    panic("unknown RoutePolicy %d", static_cast<int>(policy));
+}
+
 namespace {
 
 std::unique_ptr<InferenceEngine>

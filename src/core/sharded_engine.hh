@@ -29,6 +29,14 @@
  * the result — exactly the property that lets a serving layer scatter
  * one batch across its worker pool.
  *
+ * Coarse routing (cfg.routePolicy, DESIGN.md §11) composes with this
+ * guarantee because selection is *per chunk group*: shard s's engine
+ * builds its ChunkSummaryIndex over exactly chunk group s's rows and
+ * scores/selects over that group alone — precisely the selection the
+ * single engine with scheduleGroups = S makes for group s. Leg 1
+ * above then extends row-for-row to the routed sweep: both layouts
+ * bypass the same chunks and compact the same question sub-batches.
+ *
  * Per-shard engines keep their own counters (read through
  * shardEngine(s) for per-shard attribution, e.g. rows skipped per
  * partition); this engine drains them into its aggregate CounterGroup

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -39,9 +40,29 @@ constexpr size_t kTuneHalfBytes = 4u << 20;
 constexpr size_t kTuneRowsMin = 256;
 constexpr size_t kTuneRowsMax = 32768;
 
-/** Candidate grid. Strip rows stay multiples of 4 (see header). */
-constexpr size_t kStripCandidates[] = {8, 16, 32, 64, 128, 256};
-constexpr size_t kPrefetchCandidates[] = {0, 2, 4};
+/**
+ * Validate an imported (strip_rows, prefetch_stride) pair before it
+ * can reach an engine: strips must be positive multiples of 4 (the
+ * kernels' register-group width — and strip 0 would wedge the
+ * engines' `s0 += strip` sweeps) and both values must sit inside the
+ * candidate grid the tuner itself sweeps, so a hand-edited or
+ * corrupted cache file can never smuggle in a plan the tuner could
+ * not have produced.
+ */
+bool
+importedPlanValid(double strip, double pf)
+{
+    const auto inGrid = [](double v, const size_t *set, size_t n) {
+        for (size_t i = 0; i < n; ++i)
+            if (v == double(set[i]))
+                return true;
+        return false;
+    };
+    return inGrid(strip, kStripRowsCandidates,
+                  std::size(kStripRowsCandidates))
+        && inGrid(pf, kPrefetchStrideCandidates,
+                  std::size(kPrefetchStrideCandidates));
+}
 
 /** Timed passes per candidate; the best is kept. */
 constexpr int kReps = 3;
@@ -133,14 +154,25 @@ struct Workbench
     std::vector<float> queries;
     std::vector<float> out;
     AlignedBuffer<float> rows32;
+    AlignedBuffer<float> rows32b; ///< "bound" hi rows (rows32 = lo)
     AlignedBuffer<uint16_t> rows16;
     AlignedBuffer<int8_t> rows8;
+
+    static size_t
+    rowBytes(const std::string &precision, size_t ed)
+    {
+        // "bound" streams a lo+hi fp32 pair per summarized chunk.
+        return ed
+             * (precision == "bound" ? 8
+                : precision == "f32" ? 4
+                : precision == "bf16" ? 2
+                                      : 1);
+    }
 
     Workbench(const std::string &precision, size_t ed_, size_t nq_)
         : ed(ed_), nq(nq_)
     {
-        const size_t row_bytes =
-            ed * (precision == "f32" ? 4 : precision == "bf16" ? 2 : 1);
+        const size_t row_bytes = rowBytes(precision, ed);
         rows = std::clamp(kTuneHalfBytes / row_bytes, kTuneRowsMin,
                           kTuneRowsMax);
         rows = rows / 4 * 4;
@@ -150,10 +182,15 @@ struct Workbench
             v = rng.uniformRange(-1.f, 1.f);
         out.resize(nq * rows);
         const size_t elems = 2 * rows * ed;
-        if (precision == "f32") {
+        if (precision == "f32" || precision == "bound") {
             rows32.allocate(elems);
             for (size_t i = 0; i < elems; ++i)
                 rows32.data()[i] = rng.uniformRange(-1.f, 1.f);
+            if (precision == "bound") {
+                rows32b.allocate(elems);
+                for (size_t i = 0; i < elems; ++i)
+                    rows32b.data()[i] = rng.uniformRange(-1.f, 1.f);
+            }
         } else if (precision == "bf16") {
             rows16.allocate(elems);
             for (size_t i = 0; i < elems; ++i)
@@ -175,8 +212,7 @@ struct Workbench
     double
     pass(const std::string &precision, const KernelPlan &plan)
     {
-        const size_t row_bytes =
-            ed * (precision == "f32" ? 4 : precision == "bf16" ? 2 : 1);
+        const size_t row_bytes = rowBytes(precision, ed);
         Timer timer;
         for (size_t half = 0; half < 2; ++half) {
             const size_t base = half * rows;
@@ -184,7 +220,21 @@ struct Workbench
             for (size_t s0 = 0; s0 < rows; s0 += plan.stripRows) {
                 const size_t s1 = std::min(s0 + plan.stripRows, rows);
                 float *o = out.data() + s0;
-                if (precision == "f32") {
+                if (precision == "bound") {
+                    for (size_t i = s0; i < s1; ++i) {
+                        prefetchPaced(rows32.data() + (next + i) * ed,
+                                      row_bytes / 2,
+                                      plan.prefetchStride);
+                        prefetchPaced(rows32b.data() + (next + i) * ed,
+                                      row_bytes / 2,
+                                      plan.prefetchStride);
+                    }
+                    blas::chunkBoundBatch(
+                        queries.data(), nq, ed,
+                        rows32.data() + (base + s0) * ed,
+                        rows32b.data() + (base + s0) * ed, s1 - s0, ed,
+                        ed, o, rows);
+                } else if (precision == "f32") {
                     for (size_t i = s0; i < s1; ++i)
                         prefetchPaced(rows32.data() + (next + i) * ed,
                                       row_bytes, plan.prefetchStride);
@@ -224,8 +274,8 @@ measure(const Key &key)
     best.seconds = -1.0;
     // One untimed pass warms the block into cache-steady state.
     wb.pass(key.precision, KernelPlan{});
-    for (size_t strip : kStripCandidates) {
-        for (size_t pf : kPrefetchCandidates) {
+    for (size_t strip : kStripRowsCandidates) {
+        for (size_t pf : kPrefetchStrideCandidates) {
             const KernelPlan plan{strip, pf};
             double t = wb.pass(key.precision, plan);
             for (int rep = 1; rep < kReps; ++rep)
@@ -343,7 +393,8 @@ KernelTuner::plan(const char *precision, size_t ed, size_t nq)
                         || !scanNumber(text, "strip_rows", open, close,
                                        strip)
                         || !scanNumber(text, "prefetch_stride", open,
-                                       close, pf))
+                                       close, pf)
+                        || !importedPlanValid(strip, pf))
                         continue;
                     Stored st;
                     st.plan.stripRows = static_cast<size_t>(strip);
@@ -453,7 +504,8 @@ KernelTuner::importJson(const std::string &text)
             || !scanNumber(text, "ed", open, close, edv)
             || !scanNumber(text, "nq", open, close, nqv)
             || !scanNumber(text, "strip_rows", open, close, strip)
-            || !scanNumber(text, "prefetch_stride", open, close, pf))
+            || !scanNumber(text, "prefetch_stride", open, close, pf)
+            || !importedPlanValid(strip, pf))
             continue;
         const Key key{prec, static_cast<size_t>(edv),
                       static_cast<size_t>(nqv)};
@@ -489,6 +541,8 @@ KernelTuner::clear()
     std::lock_guard<std::mutex> lock(t.mu);
     t.entries.clear();
     t.measured = 0;
+    // Re-arm the one-shot MNNFAST_TUNER_CACHE seeding (see header).
+    t.importedFromEnv = false;
 }
 
 } // namespace mnnfast::runtime

@@ -48,6 +48,18 @@ struct KernelPlan
     size_t prefetchStride = 2;
 };
 
+/**
+ * The candidate grid the tuner sweeps — every plan it can ever hand
+ * out draws stripRows from kStripRowsCandidates and prefetchStride
+ * from kPrefetchStrideCandidates. Exposed so engines can validate
+ * pinned EngineConfig overrides against the same set (a pin outside
+ * the grid would make pinned and tuned runs incomparable) and so
+ * import paths can reject out-of-range table entries.
+ */
+inline constexpr size_t kStripRowsCandidates[] = {8,  16,  32,
+                                                  64, 128, 256};
+inline constexpr size_t kPrefetchStrideCandidates[] = {0, 2, 4};
+
 /** Where a table entry came from (JSON `origin` field). */
 enum class PlanOrigin {
     Default,  ///< MNNFAST_NO_TUNER or measurement unavailable
@@ -71,13 +83,15 @@ class KernelTuner
 
     /**
      * Tuned plan for a fused sweep over rows of `precision` ("f32",
-     * "bf16" or "i8"), embedding dimension `ed`, and `nq` concurrent
-     * queries. ed and nq are bucketed (ed to {64, 128, 256, 512}, nq
-     * to {1, 4, 16}) so the table stays small and unit tests with
-     * many geometries re-measure rarely. First call per bucket
-     * measures the candidate grid (~tens of ms); later calls are a
-     * locked map lookup. With MNNFAST_NO_TUNER=1 returns the default
-     * plan without measuring or caching.
+     * "bf16", "i8", or "bound" — the chunk-summary bound sweep, whose
+     * row payload is a lo+hi fp32 pair per summarized chunk),
+     * embedding dimension `ed`, and `nq` concurrent queries. ed and
+     * nq are bucketed (ed to {64, 128, 256, 512}, nq to {1, 4, 16})
+     * so the table stays small and unit tests with many geometries
+     * re-measure rarely. First call per bucket measures the candidate
+     * grid (~tens of ms); later calls are a locked map lookup. With
+     * MNNFAST_NO_TUNER=1 returns the default plan without measuring
+     * or caching.
      */
     KernelPlan plan(const char *precision, size_t ed, size_t nq);
 
@@ -121,7 +135,12 @@ class KernelTuner
     /** importJson over a file's contents; -1 if unreadable. */
     int importJsonFile(const std::string &path);
 
-    /** Test hook: drop every entry (later plan() calls re-measure). */
+    /**
+     * Test hook: drop every entry (later plan() calls re-measure) and
+     * re-arm the one-shot MNNFAST_TUNER_CACHE seeding, so tests can
+     * point the env var at a fresh file and exercise the import path
+     * again in the same process.
+     */
     void clear();
 
   private:

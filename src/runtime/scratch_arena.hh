@@ -28,6 +28,7 @@
 #define MNNFAST_RUNTIME_SCRATCH_ARENA_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mnnfast::runtime {
@@ -55,6 +56,12 @@ class ScratchArena
     double *doubles(size_t n)
     {
         return static_cast<double *>(claim(n * sizeof(double)));
+    }
+
+    /** Claim n raw bytes (64-byte aligned, uninitialized). */
+    uint8_t *bytes(size_t n)
+    {
+        return static_cast<uint8_t *>(claim(n));
     }
 
     /**

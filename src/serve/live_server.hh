@@ -128,7 +128,11 @@ struct LiveServerConfig
     /** Per-worker engine tunables (threads=0 keeps engines inline —
      *  parallelism comes from serving concurrent batches or, in
      *  sharded mode, from the scatter pool; nested pools would
-     *  oversubscribe the cores). */
+     *  oversubscribe the cores). Coarse routing flows through here
+     *  too: set engine.routePolicy / routeTopK / routeBoundThreshold
+     *  and every dispatch slot routes — replicated workers select
+     *  globally, sharded scatter selects per shard, with bit-identical
+     *  answers between the modes (see sharded_engine.hh). */
     core::EngineConfig engine;
     /** Latency histogram range; samples above land in overflow (and
      *  clamp quantiles to the range — the exact max is still kept). */

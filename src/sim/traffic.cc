@@ -20,6 +20,8 @@ constexpr uint64_t kPBase = 5ull << 36;
 constexpr uint64_t kUBase = 6ull << 36;
 constexpr uint64_t kOutBase = 7ull << 36;
 constexpr uint64_t kScratchBase = 8ull << 36;
+constexpr uint64_t kIndexBase = 9ull << 36;  ///< chunk-summary lo/hi
+constexpr uint64_t kScoreBase = 10ull << 36; ///< per-question bounds
 
 /** Approximate flop cost of one exponential evaluation. */
 constexpr double kExpFlops = 20.0;
@@ -212,6 +214,10 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
     const auto shard_rows = shardRowRanges(wp);
     result.shardKbLines.assign(shard_rows.size(), 0);
 
+    // The optional route_score phase is appended after the loop;
+    // reserving up front keeps the inner/softmax/wsum references
+    // below valid across that push_back.
+    result.phases.reserve(4);
     result.phases.push_back(
         {"inner_product", 0, 0, 0, 0, 0, streamed});
     result.phases.push_back({"softmax", 0, 0, 0, 0, 0, streamed});
@@ -224,12 +230,39 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
     // Deterministic choice of kept rows under zero-skipping.
     XorShiftRng keep_rng(0xC0FFEE);
 
+    // Coarse routing (routeChunkFraction < 1): each (question, chunk)
+    // pair is streamed independently with the configured probability.
+    // The selection draws come from their own generator so the
+    // keep_rng draw sequence — and with it the fraction == 1 stream —
+    // is byte-for-byte identical to the unrouted replay.
+    const bool routed = wp.routeChunkFraction < 1.0;
+    XorShiftRng route_rng(0xBEEF5EED);
+    std::vector<uint8_t> rsel(wp.nq, 1);
+    uint64_t routed_pairs = 0;
+
     for (uint64_t c0 = 0; c0 < wp.ns; c0 += wp.chunkSize) {
         const uint64_t c1 = std::min<uint64_t>(c0 + wp.chunkSize, wp.ns);
         // Shards are chunk-aligned, so one lookup covers the chunk.
         const size_t shard = shardOfRow(shard_rows, c0);
 
-        // Phase 1: inner products over the chunk.
+        uint64_t nsel = wp.nq;
+        if (routed) {
+            nsel = 0;
+            for (uint64_t q = 0; q < wp.nq; ++q) {
+                rsel[q] =
+                    route_rng.chance(wp.routeChunkFraction) ? 1 : 0;
+                nsel += rsel[q];
+            }
+            routed_pairs += nsel * (c1 - c0);
+            // Bypassed chunk: no question selected it, so its rows
+            // are never touched — the routed savings.
+            if (nsel == 0)
+                continue;
+        }
+
+        // Phase 1: inner products over the chunk. The M_IN rows
+        // stream once per chunk as long as any question selected it
+        // (nsel >= 1 here); per-question traffic is selection-gated.
         {
             PhaseRecorder rec(cache, inner);
             for (uint64_t i = c0; i < c1; ++i) {
@@ -237,6 +270,8 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
                     rec.touchRange(kMinBase + i * kb_row_bytes,
                                    kb_row_bytes, false, streamed);
                 for (uint64_t q = 0; q < wp.nq; ++q) {
+                    if (routed && !rsel[q])
+                        continue;
                     rec.touch(kUBase + q * row_bytes);
                     // Chunk scratch is reused across chunks: same
                     // addresses every iteration -> stays resident.
@@ -252,6 +287,8 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
         {
             PhaseRecorder rec(cache, softmax);
             for (uint64_t q = 0; q < wp.nq; ++q) {
+                if (routed && !rsel[q])
+                    continue;
                 for (uint64_t i = c0; i < c1; ++i) {
                     const uint64_t a =
                         kScratchBase
@@ -268,10 +305,16 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
             for (uint64_t i = c0; i < c1; ++i) {
                 bool row_needed = !zskip;
                 if (zskip) {
-                    // A row is read if any question keeps it.
-                    for (uint64_t q = 0; q < wp.nq && !row_needed; ++q)
+                    // A row is read if any (selected) question keeps
+                    // it. Unrouted replays draw for every question,
+                    // exactly as before routing existed.
+                    for (uint64_t q = 0; q < wp.nq && !row_needed;
+                         ++q) {
+                        if (routed && !rsel[q])
+                            continue;
                         row_needed =
                             keep_rng.chance(wp.zskipKeepFraction);
+                    }
                 }
                 if (row_needed) {
                     result.shardKbLines[shard] +=
@@ -279,6 +322,8 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
                                        kb_row_bytes, false, streamed);
                 }
                 for (uint64_t q = 0; q < wp.nq; ++q) {
+                    if (routed && !rsel[q])
+                        continue;
                     rec.touch(kScratchBase
                               + (q * wp.chunkSize + (i - c0))
                                     * sizeof(float));
@@ -289,10 +334,36 @@ runColumn(const WorkloadParams &wp, CacheModel &cache,
         }
     }
 
-    inner.flops = 2.0 * double(vec_elems) * wp.ed;
-    softmax.flops = double(vec_elems) * (kExpFlops + 1.0);
     const double keep = zskip ? wp.zskipKeepFraction : 1.0;
-    wsum.flops = 2.0 * double(vec_elems) * wp.ed * keep;
+    if (routed) {
+        // Compute shrinks to the pairs actually streamed.
+        const double pairs = double(routed_pairs);
+        inner.flops = 2.0 * pairs * wp.ed;
+        softmax.flops = pairs * (kExpFlops + 1.0);
+        wsum.flops = 2.0 * pairs * wp.ed * keep;
+
+        // The coarse scoring pass the savings paid for: every
+        // question reads each chunk's lo+hi fp32 summary rows and
+        // writes one score per chunk (~4 flops per scored dimension:
+        // two muls, a max, an add). Appended after the sweep phases
+        // so unrouted replays keep their phase indices.
+        const uint64_t n_chunks =
+            (wp.ns + wp.chunkSize - 1) / wp.chunkSize;
+        result.phases.push_back(
+            {"route_score", 0, 0, 0, 0, 0, false});
+        PhaseRecorder rec(cache, result.phases.back());
+        rec.touchRange(kIndexBase, n_chunks * 2 * row_bytes, false,
+                       false);
+        rec.touchRange(kScoreBase,
+                       uint64_t(wp.nq) * n_chunks * sizeof(float),
+                       true, false);
+        result.phases.back().flops =
+            4.0 * double(wp.nq) * double(n_chunks) * wp.ed;
+    } else {
+        inner.flops = 2.0 * double(vec_elems) * wp.ed;
+        softmax.flops = double(vec_elems) * (kExpFlops + 1.0);
+        wsum.flops = 2.0 * double(vec_elems) * wp.ed * keep;
+    }
 }
 
 } // namespace
@@ -370,6 +441,9 @@ simulateDataflow(Dataflow df, const WorkloadParams &params,
         fatal("traffic chunk size must be nonzero");
     if (params.kbElemBytes == 0)
         fatal("traffic KB element size must be nonzero");
+    if (!(params.routeChunkFraction > 0.0
+          && params.routeChunkFraction <= 1.0))
+        fatal("traffic routeChunkFraction must be in (0, 1]");
 
     CacheModel cache(llc);
     TrafficResult result;

@@ -75,6 +75,21 @@ struct WorkloadParams
      * already sweeps shard by shard because shards are chunk-aligned.
      */
     size_t shards = 0;
+    /**
+     * Fraction of (question, chunk) pairs the coarse-then-fine router
+     * streams (column dataflows only; see core::RoutePolicy and
+     * DESIGN.md §11). 1 (the default) models exact attention and
+     * replays byte-for-byte the unrouted stream. Values in (0, 1)
+     * drop each (question, chunk) pair independently with probability
+     * 1 - fraction: a chunk no question selected is bypassed (its
+     * M_IN/M_OUT rows are never touched), a partially selected chunk
+     * streams its rows once but only the selected questions' scratch
+     * and accumulator traffic, and a "route_score" phase is appended
+     * after the sweep phases accounting the coarse index reads
+     * (lo+hi fp32 summary rows per chunk) and per-question score
+     * writes. Values outside (0, 1] are fatal.
+     */
+    double routeChunkFraction = 1.0;
 };
 
 /** Per-phase traffic and compute volume. */

@@ -67,7 +67,17 @@ class Histogram
      * interpolated linearly within the containing bin. Underflow mass
      * is attributed to `lo` and overflow mass to `hi` (the histogram
      * cannot resolve positions outside its range, so the returned
-     * value is clamped to [lo, hi]). Returns 0 for an empty histogram.
+     * value is clamped to [lo, hi]).
+     *
+     * Pinned edge cases (tested in stats_test.cc):
+     *  - Empty histogram: returns 0 — including one that only ever
+     *    saw non-finite samples, which add() quarantines outside the
+     *    quantile mass (the quantile of nothing has no meaningful
+     *    value; 0 is a safe sentinel for latency reporting).
+     *  - Single-bin histogram: the quantile is the linear position of
+     *    the rank within [lo, hi] — the histogram cannot resolve
+     *    sample positions inside a bin.
+     *  - p outside [0, 1] is fatal.
      */
     double quantile(double p) const;
 

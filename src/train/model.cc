@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "blas/kernels.hh"
 #include "blas/position.hh"
@@ -198,6 +199,141 @@ MemNnModel::forwardSkip(const Example &ex, float threshold,
                         uint64_t &total_rows) const
 {
     forwardImpl(ex, state, threshold, &kept_rows, &total_rows);
+}
+
+void
+MemNnModel::forwardTopK(const Example &ex, size_t chunk_rows,
+                        size_t topk_chunks, ForwardState &state,
+                        uint64_t &kept_rows, uint64_t &total_rows) const
+{
+    if (chunk_rows == 0)
+        fatal("forwardTopK needs a nonzero chunk_rows");
+    if (topk_chunks == 0)
+        fatal("forwardTopK needs a nonzero topk_chunks");
+
+    const size_t ed = cfg.embeddingDim;
+    const size_t ns = ex.story.size();
+    mnn_assert(ns <= cfg.maxStory, "story exceeds configured maxStory");
+
+    state.ns = ns;
+    state.u.assign(cfg.hops + 1, std::vector<float>(ed, 0.f));
+    state.m.assign(cfg.hops, std::vector<float>(ns * ed, 0.f));
+    state.c.assign(cfg.hops, std::vector<float>(ns * ed, 0.f));
+    state.p.assign(cfg.hops, std::vector<float>(ns, 0.f));
+    state.o.assign(cfg.hops, std::vector<float>(ed, 0.f));
+    state.logits.assign(cfg.vocabSize, 0.f);
+
+    embedInto(ex.question, params.b, state.u[0].data());
+
+    const size_t n_chunks = (ns + chunk_rows - 1) / chunk_rows;
+    const size_t k = std::min(topk_chunks, n_chunks);
+    const float inf = std::numeric_limits<float>::infinity();
+    std::vector<float> lo(n_chunks * ed), hi(n_chunks * ed);
+    std::vector<float> scores(n_chunks);
+    std::vector<size_t> order(n_chunks);
+    std::vector<uint8_t> keep(n_chunks);
+    std::vector<float> logits(ns), packed(ns);
+
+    for (size_t h = 0; h < cfg.hops; ++h) {
+        float *m = state.m[h].data();
+        float *c = state.c[h].data();
+        for (size_t i = 0; i < ns; ++i) {
+            embedInto(ex.story[i], params.a[h], m + i * ed);
+            embedInto(ex.story[i], params.c[h], c + i * ed);
+            if (cfg.temporal) {
+                blas::axpy(1.0f, params.ta[h].data() + i * ed, m + i * ed,
+                           ed);
+                blas::axpy(1.0f, params.tc[h].data() + i * ed, c + i * ed,
+                           ed);
+            }
+        }
+
+        // Exact logits for every row: the coarse score only gates
+        // which rows join the softmax, never their values, so
+        // k = n_chunks reproduces forward() bit for bit.
+        blas::gemv(m, ns, ed, state.u[h].data(), logits.data());
+
+        // Per-chunk [lo, hi] envelope of this hop's m rows, scored
+        // with the same fused bound kernel the serving engines use.
+        for (size_t ci = 0; ci < n_chunks; ++ci) {
+            float *l = lo.data() + ci * ed;
+            float *g = hi.data() + ci * ed;
+            std::fill(l, l + ed, inf);
+            std::fill(g, g + ed, -inf);
+            const size_t r1 = std::min(ns, (ci + 1) * chunk_rows);
+            for (size_t i = ci * chunk_rows; i < r1; ++i) {
+                const float *row = m + i * ed;
+                for (size_t e = 0; e < ed; ++e) {
+                    l[e] = std::min(l[e], row[e]);
+                    g[e] = std::max(g[e], row[e]);
+                }
+            }
+        }
+        blas::chunkBoundBatch(state.u[h].data(), 1, ed, lo.data(),
+                              hi.data(), n_chunks, ed, ed, scores.data(),
+                              n_chunks);
+
+        // Top-k chunks: score descending, ties toward the lower index
+        // (the serving engines' tie-break, so both sides select the
+        // same set on equal scores).
+        std::fill(keep.begin(), keep.end(), uint8_t{0});
+        if (k >= n_chunks) {
+            std::fill(keep.begin(), keep.end(), uint8_t{1});
+        } else {
+            for (size_t ci = 0; ci < n_chunks; ++ci)
+                order[ci] = ci;
+            const float *s = scores.data();
+            std::nth_element(order.begin(), order.begin() + k,
+                             order.end(), [s](size_t a, size_t b) {
+                                 return s[a] != s[b] ? s[a] > s[b]
+                                                     : a < b;
+                             });
+            for (size_t j = 0; j < k; ++j)
+                keep[order[j]] = 1;
+        }
+
+        // Softmax restricted to selected rows: gather their logits in
+        // index order (the identity permutation when every chunk is
+        // kept), normalize, scatter back with p = 0 elsewhere.
+        float *p = state.p[h].data();
+        std::fill(p, p + ns, 0.f);
+        size_t nsel = 0;
+        for (size_t ci = 0; ci < n_chunks; ++ci) {
+            if (!keep[ci])
+                continue;
+            const size_t r1 = std::min(ns, (ci + 1) * chunk_rows);
+            for (size_t i = ci * chunk_rows; i < r1; ++i)
+                packed[nsel++] = logits[i];
+        }
+        blas::softmax(packed.data(), nsel);
+        size_t at = 0;
+        for (size_t ci = 0; ci < n_chunks; ++ci) {
+            if (!keep[ci])
+                continue;
+            const size_t r1 = std::min(ns, (ci + 1) * chunk_rows);
+            for (size_t i = ci * chunk_rows; i < r1; ++i)
+                p[i] = packed[at++];
+        }
+
+        // Weighted sum over selected rows only, in row order.
+        float *o = state.o[h].data();
+        blas::zero(o, ed);
+        total_rows += ns;
+        kept_rows += nsel;
+        for (size_t ci = 0; ci < n_chunks; ++ci) {
+            if (!keep[ci])
+                continue;
+            const size_t r1 = std::min(ns, (ci + 1) * chunk_rows);
+            for (size_t i = ci * chunk_rows; i < r1; ++i)
+                blas::axpy(p[i], c + i * ed, o, ed);
+        }
+
+        blas::copy(state.u[h].data(), state.u[h + 1].data(), ed);
+        blas::axpy(1.0f, o, state.u[h + 1].data(), ed);
+    }
+
+    blas::gemv(params.w.data(), cfg.vocabSize, ed,
+               state.u[cfg.hops].data(), state.logits.data());
 }
 
 double

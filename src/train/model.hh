@@ -127,6 +127,31 @@ class MemNnModel
                      ForwardState &state, uint64_t &kept_rows,
                      uint64_t &total_rows) const;
 
+    /**
+     * Forward pass with coarse-then-fine candidate selection applied
+     * to every hop's attention (the training-side mirror of the
+     * serving engines' RoutePolicy::TopK; DESIGN.md §11): the hop's
+     * memory rows are grouped into chunks of `chunk_rows` sentences,
+     * each chunk gets a per-dimension [lo, hi] envelope, and the
+     * blas::chunkBoundBatch max-inner-product upper bound picks the
+     * `topk_chunks` highest-bound chunks (ties toward the lower chunk
+     * index). The softmax runs over the selected rows only (p = 0
+     * elsewhere, without renormalizing against the dropped mass —
+     * matching the serving engines, which never see bypassed chunks'
+     * exp sums) and the weighted sum touches only selected rows.
+     *
+     * All inner products are still computed exactly (the coarse score
+     * gates which rows join the softmax, never their values), so
+     * topk_chunks >= ceil(ns / chunk_rows) is bit-identical to
+     * forward(). chunk_rows and topk_chunks must be nonzero (fatal).
+     *
+     * @param kept_rows  Incremented by the rows in selected chunks.
+     * @param total_rows Incremented by ns per hop.
+     */
+    void forwardTopK(const data::Example &ex, size_t chunk_rows,
+                     size_t topk_chunks, ForwardState &state,
+                     uint64_t &kept_rows, uint64_t &total_rows) const;
+
     /** Cross-entropy loss of a completed forward pass. */
     double loss(const ForwardState &state, data::WordId answer) const;
 

@@ -118,4 +118,24 @@ evaluateAccuracySkip(const MemNnModel &model,
          / static_cast<double>(test_set.size());
 }
 
+double
+evaluateAccuracyRouted(const MemNnModel &model,
+                       const data::Dataset &test_set, size_t chunk_rows,
+                       size_t topk_chunks, uint64_t &kept_rows,
+                       uint64_t &total_rows)
+{
+    if (test_set.size() == 0)
+        return 0.0;
+    ForwardState state;
+    size_t correct = 0;
+    for (const data::Example &ex : test_set.examples) {
+        model.forwardTopK(ex, chunk_rows, topk_chunks, state, kept_rows,
+                          total_rows);
+        if (model.predict(state) == ex.answer)
+            ++correct;
+    }
+    return static_cast<double>(correct)
+         / static_cast<double>(test_set.size());
+}
+
 } // namespace mnnfast::train

@@ -67,6 +67,19 @@ double evaluateAccuracySkip(const MemNnModel &model,
                             float threshold, uint64_t &kept_rows,
                             uint64_t &total_rows);
 
+/**
+ * Accuracy with coarse-then-fine top-k chunk routing at every hop
+ * (MemNnModel::forwardTopK); accumulates kept/total weighted-sum row
+ * counts so callers can chart accuracy against the streamed fraction
+ * (the routed analogue of the paper's Fig. 7 threshold sweep).
+ * topk_chunks >= every story's chunk count reproduces
+ * evaluateAccuracy exactly.
+ */
+double evaluateAccuracyRouted(const MemNnModel &model,
+                              const data::Dataset &test_set,
+                              size_t chunk_rows, size_t topk_chunks,
+                              uint64_t &kept_rows, uint64_t &total_rows);
+
 } // namespace mnnfast::train
 
 #endif // MNNFAST_TRAIN_TRAINER_HH

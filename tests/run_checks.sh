@@ -66,6 +66,16 @@ for preset in "${presets[@]}"; do
         grep -q '^tuner_measured 0$' "${tdir}/imported.txt"
         rm -rf "${tdir}"
     fi
+    # Routed-attention smoke: the top-k ablation's k=all leg asserts
+    # bit-identity with the unrouted engine across every storage
+    # precision, and its sharded leg asserts routed scatter/gather
+    # composes bit-identically — the binary exits nonzero on any
+    # violation.
+    if [ -x "${bindir}/bench/ablation_topk" ]; then
+        echo "==> preset: ${preset} (top-k routing smoke)"
+        MNNFAST_BENCH_JSON="${bindir}/BENCH_topk_smoke.json" \
+            "${bindir}/bench/ablation_topk" --smoke
+    fi
     # Live-server smoke under the leak-checking build: a short
     # low-rate open-loop run whose shutdown must drain every accepted
     # request — ASan flags any promise/thread/arena leaked on the

@@ -9,7 +9,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
 #include <numeric>
 #include <string>
@@ -508,6 +510,88 @@ TEST(KernelTuner, ImportNeverOverridesLocalMeasurements)
     EXPECT_EQ(imported.stripRows, 8u);
     EXPECT_EQ(imported.prefetchStride, 0u);
     EXPECT_EQ(tuner.importJson("not json at all"), -1);
+}
+
+TEST(KernelTuner, ImportRejectsPlansOutsideTheCandidateGrids)
+{
+    KernelTuner &tuner = KernelTuner::instance();
+    tuner.clear();
+    // Three corrupt entries: strip_rows 0 (would wedge the engines'
+    // `s0 += strip` sweep loops), an off-grid strip, and an off-grid
+    // prefetch stride. None may be imported — a tuned plan's whole
+    // contract is membership in the measured candidate grids.
+    const std::string json =
+        "{\"backend\": \"test\", \"entries\": ["
+        "{\"precision\": \"f32\", \"ed\": 64, \"nq\": 4, "
+        "\"strip_rows\": 0, \"prefetch_stride\": 0, "
+        "\"seconds\": 1.0, \"origin\": \"measured\"},"
+        "{\"precision\": \"f32\", \"ed\": 128, \"nq\": 4, "
+        "\"strip_rows\": 60, \"prefetch_stride\": 0, "
+        "\"seconds\": 1.0, \"origin\": \"measured\"},"
+        "{\"precision\": \"f32\", \"ed\": 256, \"nq\": 4, "
+        "\"strip_rows\": 8, \"prefetch_stride\": 9, "
+        "\"seconds\": 1.0, \"origin\": \"measured\"}]}";
+    EXPECT_EQ(tuner.importJson(json), 0);
+    EXPECT_TRUE(tuner.entries().empty());
+
+    // The bucket a corrupt entry claimed simply measures and lands on
+    // an in-grid plan.
+    const size_t c0 = tuner.measuredCount();
+    const KernelPlan p = tuner.plan("f32", 64, 4);
+    EXPECT_EQ(tuner.measuredCount(), c0 + 1);
+    bool strip_in_grid = false;
+    for (size_t s : kStripRowsCandidates)
+        strip_in_grid |= p.stripRows == s;
+    EXPECT_TRUE(strip_in_grid);
+    bool pf_in_grid = false;
+    for (size_t s : kPrefetchStrideCandidates)
+        pf_in_grid |= p.prefetchStride == s;
+    EXPECT_TRUE(pf_in_grid);
+}
+
+TEST(KernelTuner, CorruptedEnvCacheFallsBackToMeasuring)
+{
+    KernelTuner &tuner = KernelTuner::instance();
+    const char *path = "tuner_cache_corrupt_test.json";
+
+    auto planWithCache = [&](const std::string &content) {
+        {
+            std::ofstream out(path);
+            out << content;
+        }
+        ::setenv("MNNFAST_TUNER_CACHE", path, 1);
+        tuner.clear(); // re-arms the one-shot env seeding
+        const size_t c0 = tuner.measuredCount();
+        const KernelPlan p = tuner.plan("bf16", 64, 4);
+        ::unsetenv("MNNFAST_TUNER_CACHE");
+        // Whatever the file held, the plan was measured locally (the
+        // seeding imported nothing) and is in-grid.
+        EXPECT_EQ(tuner.measuredCount(), c0 + 1) << content;
+        bool in_grid = false;
+        for (size_t s : kStripRowsCandidates)
+            in_grid |= p.stripRows == s;
+        EXPECT_TRUE(in_grid) << content;
+        for (const auto &e : tuner.entries())
+            EXPECT_EQ(e.origin, PlanOrigin::Measured) << content;
+    };
+
+    // Not JSON at all.
+    planWithCache("complete garbage %%%");
+    // Truncated mid-entry (no closing brace: the scanner must stop).
+    planWithCache("{\"backend\": \"x\", \"entries\": ["
+                  "{\"precision\": \"bf16\", \"ed\": 64, \"nq\": 4, "
+                  "\"strip_rows\": 8,");
+    // Well-formed JSON whose plan is poison (strip_rows 0).
+    planWithCache("{\"backend\": \"x\", \"entries\": ["
+                  "{\"precision\": \"bf16\", \"ed\": 64, \"nq\": 4, "
+                  "\"strip_rows\": 0, \"prefetch_stride\": 0, "
+                  "\"seconds\": 1.0, \"origin\": \"measured\"}]}");
+    // Entry missing required fields.
+    planWithCache("{\"backend\": \"x\", \"entries\": ["
+                  "{\"precision\": \"bf16\", \"ed\": 64}]}");
+
+    std::remove(path);
+    tuner.clear();
 }
 
 TEST(KernelTuner, NoTunerEnvReturnsDefaultsWithoutCaching)

@@ -171,6 +171,26 @@ TEST(Histogram, QuantileAttributesUnderAndOverflowToBounds)
     EXPECT_LE(mid, 0.75);
 }
 
+TEST(Histogram, QuantileIgnoresNonFiniteMass)
+{
+    // A histogram that only ever saw non-finite samples is empty as
+    // far as quantile() is concerned (pinned: returns the empty
+    // sentinel 0, not lo or a poisoned value).
+    Histogram h(1.0, 2.0, 4);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::infinity());
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+
+    // Once finite mass arrives, quantiles are computed over it alone:
+    // the quarantined samples neither shift ranks nor pull toward the
+    // range bounds the infinities would have escaped past.
+    h.add(1.5);
+    EXPECT_EQ(h.count(), 1u);
+    const double q = h.quantile(0.5);
+    EXPECT_GE(q, 1.25);
+    EXPECT_LE(q, 1.75);
+}
+
 TEST(Histogram, QuantileRejectsOutOfRangeProbability)
 {
     Histogram h(0.0, 1.0, 4);
