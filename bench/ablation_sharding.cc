@@ -34,13 +34,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hh"
 #include "bench_util.hh"
 #include "core/column_engine.hh"
 #include "core/sharded_engine.hh"
@@ -199,20 +199,10 @@ runThroughput(serve::LiveServer &server, double rate, double duration,
 int
 main(int argc, char **argv)
 {
-    bool smoke = false;
-    size_t workers = 2;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strcmp(argv[i], "--workers") == 0
-                   && i + 1 < argc) {
-            workers = static_cast<size_t>(std::atoi(argv[++i]));
-        } else {
-            std::fprintf(stderr, "usage: %s [--smoke] [--workers N]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    bench::Args args(argc, argv);
+    const bool smoke = args.flag("smoke");
+    const size_t workers = args.sizeOpt("workers", 2);
+    args.finish();
 
     bench::banner("Sharded vs replicated serving",
                   "Scatter/gather over a sharded KB against "
@@ -332,47 +322,52 @@ main(int argc, char **argv)
     }
     table.print();
 
-    const char *json_path = std::getenv("MNNFAST_BENCH_JSON");
-    if (!json_path)
-        json_path = "BENCH_sharding.json";
-    FILE *json = std::fopen(json_path, "w");
-    if (!json) {
-        std::fprintf(stderr, "cannot open %s for writing\n", json_path);
-        return 1;
-    }
-    std::fprintf(json,
-                 "{\n  \"kb\": {\"ns\": %zu, \"ed\": %zu},\n"
-                 "  \"workers\": %zu,\n  \"max_batch\": %zu,\n"
-                 "  \"burst_rounds\": %zu,\n"
-                 "  \"open_loop_rate_qps\": %.1f,\n"
-                 "  \"single_pass_seconds\": %.9f,\n  \"modes\": [",
-                 ns, ed, workers, max_batch, burst_rounds, rate,
-                 pass_seconds);
-    bool first = true;
+    bench::JsonWriter json(
+        bench::benchJsonPath("BENCH_sharding.json"));
+    json.beginObject();
+    json.key("kb");
+    json.beginObject();
+    json.field("ns", ns);
+    json.field("ed", ed);
+    json.endObject();
+    json.field("workers", workers);
+    json.field("max_batch", max_batch);
+    json.field("burst_rounds", burst_rounds);
+    json.field("open_loop_rate_qps", rate);
+    json.field("single_pass_seconds", pass_seconds);
+    json.key("modes");
+    json.beginArray();
     for (const ModeResult &m : modes) {
-        std::fprintf(
-            json,
-            "%s\n    {\"mode\": \"%s\", \"shards\": %zu,\n"
-            "     \"burst_end_to_end_seconds\": "
-            "{\"mean\": %.9f, \"p50\": %.9f, \"p95\": %.9f},\n"
-            "     \"burst_service_seconds\": "
-            "{\"mean\": %.9f, \"p50\": %.9f, \"p95\": %.9f},\n"
-            "     \"open_loop\": {\"throughput_qps\": %.1f, "
-            "\"completed\": %llu, \"rejected_full\": %llu},\n"
-            "     \"direct_batch_seconds\": %.9f,\n"
-            "     \"max_abs_diff_vs_reference\": %.12g}",
-            first ? "" : ",", m.label.c_str(), m.shards,
-            m.burstE2e.mean, m.burstE2e.p50, m.burstE2e.p95,
-            m.burstService.mean, m.burstService.p50, m.burstService.p95,
-            m.throughputQps, (unsigned long long)m.completed,
-            (unsigned long long)m.rejectedFull, m.directBatchSeconds,
-            m.maxAbsDiff);
-        first = false;
+        json.beginObject();
+        json.field("mode", m.label.c_str());
+        json.field("shards", m.shards);
+        json.key("burst_end_to_end_seconds");
+        json.beginObject();
+        json.field("mean", m.burstE2e.mean);
+        json.field("p50", m.burstE2e.p50);
+        json.field("p95", m.burstE2e.p95);
+        json.endObject();
+        json.key("burst_service_seconds");
+        json.beginObject();
+        json.field("mean", m.burstService.mean);
+        json.field("p50", m.burstService.p50);
+        json.field("p95", m.burstService.p95);
+        json.endObject();
+        json.key("open_loop");
+        json.beginObject();
+        json.field("throughput_qps", m.throughputQps);
+        json.field("completed", size_t(m.completed));
+        json.field("rejected_full", size_t(m.rejectedFull));
+        json.endObject();
+        json.field("direct_batch_seconds", m.directBatchSeconds);
+        json.field("max_abs_diff_vs_reference", m.maxAbsDiff);
+        json.endObject();
     }
-    std::fprintf(json, "\n  ]\n}\n");
-    std::fclose(json);
+    json.endArray();
+    json.endObject();
 
-    std::printf("\nwrote %s (%zu modes)\n", json_path, modes.size());
+    std::printf("\nwrote %s (%zu modes)\n", json.path().c_str(),
+                modes.size());
     std::printf("reading: both modes stream the full KB once per "
                 "batch, so saturated throughput matches; sharded "
                 "scatter/gather serves one batch across all workers "

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Cross-process cluster smoke: fork one real ShardNode process per
+ * shard, serve over TCP on 127.0.0.1 ephemeral ports, gather through
+ * ClusterFrontEnd, and require the result to be bit-identical to the
+ * in-process ShardedEngine over the same partition (DESIGN.md §12).
+ *
+ * This is the leg the loopback tests cannot cover: real sockets, real
+ * process isolation, real byte order on the wire. It runs in CI
+ * (tests/run_checks.sh) and exits nonzero on any divergence.
+ *
+ * Process model: fork() happens before any thread is spawned in the
+ * parent (fork + threads do not mix); each child builds its shard KB
+ * deterministically from the shared seed (no state is inherited
+ * through the fork beyond the port-report pipe), listens on port 0,
+ * writes the bound port up a pipe, then serves until a Shutdown frame.
+ * The parent connects a ClusterFrontEnd over TcpTransport, compares,
+ * shuts the nodes down, and reaps them.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/column_engine.hh"
+#include "core/knowledge_base.hh"
+#include "core/sharded_engine.hh"
+#include "core/sharded_knowledge_base.hh"
+#include "net/cluster_frontend.hh"
+#include "net/tcp_transport.hh"
+#include "net/shard_node.hh"
+#include "util/rng.hh"
+
+using namespace mnnfast;
+
+namespace {
+
+constexpr size_t kSentences = 4096;
+constexpr size_t kDim = 48;
+constexpr size_t kQuestions = 6;
+constexpr size_t kChunk = 256;
+constexpr size_t kShards = 3;
+
+core::KnowledgeBase
+buildKb(core::Precision prec)
+{
+    core::KnowledgeBase kb(kDim, prec);
+    kb.reserve(kSentences);
+    XorShiftRng rng(23);
+    std::vector<float> a(kDim), b(kDim);
+    for (size_t i = 0; i < kSentences; ++i) {
+        for (size_t e = 0; e < kDim; ++e) {
+            a[e] = rng.uniformRange(-0.5f, 0.5f);
+            b[e] = rng.uniformRange(-0.5f, 0.5f);
+        }
+        kb.addSentence(a.data(), b.data());
+    }
+    return kb;
+}
+
+uint32_t
+f32Bits(float v)
+{
+    uint32_t b;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+/** Child body: serve shard `s` on an ephemeral port, report the port
+ *  on `port_fd`, run until Shutdown. Never returns. */
+[[noreturn]] void
+childServe(size_t s, core::Precision prec, int port_fd)
+{
+    const core::KnowledgeBase kb = buildKb(prec);
+    const core::ShardedKnowledgeBase skb(kb, kChunk, kShards);
+    core::EngineConfig ecfg;
+    ecfg.chunkSize = kChunk;
+
+    net::TcpTransport transport;
+    auto listener = transport.listen("127.0.0.1:0");
+    if (!listener) {
+        std::fprintf(stderr, "child %zu: listen failed\n", s);
+        _exit(2);
+    }
+    auto *tcp = static_cast<net::TcpListener *>(listener.get());
+    const uint16_t port = tcp->boundPort();
+    if (write(port_fd, &port, sizeof port)
+        != static_cast<ssize_t>(sizeof port)) {
+        std::fprintf(stderr, "child %zu: port report failed\n", s);
+        _exit(2);
+    }
+    ::close(port_fd);
+
+    net::ShardNode node(skb.shard(s), ecfg,
+                        static_cast<uint32_t>(s));
+    node.serve(*listener);
+    _exit(0);
+}
+
+/** One precision's round trip; returns mismatched value count. */
+size_t
+runOnePrecision(core::Precision prec, const char *name)
+{
+    // Fork every node before the parent creates any thread.
+    std::vector<pid_t> pids;
+    std::vector<int> portFds;
+    for (size_t s = 0; s < kShards; ++s) {
+        int fds[2];
+        if (pipe(fds) != 0)
+            fatal("pipe failed");
+        const pid_t pid = fork();
+        if (pid < 0)
+            fatal("fork failed");
+        if (pid == 0) {
+            ::close(fds[0]);
+            childServe(s, prec, fds[1]);
+        }
+        ::close(fds[1]);
+        pids.push_back(pid);
+        portFds.push_back(fds[0]);
+    }
+
+    net::ClusterConfig ccfg;
+    ccfg.requestTimeoutSeconds = 30.0;
+    ccfg.connectTimeoutSeconds = 5.0;
+    for (size_t s = 0; s < kShards; ++s) {
+        uint16_t port = 0;
+        if (read(portFds[s], &port, sizeof port)
+            != static_cast<ssize_t>(sizeof port))
+            fatal("child %zu never reported a port", s);
+        ::close(portFds[s]);
+        ccfg.replicas.push_back(
+            {"127.0.0.1:" + std::to_string(port)});
+    }
+
+    // Reference answer, fully in process.
+    const core::KnowledgeBase kb = buildKb(prec);
+    const core::ShardedKnowledgeBase skb(kb, kChunk, kShards);
+    core::EngineConfig ecfg;
+    ecfg.chunkSize = kChunk;
+    core::ShardedEngine reference(skb, ecfg);
+
+    XorShiftRng rng(31);
+    std::vector<float> u(kQuestions * kDim);
+    for (float &x : u)
+        x = rng.uniformRange(-1.f, 1.f);
+    std::vector<float> expect(kQuestions * kDim);
+    std::vector<float> got(kQuestions * kDim);
+    reference.inferBatch(u.data(), kQuestions, expect.data());
+
+    size_t mismatches = 0;
+    {
+        net::TcpTransport transport;
+        net::ClusterFrontEnd fe(transport, ccfg);
+        const net::BatchResult r =
+            fe.inferBatch(u.data(), kQuestions, kDim, got.data());
+        if (!r.complete) {
+            std::fprintf(stderr,
+                         "%s: cluster batch incomplete (%u/%zu "
+                         "shards)\n",
+                         name, r.shardsAnswered, kShards);
+            mismatches = expect.size();
+        } else {
+            for (size_t i = 0; i < got.size(); ++i)
+                if (f32Bits(got[i]) != f32Bits(expect[i]))
+                    ++mismatches;
+        }
+        fe.shutdownNodes(2.0);
+    }
+
+    for (pid_t pid : pids) {
+        int status = 0;
+        if (waitpid(pid, &status, 0) != pid)
+            fatal("waitpid failed");
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "%s: node process exited abnormally\n",
+                         name);
+            ++mismatches;
+        }
+    }
+
+    std::printf("%-5s: %zu shard processes over TCP, %zu values, "
+                "%zu mismatches\n",
+                name, kShards, expect.size(), mismatches);
+    return mismatches;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("cluster smoke: %zu-shard scatter/gather across "
+                "processes on 127.0.0.1\n",
+                kShards);
+    size_t mismatches = 0;
+    mismatches += runOnePrecision(core::Precision::F32, "f32");
+    mismatches += runOnePrecision(core::Precision::BF16, "bf16");
+    mismatches += runOnePrecision(core::Precision::I8, "i8");
+    if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "FAIL: cross-process gather diverged from the "
+                     "in-process ShardedEngine\n");
+        return 1;
+    }
+    std::printf("OK: cross-process gather bit-identical to "
+                "ShardedEngine for every precision\n");
+    return 0;
+}

@@ -28,13 +28,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hh"
 #include "bench_util.hh"
 #include "core/column_engine.hh"
 #include "serve/calibrate.hh"
@@ -142,13 +141,16 @@ runOpenLoopLoad(serve::LiveServer &server, double rate, double duration,
 }
 
 void
-quantilesJson(FILE *f, const char *name,
+quantilesJson(bench::JsonWriter &json, const char *name,
               const serve::LatencyQuantiles &q)
 {
-    std::fprintf(f,
-                 "\"%s\": {\"p50\": %.9f, \"p95\": %.9f, "
-                 "\"p99\": %.9f, \"mean\": %.9f}",
-                 name, q.p50, q.p95, q.p99, q.mean);
+    json.key(name);
+    json.beginObject();
+    json.field("p50", q.p50);
+    json.field("p95", q.p95);
+    json.field("p99", q.p99);
+    json.field("mean", q.mean);
+    json.endObject();
 }
 
 } // namespace
@@ -156,26 +158,11 @@ quantilesJson(FILE *f, const char *name,
 int
 main(int argc, char **argv)
 {
-    bool smoke = false;
-    double duration = 1.0;
-    size_t workers = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else if (std::strcmp(argv[i], "--duration") == 0
-                   && i + 1 < argc) {
-            duration = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--workers") == 0
-                   && i + 1 < argc) {
-            workers = static_cast<size_t>(std::atoi(argv[++i]));
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--smoke] [--duration S] "
-                         "[--workers N]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    bench::Args args(argc, argv);
+    const bool smoke = args.flag("smoke");
+    double duration = args.floatOpt("duration", 1.0);
+    const size_t workers = args.sizeOpt("workers", 1);
+    args.finish();
 
     bench::banner("Live serving cross-validation",
                   "Open-loop load against the live runtime vs the "
@@ -307,68 +294,62 @@ main(int argc, char **argv)
     }
     table.print();
 
-    const char *json_path = std::getenv("MNNFAST_BENCH_JSON");
-    if (!json_path)
-        json_path = "BENCH_serving.json";
-    FILE *json = std::fopen(json_path, "w");
-    if (!json) {
-        std::fprintf(stderr, "cannot open %s for writing\n", json_path);
-        return 1;
-    }
-    std::fprintf(json,
-                 "{\n  \"kb\": {\"ns\": %zu, \"ed\": %zu},\n"
-                 "  \"workers\": %zu,\n"
-                 "  \"duration_seconds\": %.3f,\n"
-                 "  \"calibration\": {\"batch_base_seconds\": %.9f, "
-                 "\"per_question_seconds\": %.9f, "
-                 "\"t_small_seconds\": %.9f, "
-                 "\"t_large_seconds\": %.9f},\n"
-                 "  \"points\": [",
-                 ns, ed, workers, duration, fit.batchBaseSeconds,
-                 fit.perQuestionSeconds, fit.smallSeconds,
-                 fit.largeSeconds);
-    bool first = true;
+    bench::JsonWriter json(
+        bench::benchJsonPath("BENCH_serving.json"));
+    json.beginObject();
+    json.key("kb");
+    json.beginObject();
+    json.field("ns", ns);
+    json.field("ed", ed);
+    json.endObject();
+    json.field("workers", workers);
+    json.field("duration_seconds", duration);
+    json.key("calibration");
+    json.beginObject();
+    json.field("batch_base_seconds", fit.batchBaseSeconds);
+    json.field("per_question_seconds", fit.perQuestionSeconds);
+    json.field("t_small_seconds", fit.smallSeconds);
+    json.field("t_large_seconds", fit.largeSeconds);
+    json.endObject();
+    json.key("points");
+    json.beginArray();
     for (const PointResult &p : points) {
-        std::fprintf(json,
-                     "%s\n    {\"policy\": \"%s\", "
-                     "\"max_batch\": %zu, "
-                     "\"batch_timeout_seconds\": %.6f, "
-                     "\"arrival_rate\": %.1f,\n"
-                     "     \"live\": {\"throughput_qps\": %.1f, "
-                     "\"makespan_seconds\": %.6f, "
-                     "\"arrived\": %llu, \"completed\": %llu, "
-                     "\"rejected\": %llu, \"batches\": %llu, "
-                     "\"mean_batch_size\": %.3f,\n      ",
-                     first ? "" : ",", p.policy.label,
-                     p.policy.maxBatch, p.policy.batchTimeout,
-                     p.arrivalRate, p.liveThroughput, p.liveMakespan,
-                     (unsigned long long)p.live.arrived,
-                     (unsigned long long)p.live.completed,
-                     (unsigned long long)p.live.rejected,
-                     (unsigned long long)p.live.batches,
-                     p.live.meanBatchSize);
+        json.beginObject();
+        json.field("policy", p.policy.label);
+        json.field("max_batch", p.policy.maxBatch);
+        json.field("batch_timeout_seconds", p.policy.batchTimeout);
+        json.field("arrival_rate", p.arrivalRate);
+        json.key("live");
+        json.beginObject();
+        json.field("throughput_qps", p.liveThroughput);
+        json.field("makespan_seconds", p.liveMakespan);
+        json.field("arrived", size_t(p.live.arrived));
+        json.field("completed", size_t(p.live.completed));
+        json.field("rejected", size_t(p.live.rejected));
+        json.field("batches", size_t(p.live.batches));
+        json.field("mean_batch_size", p.live.meanBatchSize);
         quantilesJson(json, "queue_wait_seconds", p.live.queueWait);
-        std::fprintf(json, ",\n      ");
         quantilesJson(json, "service_seconds", p.live.service);
-        std::fprintf(json, ",\n      ");
         quantilesJson(json, "end_to_end_seconds", p.live.endToEnd);
-        std::fprintf(json,
-                     "},\n     \"sim\": {\"throughput_qps\": %.1f, "
-                     "\"p50_seconds\": %.9f, \"p95_seconds\": %.9f, "
-                     "\"p99_seconds\": %.9f, "
-                     "\"mean_batch_size\": %.3f, "
-                     "\"utilization\": %.4f},\n"
-                     "     \"throughput_ratio_live_over_sim\": %.4f}",
-                     p.sim.throughputQps, p.sim.p50Latency,
-                     p.sim.p95Latency, p.sim.p99Latency,
-                     p.sim.meanBatchSize, p.sim.utilization,
-                     p.throughputRatio);
-        first = false;
+        json.endObject();
+        json.key("sim");
+        json.beginObject();
+        json.field("throughput_qps", p.sim.throughputQps);
+        json.field("p50_seconds", p.sim.p50Latency);
+        json.field("p95_seconds", p.sim.p95Latency);
+        json.field("p99_seconds", p.sim.p99Latency);
+        json.field("mean_batch_size", p.sim.meanBatchSize);
+        json.field("utilization", p.sim.utilization);
+        json.endObject();
+        json.field("throughput_ratio_live_over_sim",
+                   p.throughputRatio);
+        json.endObject();
     }
-    std::fprintf(json, "\n  ]\n}\n");
-    std::fclose(json);
+    json.endArray();
+    json.endObject();
 
-    std::printf("\nwrote %s (%zu points)\n", json_path, points.size());
+    std::printf("\nwrote %s (%zu points)\n", json.path().c_str(),
+                points.size());
     std::printf("reading: the live/sim throughput ratio validates the "
                 "affine service model against wall-clock reality; "
                 "underloaded points track the arrival rate in both "

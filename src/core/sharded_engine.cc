@@ -46,6 +46,9 @@ ShardedEngine::ShardedEngine(const ShardedKnowledgeBase &skb,
             std::make_unique<ColumnEngine>(skb.shard(s), scfg));
     }
     parts.resize(engines.size());
+    partPtrs.resize(parts.size());
+    for (size_t s = 0; s < parts.size(); ++s)
+        partPtrs[s] = &parts[s];
 
     displayName = "sharded[" + std::to_string(engines.size()) + "]+" +
                   engines.front()->name();
@@ -129,21 +132,23 @@ ShardedEngine::inferBatch(const float *u, size_t nq, float *o)
 }
 
 void
-ShardedEngine::gather(size_t nq, float *o)
+mergeStreamPartials(const StreamPartial *const *parts, size_t nParts,
+                    size_t nq, size_t ed, bool onlineNormalize,
+                    float *o)
 {
     // The same operation sequence as ColumnEngine::inferBatch's group
-    // merge — canonical shard order, psum == 0 skip, one division —
-    // so the sharded result replays the reference merge exactly (see
-    // header).
-    const size_t ed = skb.parent().dim();
-    if (cfg.onlineNormalize) {
+    // merge — caller-given (canonical) order, psum == 0 skip, one
+    // division — so a gather over partials replays the reference
+    // merge exactly (see the file header).
+    if (onlineNormalize) {
         for (size_t q = 0; q < nq; ++q) {
             float gmax = -std::numeric_limits<float>::infinity();
-            for (const StreamPartial &p : parts)
-                gmax = std::max(gmax, p.runMax[q]);
+            for (size_t i = 0; i < nParts; ++i)
+                gmax = std::max(gmax, parts[i]->runMax[q]);
             double s = 0.0;
             blas::zero(o + q * ed, ed);
-            for (const StreamPartial &p : parts) {
+            for (size_t i = 0; i < nParts; ++i) {
+                const StreamPartial &p = *parts[i];
                 if (p.expSum[q] == 0.0)
                     continue;
                 const float scale = std::exp(p.runMax[q] - gmax);
@@ -156,13 +161,21 @@ ShardedEngine::gather(size_t nq, float *o)
         for (size_t q = 0; q < nq; ++q) {
             double s = 0.0;
             blas::zero(o + q * ed, ed);
-            for (const StreamPartial &p : parts) {
+            for (size_t i = 0; i < nParts; ++i) {
+                const StreamPartial &p = *parts[i];
                 s += p.expSum[q];
                 blas::axpy(1.0f, p.o.data() + q * ed, o + q * ed, ed);
             }
             blas::scal(static_cast<float>(1.0 / s), o + q * ed, ed);
         }
     }
+}
+
+void
+ShardedEngine::gather(size_t nq, float *o)
+{
+    mergeStreamPartials(partPtrs.data(), partPtrs.size(), nq,
+                        skb.parent().dim(), cfg.onlineNormalize, o);
 }
 
 } // namespace mnnfast::core

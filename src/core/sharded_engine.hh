@@ -57,6 +57,22 @@
 
 namespace mnnfast::core {
 
+/**
+ * Merge shard StreamPartials — in the order given, which must be the
+ * canonical shard order for bit-identity — with the online-softmax
+ * algebra, and apply the single deferred lazy-softmax division. This
+ * is the one gather implementation: ShardedEngine uses it for its
+ * in-process pool and net::ClusterFrontEnd for partials that crossed
+ * the wire, so the two agree bit-for-bit by construction.
+ *
+ * Every partial must cover `nq` questions of dimension `ed`.
+ * `onlineNormalize` must match the engine config the partials were
+ * produced under (it decides whether runMax rescaling applies).
+ */
+void mergeStreamPartials(const StreamPartial *const *parts,
+                         size_t nParts, size_t nq, size_t ed,
+                         bool onlineNormalize, float *o);
+
 /** Scatter/gather engine over a ShardedKnowledgeBase. See header. */
 class ShardedEngine : public InferenceEngine
 {
@@ -97,6 +113,7 @@ class ShardedEngine : public InferenceEngine
     runtime::ThreadPool pool;
     std::vector<std::unique_ptr<ColumnEngine>> engines;
     std::vector<StreamPartial> parts; ///< slot s = shard s (reused)
+    std::vector<const StreamPartial *> partPtrs; ///< parts, for merge
     std::string displayName;
 };
 

@@ -1,0 +1,440 @@
+#include "net/cluster_frontend.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace mnnfast::net {
+
+namespace detail {
+
+/**
+ * Per-shard fetch state, owned by one fetch thread (single writer;
+ * the front end reads only between batches). Holds the connection,
+ * replica cursor, hedge latency model, RPC counters, and the batch's
+ * result slot.
+ */
+struct ShardFetcher
+{
+    size_t shard = 0;
+    std::vector<std::string> replicas;
+    size_t current = 0; ///< replica cursor (advanced by failover)
+
+    std::unique_ptr<Channel> channel;      ///< current replica
+    std::unique_ptr<Channel> hedgeChannel; ///< outstanding backup
+    size_t hedgeReplica = 0;
+
+    /** Observed RPC latencies; drives the hedge delay quantile. */
+    stats::Histogram rpcLatency;
+    static constexpr uint64_t kMinSamplesForQuantile = 16;
+
+    /** Per-shard counters + anything else the recorder tracks. */
+    serve::LatencyRecorder recorder;
+
+    // Result slot for the in-flight batch.
+    core::StreamPartial partial;
+    bool answered = false;
+
+    explicit ShardFetcher(double timeout_seconds)
+        : rpcLatency(0.0, std::max(timeout_seconds, 1e-3), 512)
+    {
+    }
+};
+
+} // namespace detail
+
+namespace {
+
+/** Recv slice while racing a primary against a hedge connection. */
+constexpr double kHedgeRaceSliceSeconds = 1e-3;
+
+} // namespace
+
+ClusterFrontEnd::ClusterFrontEnd(Transport &transport_,
+                                 const ClusterConfig &cfg_)
+    : transport(transport_), cfg(cfg_)
+{
+    if (cfg.replicas.empty())
+        fatal("cluster front end needs at least one shard");
+    if (cfg.replicas.size() > 32)
+        fatal("cluster front end supports at most 32 shards (got %zu)",
+              cfg.replicas.size());
+    for (size_t s = 0; s < cfg.replicas.size(); ++s)
+        if (cfg.replicas[s].empty())
+            fatal("shard %zu has no replica endpoints", s);
+
+    fetchers.reserve(cfg.replicas.size());
+    for (size_t s = 0; s < cfg.replicas.size(); ++s) {
+        auto f = std::make_unique<detail::ShardFetcher>(
+            cfg.requestTimeoutSeconds);
+        f->shard = s;
+        f->replicas = cfg.replicas[s];
+        fetchers.push_back(std::move(f));
+    }
+    threads.reserve(fetchers.size());
+    for (size_t s = 0; s < fetchers.size(); ++s)
+        threads.emplace_back([this, s] { fetchLoop(s); });
+}
+
+ClusterFrontEnd::~ClusterFrontEnd()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+size_t
+ClusterFrontEnd::shardCount() const
+{
+    return fetchers.size();
+}
+
+/**
+ * Run one shard's fetch state machine for the published job:
+ * connect/failover, send, hedge at the latency quantile, dedup by
+ * requestId, until a valid response or the batch deadline. Static
+ * free-function shape keeps the locking story obvious: everything
+ * here touches only the fetcher (single-owner) and the transport
+ * (thread-safe connect).
+ */
+namespace {
+
+struct FetchContext
+{
+    Transport &transport;
+    const ClusterConfig &cfg;
+    const float *u;
+    size_t nq;
+    size_t ed;
+    uint64_t requestId;
+    NetClock::time_point deadline;
+};
+
+ScatterRequest
+buildRequest(const FetchContext &ctx, uint32_t shard)
+{
+    ScatterRequest req;
+    req.requestId = ctx.requestId;
+    req.shard = shard;
+    req.nq = static_cast<uint32_t>(ctx.nq);
+    req.ed = static_cast<uint32_t>(ctx.ed);
+    req.u.assign(ctx.u, ctx.u + ctx.nq * ctx.ed);
+    return req;
+}
+
+/** Connect to replica `r` within the connect budget and deadline. */
+std::unique_ptr<Channel>
+connectReplica(const FetchContext &ctx, detail::ShardFetcher &f,
+               size_t r)
+{
+    const NetClock::time_point connectDeadline = std::min(
+        ctx.deadline, deadlineIn(ctx.cfg.connectTimeoutSeconds));
+    return ctx.transport.connect(f.replicas[r % f.replicas.size()],
+                                 connectDeadline);
+}
+
+/** The hedge delay: a quantile of observed latencies, floored. */
+double
+hedgeDelaySeconds(const ClusterConfig &cfg,
+                  const detail::ShardFetcher &f)
+{
+    if (f.rpcLatency.count()
+        < detail::ShardFetcher::kMinSamplesForQuantile)
+        return cfg.hedgeMinSeconds;
+    return std::max(cfg.hedgeMinSeconds,
+                    f.rpcLatency.quantile(cfg.hedgeQuantile));
+}
+
+/**
+ * Try to pull a valid response for `ctx.requestId` off `ch` before
+ * `until`. Returns Ok only for the matching id (stale ids are
+ * discarded and the wait continues); Timeout/Closed/Corrupt pass
+ * through for the caller's failover logic.
+ */
+RecvStatus
+recvResponse(const FetchContext &ctx, detail::ShardFetcher &f,
+             Channel &ch, NetClock::time_point until,
+             core::StreamPartial &out)
+{
+    Frame frame;
+    for (;;) {
+        const RecvStatus st = ch.recv(frame, until);
+        if (st != RecvStatus::Ok)
+            return st;
+        if (frame.type != FrameType::PartialResponse)
+            return RecvStatus::Corrupt; // protocol violation
+        PartialResponse resp;
+        if (decodePartialResponse(frame, resp) != WireStatus::Ok)
+            return RecvStatus::Corrupt;
+        if (resp.requestId != ctx.requestId)
+            continue; // stale (earlier batch / settled hedge): discard
+        if (resp.shard != f.shard || resp.nq != ctx.nq
+            || resp.ed != ctx.ed)
+            return RecvStatus::Corrupt; // wrong shard or shape
+        out = std::move(resp.partial);
+        return RecvStatus::Ok;
+    }
+}
+
+/** One shard's fetch for one batch; true when a partial landed. */
+bool
+fetchShard(const FetchContext &ctx, detail::ShardFetcher &f)
+{
+    serve::RpcShardCounters &c = f.recorder.rpcShard(f.shard);
+    const Frame reqFrame =
+        encodeScatterRequest(buildRequest(ctx, f.shard));
+    Timer rpcTimer;
+
+    // Outer loop: one iteration per (re)send on the current primary.
+    bool sentOnce = false;
+    while (NetClock::now() < ctx.deadline) {
+        // Ensure a primary connection, failing over on dead replicas.
+        // The short sleep keeps an all-replicas-down shard from
+        // spinning through its deadline (loopback connects to a
+        // missing endpoint fail instantly).
+        if (!f.channel) {
+            f.channel = connectReplica(ctx, f, f.current);
+            if (!f.channel) {
+                f.current = (f.current + 1) % f.replicas.size();
+                ++c.failovers;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                continue;
+            }
+        }
+        if (!f.channel->send(reqFrame)) {
+            f.channel.reset();
+            f.current = (f.current + 1) % f.replicas.size();
+            ++c.failovers;
+            continue;
+        }
+        ++c.rpcs;
+        if (!sentOnce) {
+            sentOnce = true;
+            rpcTimer.reset();
+        }
+
+        // Phase 1: wait on the primary alone until the hedge point.
+        const bool canHedge =
+            ctx.cfg.hedging && f.replicas.size() > 1 && !f.hedgeChannel;
+        NetClock::time_point hedgeAt = ctx.deadline;
+        if (canHedge)
+            hedgeAt = std::min(
+                ctx.deadline, deadlineIn(hedgeDelaySeconds(ctx.cfg, f)));
+
+        const RecvStatus first = recvResponse(
+            ctx, f, *f.channel,
+            f.hedgeChannel ? NetClock::now() : hedgeAt, f.partial);
+        if (first == RecvStatus::Ok) {
+            f.rpcLatency.add(rpcTimer.seconds());
+            if (f.hedgeChannel) {
+                f.hedgeChannel->close();
+                f.hedgeChannel.reset();
+            }
+            return true;
+        }
+        if (first == RecvStatus::Closed || first == RecvStatus::Corrupt) {
+            f.channel.reset();
+            f.current = (f.current + 1) % f.replicas.size();
+            ++c.failovers;
+            continue;
+        }
+
+        // Phase 2: fire the hedge and race both connections with
+        // short alternating recv slices until the deadline.
+        if (canHedge && NetClock::now() >= hedgeAt) {
+            f.hedgeReplica = (f.current + 1) % f.replicas.size();
+            f.hedgeChannel = connectReplica(ctx, f, f.hedgeReplica);
+            if (f.hedgeChannel) {
+                if (f.hedgeChannel->send(reqFrame)) {
+                    ++c.hedgesFired;
+                    ++c.rpcs;
+                } else {
+                    f.hedgeChannel.reset();
+                }
+            }
+        }
+        while (NetClock::now() < ctx.deadline) {
+            const RecvStatus pst = recvResponse(
+                ctx, f, *f.channel,
+                std::min(ctx.deadline,
+                         deadlineIn(kHedgeRaceSliceSeconds)),
+                f.partial);
+            if (pst == RecvStatus::Ok) {
+                f.rpcLatency.add(rpcTimer.seconds());
+                if (f.hedgeChannel) {
+                    f.hedgeChannel->close();
+                    f.hedgeChannel.reset();
+                }
+                return true;
+            }
+            if (pst == RecvStatus::Closed || pst == RecvStatus::Corrupt) {
+                f.channel.reset();
+                break; // fail over below (hedge may still win first)
+            }
+            if (!f.hedgeChannel)
+                continue;
+            const RecvStatus hst = recvResponse(
+                ctx, f, *f.hedgeChannel,
+                std::min(ctx.deadline,
+                         deadlineIn(kHedgeRaceSliceSeconds)),
+                f.partial);
+            if (hst == RecvStatus::Ok) {
+                // Hedge win: promote the backup replica to primary.
+                f.rpcLatency.add(rpcTimer.seconds());
+                ++c.hedgeWins;
+                if (f.channel)
+                    f.channel->close();
+                f.channel = std::move(f.hedgeChannel);
+                f.current = f.hedgeReplica;
+                return true;
+            }
+            if (hst == RecvStatus::Closed || hst == RecvStatus::Corrupt)
+                f.hedgeChannel.reset();
+            if (!f.channel && !f.hedgeChannel)
+                break; // both paths dead: reconnect and resend
+        }
+        if (!f.channel) {
+            f.current = (f.current + 1) % f.replicas.size();
+            ++c.failovers;
+        }
+        if (f.channel && NetClock::now() < ctx.deadline) {
+            // Primary alive but silent and the hedge settled nothing:
+            // keep waiting on it (no resend — the request is still
+            // outstanding and a resend would only duplicate work).
+            continue;
+        }
+    }
+
+    ++c.deadlineMisses;
+    if (f.hedgeChannel) {
+        f.hedgeChannel->close();
+        f.hedgeChannel.reset();
+    }
+    return false;
+}
+
+} // namespace
+
+void
+ClusterFrontEnd::fetchLoop(size_t s)
+{
+    detail::ShardFetcher &f = *fetchers[s];
+    uint64_t seen = 0;
+    for (;;) {
+        BatchJob local;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            workCv.wait(lock, [&] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                break;
+            seen = generation;
+            local = job;
+        }
+
+        FetchContext ctx{transport, cfg,          local.u,
+                         local.nq,  local.ed,     local.requestId,
+                         local.deadline};
+        f.answered = fetchShard(ctx, f);
+
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --pendingShards;
+        }
+        doneCv.notify_one();
+    }
+    if (f.channel)
+        f.channel->close();
+    if (f.hedgeChannel)
+        f.hedgeChannel->close();
+}
+
+BatchResult
+ClusterFrontEnd::inferBatch(const float *u, size_t nq, size_t ed,
+                            float *o)
+{
+    mnn_assert(nq > 0 && ed > 0, "empty cluster batch");
+    Timer timer;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        job.u = u;
+        job.nq = nq;
+        job.ed = ed;
+        job.requestId = nextRequestId++;
+        job.deadline = deadlineIn(cfg.requestTimeoutSeconds);
+        ++generation;
+        pendingShards = fetchers.size();
+    }
+    workCv.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        doneCv.wait(lock, [&] { return pendingShards == 0; });
+    }
+
+    BatchResult result;
+    std::vector<const core::StreamPartial *> parts;
+    parts.reserve(fetchers.size());
+    for (size_t s = 0; s < fetchers.size(); ++s) {
+        if (!fetchers[s]->answered)
+            continue;
+        parts.push_back(&fetchers[s]->partial);
+        result.shardMask |= uint32_t{1} << s;
+        ++result.shardsAnswered;
+    }
+    result.complete = result.shardsAnswered == fetchers.size();
+
+    const bool merge =
+        result.complete
+        || (cfg.allowPartial && result.shardsAnswered > 0);
+    if (merge)
+        core::mergeStreamPartials(parts.data(), parts.size(), nq, ed,
+                                  cfg.onlineNormalize, o);
+    else
+        result.shardsAnswered = 0; // failed closed; o untouched
+
+    const double seconds = timer.seconds();
+    recorder.recordBatch(nq);
+    recorder.recordRequest(0.0, seconds, seconds);
+    if (merge && !result.complete)
+        recorder.recordPartialAnswers(nq);
+    return result;
+}
+
+serve::LatencySnapshot
+ClusterFrontEnd::snapshot() const
+{
+    serve::LatencyRecorder acc(1.0, 4096);
+    recorder.mergeInto(acc);
+    for (const auto &f : fetchers)
+        f->recorder.mergeInto(acc);
+    // Every shard gets a slot even before its first RPC.
+    acc.rpcShard(fetchers.size() - 1);
+    return acc.snapshot();
+}
+
+void
+ClusterFrontEnd::shutdownNodes(double timeoutSeconds)
+{
+    const Frame bye{FrameType::Shutdown, {}};
+    for (const auto &f : fetchers) {
+        for (const std::string &ep : f->replicas) {
+            std::unique_ptr<Channel> ch = transport.connect(
+                ep, deadlineIn(timeoutSeconds));
+            if (ch)
+                ch->send(bye);
+        }
+    }
+}
+
+} // namespace mnnfast::net

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Cluster front end: scatters a question batch to one ShardNode per
+ * shard over a Transport, gathers the StreamPartials, and merges them
+ * with core::mergeStreamPartials — the same canonical-shard-order
+ * online-softmax merge ShardedEngine runs in process (DESIGN.md §12).
+ *
+ * Bit-identity. Over a lossless transport with every shard answering,
+ * inferBatch is bit-identical to ShardedEngine::inferBatch over the
+ * same partition and config: the nodes' single-group engines produce
+ * the exact shard accumulators, the wire carries their IEEE-754 bit
+ * patterns unchanged, and the merge is literally the same function in
+ * the same order. Tests and the cluster bench enforce this across
+ * shard counts and KB precisions.
+ *
+ * Failure handling (production-honest, per shard):
+ *
+ *  - Replica sets. Each shard lists one or more replica endpoints.
+ *    A fetch holds a connection to its current replica; on a
+ *    disconnect, a corrupt stream, or an exhausted attempt window it
+ *    *fails over* — closes the channel, advances to the next replica
+ *    (round robin), reconnects, and resends the same request.
+ *    Requests are idempotent pure compute, so resends need no
+ *    coordination; responses are deduplicated by requestId, and a
+ *    stale response (an earlier batch's id) is discarded, never
+ *    merged.
+ *
+ *  - Hedged requests. When a shard's response has not arrived by the
+ *    hedge delay — a configured quantile of that shard's observed RPC
+ *    latencies (a floor until enough samples exist) — the fetch sends
+ *    a backup request with the same id to the *next* replica and then
+ *    races the two connections, alternating short recv slices. The
+ *    first valid response wins; a hedge win promotes the backup
+ *    replica to current. At most two requests are ever outstanding
+ *    per shard.
+ *
+ *  - Partial answers. A shard that misses the batch deadline on every
+ *    path is recorded as missing. Policy is explicit: with
+ *    allowPartial the gather merges the shards that did answer (still
+ *    in canonical order) and flags the batch partial, with the
+ *    contributing set in BatchResult::shardMask; without it the batch
+ *    fails closed (complete = false, output untouched). Either way
+ *    nothing silently pretends the full KB was consulted.
+ *
+ * Observability: every fetch counts rpcs, hedges fired, hedge wins,
+ * failovers, and deadline misses into per-shard RpcShardCounters
+ * (serve::LatencyRecorder), and the front end records per-batch
+ * latency; snapshot() merges it all into one LatencySnapshot whose
+ * JSON feeds BENCH_cluster.json. snapshot() must not race inferBatch
+ * — call it between batches (the serving layer above owns pacing).
+ */
+
+#ifndef MNNFAST_NET_CLUSTER_FRONTEND_HH
+#define MNNFAST_NET_CLUSTER_FRONTEND_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_engine.hh"
+#include "net/transport.hh"
+#include "serve/latency_recorder.hh"
+#include "stats/histogram.hh"
+
+namespace mnnfast::net {
+
+/** Front-end tunables; replicas[s] lists shard s's endpoints. */
+struct ClusterConfig
+{
+    /** Replica endpoints per shard, in failover order; every shard
+     *  needs at least one. At most 32 shards (BatchResult::shardMask
+     *  is one bit per shard). */
+    std::vector<std::vector<std::string>> replicas;
+
+    /** Batch deadline: a shard silent past this is a deadline miss. */
+    double requestTimeoutSeconds = 1.0;
+    /** Per-attempt connect budget (also capped by the deadline). */
+    double connectTimeoutSeconds = 0.25;
+
+    /** Enable hedged backup requests (needs >= 2 replicas). */
+    bool hedging = true;
+    /** Hedge when the RPC is slower than this quantile of the shard's
+     *  observed latencies. */
+    double hedgeQuantile = 0.95;
+    /** Hedge delay floor, and the delay until enough samples exist. */
+    double hedgeMinSeconds = 1e-3;
+
+    /** Merge a strict subset of shards after the deadline instead of
+     *  failing the batch. See the partial-answer policy above. */
+    bool allowPartial = false;
+
+    /** Must match the node engines' EngineConfig::onlineNormalize —
+     *  it selects the merge algebra. */
+    bool onlineNormalize = false;
+};
+
+/** Outcome of one scattered batch. */
+struct BatchResult
+{
+    /** Every shard contributed (bit-identity holds iff true). */
+    bool complete = false;
+    /** Shards merged into the answer; 0 means the batch failed and
+     *  the output buffer was not written. */
+    uint32_t shardsAnswered = 0;
+    /** Bit s set = shard s contributed. */
+    uint32_t shardMask = 0;
+};
+
+namespace detail {
+struct ShardFetcher;
+}
+
+/** Scatter/gather client over N shard nodes. See file header. */
+class ClusterFrontEnd
+{
+  public:
+    /**
+     * Starts one fetch thread per shard. `transport` must outlive
+     * the front end. Fatal on an empty or oversized replica table.
+     */
+    ClusterFrontEnd(Transport &transport, const ClusterConfig &cfg);
+    ~ClusterFrontEnd();
+
+    ClusterFrontEnd(const ClusterFrontEnd &) = delete;
+    ClusterFrontEnd &operator=(const ClusterFrontEnd &) = delete;
+
+    /**
+     * Scatter `u` (nq x ed questions) to every shard, gather, merge
+     * into `o` (nq x ed). Blocks until every shard answered or the
+     * batch deadline passed. Not thread-safe (one batch at a time).
+     */
+    BatchResult inferBatch(const float *u, size_t nq, size_t ed,
+                           float *o);
+
+    /** Shard count (== cfg.replicas.size()). */
+    size_t shardCount() const;
+
+    /** Merged latency + per-shard RPC counter snapshot. Must not
+     *  race inferBatch (call between batches). */
+    serve::LatencySnapshot snapshot() const;
+
+    /**
+     * Best-effort Shutdown frame to every replica of every shard
+     * (fresh connections, short deadline) — how a driver stops the
+     * node processes it spawned.
+     */
+    void shutdownNodes(double timeoutSeconds = 1.0);
+
+  private:
+    Transport &transport;
+    ClusterConfig cfg;
+
+    // Batch hand-off: the front end publishes a job and bumps
+    // `generation`; each fetch thread runs it and reports done.
+    struct BatchJob
+    {
+        const float *u = nullptr;
+        size_t nq = 0;
+        size_t ed = 0;
+        uint64_t requestId = 0;
+        NetClock::time_point deadline;
+    };
+    mutable std::mutex mutex;
+    std::condition_variable workCv;
+    std::condition_variable doneCv;
+    BatchJob job;
+    uint64_t generation = 0;
+    size_t pendingShards = 0;
+    bool stopping = false;
+
+    uint64_t nextRequestId = 1;
+
+    std::vector<std::unique_ptr<detail::ShardFetcher>> fetchers;
+    std::vector<std::thread> threads;
+
+    serve::LatencyRecorder recorder; ///< per-batch latency + partials
+
+    void fetchLoop(size_t s);
+};
+
+} // namespace mnnfast::net
+
+#endif // MNNFAST_NET_CLUSTER_FRONTEND_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * In-process loopback transport with seeded, deterministic fault
+ * injection — the test/bench double of the TCP transport
+ * (DESIGN.md §12).
+ *
+ * A LoopbackNetwork is a process-local namespace of endpoints. A
+ * LoopbackTransport connects/listens against one network; every
+ * connection is a pair of directed in-memory pipes carrying the
+ * *encoded* wire bytes (send runs the real frame encoder, recv the
+ * real decoder), so loopback traffic exercises exactly the byte path
+ * sockets do — CRC validation included.
+ *
+ * Fault injection. Each direction of a connection owns a FaultSpec
+ * and an XorShiftRng seeded from (transport seed, connection index,
+ * direction). On every send the injector draws, in a fixed order —
+ * loss, disconnect, straggler, jitter — regardless of which faults
+ * are enabled, so the random stream consumed per message is constant
+ * and the whole delivery schedule is a pure function of (seed, spec,
+ * send sequence). The draws yield per message:
+ *
+ *   - dropped: the message silently vanishes (packet loss);
+ *   - disconnected: the connection breaks — both directions close and
+ *     all in-flight messages are discarded (a crashed peer);
+ *   - delay: base latency + optional straggler latency + uniform
+ *     jitter; the message is delivered `delay` after the send.
+ *
+ * Delivery order is by (delivery time, send sequence), so jittered or
+ * straggler-hit messages *reorder* naturally — a later send with a
+ * smaller delay overtakes. Every draw is appended to the direction's
+ * FaultEvent log, which tests read to (a) assert that the same seed
+ * reproduces the same schedule bit-for-bit and (b) predict the exact
+ * delivery order the receiver must observe.
+ *
+ * Per-endpoint FaultSpec overrides (setEndpointFaults) let a scenario
+ * degrade a single replica — e.g. a straggling primary with a clean
+ * hedge target — while the rest of the cluster stays lossless.
+ */
+
+#ifndef MNNFAST_NET_LOOPBACK_TRANSPORT_HH
+#define MNNFAST_NET_LOOPBACK_TRANSPORT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/transport.hh"
+#include "util/rng.hh"
+
+namespace mnnfast::net {
+
+/** Per-direction fault model; all-zero (the default) is a lossless,
+ *  zero-latency wire. Probabilities are per message. */
+struct FaultSpec
+{
+    double baseLatencySeconds = 0.0; ///< every message waits this long
+    double jitterSeconds = 0.0;      ///< + uniform [0, jitter)
+    double stragglerProb = 0.0;      ///< chance of a straggler message
+    double stragglerLatencySeconds = 0.0; ///< + this when it fires
+    double lossProb = 0.0;           ///< chance the message vanishes
+    double disconnectProb = 0.0;     ///< chance the connection breaks
+};
+
+/** One send's injected fate (the delivery schedule, see header). */
+struct FaultEvent
+{
+    uint64_t seq = 0;       ///< send sequence number (per direction)
+    double delaySeconds = 0.0;
+    bool dropped = false;
+    bool disconnected = false;
+};
+
+namespace detail {
+struct LoopbackPipe;
+struct LoopbackConnection;
+struct LoopbackEndpoint;
+struct LoopbackNetworkState;
+} // namespace detail
+
+/** Process-local endpoint namespace; transports share one by ref. */
+class LoopbackNetwork
+{
+  public:
+    LoopbackNetwork();
+    ~LoopbackNetwork();
+
+    LoopbackNetwork(const LoopbackNetwork &) = delete;
+    LoopbackNetwork &operator=(const LoopbackNetwork &) = delete;
+
+  private:
+    friend class LoopbackTransport;
+    std::shared_ptr<detail::LoopbackNetworkState> state;
+};
+
+/** Channel over a loopback connection; exposes the fault log of its
+ *  outbound direction for schedule-determinism tests. */
+class LoopbackChannel : public Channel
+{
+  public:
+    LoopbackChannel(std::shared_ptr<detail::LoopbackPipe> send_pipe,
+                    std::shared_ptr<detail::LoopbackPipe> recv_pipe);
+    ~LoopbackChannel() override;
+
+    bool send(const Frame &frame) override;
+    RecvStatus recv(Frame &out, NetClock::time_point deadline) override;
+    void close() override;
+
+    /** Copy of this side's send-direction fault log. */
+    std::vector<FaultEvent> faultLog() const;
+
+  private:
+    std::shared_ptr<detail::LoopbackPipe> sendPipe;
+    std::shared_ptr<detail::LoopbackPipe> recvPipe;
+};
+
+/**
+ * Loopback transport: connect/listen on a LoopbackNetwork with this
+ * transport's fault model. The faults of both directions of a
+ * connection come from the *connecting* transport (the accept side
+ * inherits them), so a front end's transport decides how each node
+ * link misbehaves.
+ */
+class LoopbackTransport : public Transport
+{
+  public:
+    /**
+     * @param network Endpoint namespace (must outlive the transport).
+     * @param faults  Default per-direction fault model.
+     * @param seed    Base seed; connection i's directions draw from
+     *                seeds mixed from (seed, i, direction), so a
+     *                transport replays identically given the same
+     *                connect order and per-connection send sequences.
+     */
+    explicit LoopbackTransport(LoopbackNetwork &network,
+                               const FaultSpec &faults = {},
+                               uint64_t seed = 1);
+
+    /** Override the fault model for connections to one endpoint. */
+    void setEndpointFaults(const std::string &endpoint,
+                           const FaultSpec &faults);
+
+    std::unique_ptr<Channel> connect(const std::string &endpoint,
+                                     NetClock::time_point deadline) override;
+    std::unique_ptr<Listener> listen(const std::string &endpoint) override;
+
+  private:
+    std::shared_ptr<detail::LoopbackNetworkState> net;
+    FaultSpec defaultFaults;
+    uint64_t seed;
+    std::mutex mutex; ///< guards overrides + connection counter
+    std::map<std::string, FaultSpec> overrides;
+    uint64_t connections = 0;
+};
+
+} // namespace mnnfast::net
+
+#endif // MNNFAST_NET_LOOPBACK_TRANSPORT_HH

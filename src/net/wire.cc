@@ -1,0 +1,352 @@
+#include "net/wire.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mnnfast::net {
+
+namespace {
+
+// ---- little-endian scalar packing -------------------------------------
+
+void
+put16(std::vector<uint8_t> &b, uint16_t v)
+{
+    b.push_back(uint8_t(v & 0xff));
+    b.push_back(uint8_t(v >> 8));
+}
+
+void
+put32(std::vector<uint8_t> &b, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b.push_back(uint8_t((v >> (8 * i)) & 0xff));
+}
+
+void
+put64(std::vector<uint8_t> &b, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b.push_back(uint8_t((v >> (8 * i)) & 0xff));
+}
+
+void
+putF32(std::vector<uint8_t> &b, float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put32(b, bits);
+}
+
+void
+putF64(std::vector<uint8_t> &b, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put64(b, bits);
+}
+
+uint16_t
+get16(const uint8_t *p)
+{
+    return uint16_t(p[0]) | uint16_t(p[1]) << 8;
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+float
+getF32(const uint8_t *p)
+{
+    const uint32_t bits = get32(p);
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+double
+getF64(const uint8_t *p)
+{
+    const uint64_t bits = get64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+bool
+knownType(uint16_t t)
+{
+    switch (static_cast<FrameType>(t)) {
+    case FrameType::ScatterRequest:
+    case FrameType::PartialResponse:
+    case FrameType::Shutdown:
+        return true;
+    }
+    return false;
+}
+
+/** Bounds-checked sequential payload reader. */
+class Reader
+{
+  public:
+    Reader(const uint8_t *data, size_t n) : p(data), left(n) {}
+
+    bool u32(uint32_t &v) { return scalar(4, [&] { v = get32(p); }); }
+    bool u64(uint64_t &v) { return scalar(8, [&] { v = get64(p); }); }
+
+    bool
+    f32Array(float *out, size_t count)
+    {
+        if (left < 4 * count)
+            return false;
+        for (size_t i = 0; i < count; ++i)
+            out[i] = getF32(p + 4 * i);
+        p += 4 * count;
+        left -= 4 * count;
+        return true;
+    }
+
+    bool
+    f64Array(double *out, size_t count)
+    {
+        if (left < 8 * count)
+            return false;
+        for (size_t i = 0; i < count; ++i)
+            out[i] = getF64(p + 8 * i);
+        p += 8 * count;
+        left -= 8 * count;
+        return true;
+    }
+
+    bool done() const { return left == 0; }
+
+  private:
+    template <typename Fn>
+    bool
+    scalar(size_t bytes, Fn &&read)
+    {
+        if (left < bytes)
+            return false;
+        read();
+        p += bytes;
+        left -= bytes;
+        return true;
+    }
+
+    const uint8_t *p;
+    size_t left;
+};
+
+} // namespace
+
+const char *
+wireStatusName(WireStatus s)
+{
+    switch (s) {
+    case WireStatus::Ok: return "ok";
+    case WireStatus::BadMagic: return "bad-magic";
+    case WireStatus::BadVersion: return "bad-version";
+    case WireStatus::BadType: return "bad-type";
+    case WireStatus::BadLength: return "bad-length";
+    case WireStatus::Truncated: return "truncated";
+    case WireStatus::BadCrc: return "bad-crc";
+    case WireStatus::Malformed: return "malformed";
+    }
+    return "unknown";
+}
+
+uint32_t
+crc32(const uint8_t *data, size_t n)
+{
+    // Table-driven reflected CRC-32 (polynomial 0xEDB88320), the
+    // IEEE 802.3 checksum. Built once, thread-safely, on first use.
+    static const uint32_t *table = [] {
+        static uint32_t t[256];
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t>
+encodeFrame(const Frame &frame)
+{
+    mnn_assert(frame.payload.size() <= kMaxPayloadBytes,
+               "frame payload exceeds the wire-format bound");
+    std::vector<uint8_t> out;
+    out.reserve(kHeaderBytes + frame.payload.size());
+    put32(out, kWireMagic);
+    put16(out, kWireVersion);
+    put16(out, static_cast<uint16_t>(frame.type));
+    put32(out, static_cast<uint32_t>(frame.payload.size()));
+    put32(out, crc32(frame.payload.data(), frame.payload.size()));
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+    return out;
+}
+
+WireStatus
+decodeHeader(const uint8_t *data, size_t n, FrameHeader &out)
+{
+    if (n < kHeaderBytes)
+        return WireStatus::Truncated;
+    if (get32(data) != kWireMagic)
+        return WireStatus::BadMagic;
+    if (get16(data + 4) != kWireVersion)
+        return WireStatus::BadVersion;
+    const uint16_t type = get16(data + 6);
+    if (!knownType(type))
+        return WireStatus::BadType;
+    const uint32_t len = get32(data + 8);
+    if (size_t{len} > kMaxPayloadBytes)
+        return WireStatus::BadLength;
+    out.type = static_cast<FrameType>(type);
+    out.payloadLen = len;
+    out.payloadCrc = get32(data + 12);
+    return WireStatus::Ok;
+}
+
+WireStatus
+decodePayload(const FrameHeader &header, std::vector<uint8_t> &&payload,
+              Frame &out)
+{
+    if (payload.size() != header.payloadLen)
+        return WireStatus::BadLength;
+    if (crc32(payload.data(), payload.size()) != header.payloadCrc)
+        return WireStatus::BadCrc;
+    out.type = header.type;
+    out.payload = std::move(payload);
+    return WireStatus::Ok;
+}
+
+WireStatus
+decodeFrame(const uint8_t *data, size_t n, Frame &out)
+{
+    FrameHeader header;
+    const WireStatus hs = decodeHeader(data, n, header);
+    if (hs != WireStatus::Ok)
+        return hs;
+    if (n < kHeaderBytes + size_t{header.payloadLen})
+        return WireStatus::Truncated;
+    if (n > kHeaderBytes + size_t{header.payloadLen})
+        return WireStatus::BadLength;
+    std::vector<uint8_t> payload(data + kHeaderBytes, data + n);
+    return decodePayload(header, std::move(payload), out);
+}
+
+Frame
+encodeScatterRequest(const ScatterRequest &req)
+{
+    mnn_assert(req.u.size() == size_t{req.nq} * req.ed,
+               "scatter request question buffer size mismatch");
+    Frame f;
+    f.type = FrameType::ScatterRequest;
+    f.payload.reserve(8 + 4 * 3 + 4 * req.u.size());
+    put64(f.payload, req.requestId);
+    put32(f.payload, req.shard);
+    put32(f.payload, req.nq);
+    put32(f.payload, req.ed);
+    for (float x : req.u)
+        putF32(f.payload, x);
+    return f;
+}
+
+WireStatus
+decodeScatterRequest(const Frame &frame, ScatterRequest &out)
+{
+    if (frame.type != FrameType::ScatterRequest)
+        return WireStatus::BadType;
+    Reader r(frame.payload.data(), frame.payload.size());
+    ScatterRequest req;
+    if (!r.u64(req.requestId) || !r.u32(req.shard) || !r.u32(req.nq)
+        || !r.u32(req.ed))
+        return WireStatus::Malformed;
+    if (req.nq == 0 || req.ed == 0)
+        return WireStatus::Malformed;
+    const size_t count = size_t{req.nq} * req.ed;
+    if (frame.payload.size() != 8 + 4 * 3 + 4 * count)
+        return WireStatus::Malformed;
+    req.u.resize(count);
+    if (!r.f32Array(req.u.data(), count) || !r.done())
+        return WireStatus::Malformed;
+    out = std::move(req);
+    return WireStatus::Ok;
+}
+
+Frame
+encodePartialResponse(const PartialResponse &resp)
+{
+    const size_t nq = resp.nq;
+    const size_t oCount = nq * resp.ed;
+    mnn_assert(resp.partial.runMax.size() == nq
+                   && resp.partial.expSum.size() == nq
+                   && resp.partial.o.size() == oCount,
+               "partial response buffers disagree with nq x ed");
+    Frame f;
+    f.type = FrameType::PartialResponse;
+    f.payload.reserve(8 + 4 * 3 + 4 * nq + 8 * nq + 4 * oCount);
+    put64(f.payload, resp.requestId);
+    put32(f.payload, resp.shard);
+    put32(f.payload, resp.nq);
+    put32(f.payload, resp.ed);
+    for (float x : resp.partial.runMax)
+        putF32(f.payload, x);
+    for (double x : resp.partial.expSum)
+        putF64(f.payload, x);
+    for (float x : resp.partial.o)
+        putF32(f.payload, x);
+    return f;
+}
+
+WireStatus
+decodePartialResponse(const Frame &frame, PartialResponse &out)
+{
+    if (frame.type != FrameType::PartialResponse)
+        return WireStatus::BadType;
+    Reader r(frame.payload.data(), frame.payload.size());
+    PartialResponse resp;
+    if (!r.u64(resp.requestId) || !r.u32(resp.shard) || !r.u32(resp.nq)
+        || !r.u32(resp.ed))
+        return WireStatus::Malformed;
+    if (resp.nq == 0 || resp.ed == 0)
+        return WireStatus::Malformed;
+    const size_t nq = resp.nq;
+    const size_t oCount = nq * resp.ed;
+    if (frame.payload.size() != 8 + 4 * 3 + 4 * nq + 8 * nq + 4 * oCount)
+        return WireStatus::Malformed;
+    resp.partial.nq = nq;
+    resp.partial.runMax.resize(nq);
+    resp.partial.expSum.resize(nq);
+    resp.partial.o.resize(oCount);
+    if (!r.f32Array(resp.partial.runMax.data(), nq)
+        || !r.f64Array(resp.partial.expSum.data(), nq)
+        || !r.f32Array(resp.partial.o.data(), oCount) || !r.done())
+        return WireStatus::Malformed;
+    out = std::move(resp);
+    return WireStatus::Ok;
+}
+
+} // namespace mnnfast::net

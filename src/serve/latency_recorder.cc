@@ -31,6 +31,14 @@ LatencyRecorder::recordBatch(size_t n)
     questionCount += n;
 }
 
+RpcShardCounters &
+LatencyRecorder::rpcShard(size_t s)
+{
+    if (s >= rpcShardCounters.size())
+        rpcShardCounters.resize(s + 1);
+    return rpcShardCounters[s];
+}
+
 void
 LatencyRecorder::mergeInto(LatencyRecorder &acc) const
 {
@@ -42,6 +50,11 @@ LatencyRecorder::mergeInto(LatencyRecorder &acc) const
     acc.endToEndMax = std::max(acc.endToEndMax, endToEndMax);
     acc.batchCount += batchCount;
     acc.questionCount += questionCount;
+    if (acc.rpcShardCounters.size() < rpcShardCounters.size())
+        acc.rpcShardCounters.resize(rpcShardCounters.size());
+    for (size_t s = 0; s < rpcShardCounters.size(); ++s)
+        acc.rpcShardCounters[s].addFrom(rpcShardCounters[s]);
+    acc.partialAnswerCount += partialAnswerCount;
 }
 
 LatencyQuantiles
@@ -69,7 +82,18 @@ LatencyRecorder::snapshot() const
     s.queueWait = quantilesOf(queueWaitHist, queueWaitMax);
     s.service = quantilesOf(serviceHist, serviceMax);
     s.endToEnd = quantilesOf(endToEndHist, endToEndMax);
+    s.rpcShards = rpcShardCounters;
+    s.partialAnswers = partialAnswerCount;
     return s;
+}
+
+RpcShardCounters
+LatencySnapshot::rpcTotals() const
+{
+    RpcShardCounters t;
+    for (const RpcShardCounters &c : rpcShards)
+        t.addFrom(c);
+    return t;
 }
 
 namespace {
@@ -86,6 +110,22 @@ quantilesJson(const char *name, const LatencyQuantiles &q,
                   pad.c_str(), name,
                   static_cast<unsigned long long>(q.count), q.mean,
                   q.p50, q.p95, q.p99, q.max);
+    return buf;
+}
+
+std::string
+rpcCountersJson(const RpcShardCounters &c)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"rpcs\": %llu, \"hedges_fired\": %llu, "
+                  "\"hedge_wins\": %llu, \"failovers\": %llu, "
+                  "\"deadline_misses\": %llu}",
+                  static_cast<unsigned long long>(c.rpcs),
+                  static_cast<unsigned long long>(c.hedgesFired),
+                  static_cast<unsigned long long>(c.hedgeWins),
+                  static_cast<unsigned long long>(c.failovers),
+                  static_cast<unsigned long long>(c.deadlineMisses));
     return buf;
 }
 
@@ -115,8 +155,26 @@ LatencySnapshot::toJson(int indent) const
     std::string out = head;
     out += quantilesJson("queue_wait_seconds", queueWait, in) + ",\n";
     out += quantilesJson("service_seconds", service, in) + ",\n";
-    out += quantilesJson("end_to_end_seconds", endToEnd, in) + "\n";
-    out += pad + "}";
+    out += quantilesJson("end_to_end_seconds", endToEnd, in);
+    // The rpc block only exists for cluster serving; in-process
+    // snapshots keep their exact pre-cluster shape.
+    if (!rpcShards.empty()) {
+        out += ",\n" + in + "\"rpc\": {\n";
+        const std::string in2 = in + "  ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(partialAnswers));
+        out += in2 + "\"partial_answers\": " + buf + ",\n";
+        out += in2 + "\"totals\": " + rpcCountersJson(rpcTotals()) + ",\n";
+        out += in2 + "\"per_shard\": [";
+        for (size_t s = 0; s < rpcShards.size(); ++s) {
+            if (s)
+                out += ", ";
+            out += rpcCountersJson(rpcShards[s]);
+        }
+        out += "]\n" + in + "}";
+    }
+    out += "\n" + pad + "}";
     return out;
 }
 

@@ -23,10 +23,35 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "stats/histogram.hh"
 
 namespace mnnfast::serve {
+
+/**
+ * Per-shard RPC accounting for cluster serving (net::ClusterFrontEnd
+ * writes these; zero and absent for in-process serving). Counters
+ * follow the stats::Counter idiom: monotone, merged by addition.
+ */
+struct RpcShardCounters
+{
+    uint64_t rpcs = 0;           ///< scatter sends (incl. retries/hedges)
+    uint64_t hedgesFired = 0;    ///< backup requests launched
+    uint64_t hedgeWins = 0;      ///< responses won by the backup
+    uint64_t failovers = 0;      ///< replica switches (timeout/disconnect)
+    uint64_t deadlineMisses = 0; ///< batches this shard never answered
+
+    void
+    addFrom(const RpcShardCounters &o)
+    {
+        rpcs += o.rpcs;
+        hedgesFired += o.hedgesFired;
+        hedgeWins += o.hedgeWins;
+        failovers += o.failovers;
+        deadlineMisses += o.deadlineMisses;
+    }
+};
 
 /** Merged quantile view of one latency axis. */
 struct LatencyQuantiles
@@ -60,6 +85,18 @@ struct LatencySnapshot
     LatencyQuantiles service;
     LatencyQuantiles endToEnd;
 
+    /**
+     * Cluster RPC accounting: slot s = shard s. Empty for in-process
+     * serving (the JSON export then omits the "rpc" block entirely,
+     * keeping existing consumers unchanged).
+     */
+    std::vector<RpcShardCounters> rpcShards;
+    /** Questions answered from a strict subset of the shards. */
+    uint64_t partialAnswers = 0;
+
+    /** Sum of rpcShards (all shards). */
+    RpcShardCounters rpcTotals() const;
+
     /** Serialize every field as one pretty-printed JSON object. */
     std::string toJson(int indent = 0) const;
 };
@@ -87,6 +124,16 @@ class LatencyRecorder
     /** Record one dispatched batch of n requests. */
     void recordBatch(size_t n);
 
+    /**
+     * Mutable RPC counters of shard `s` (the vector grows on demand).
+     * Single-writer like the histograms: the owning dispatch loop
+     * updates, aggregation happens via mergeInto.
+     */
+    RpcShardCounters &rpcShard(size_t s);
+
+    /** Record `n` questions answered without every shard. */
+    void recordPartialAnswers(uint64_t n) { partialAnswerCount += n; }
+
     /** Fold this recorder into an accumulating snapshot builder. */
     void mergeInto(LatencyRecorder &acc) const;
 
@@ -108,6 +155,8 @@ class LatencyRecorder
     double endToEndMax = 0.0;
     uint64_t batchCount = 0;
     uint64_t questionCount = 0;
+    std::vector<RpcShardCounters> rpcShardCounters;
+    uint64_t partialAnswerCount = 0;
 };
 
 } // namespace mnnfast::serve

@@ -76,6 +76,22 @@ for preset in "${presets[@]}"; do
         MNNFAST_BENCH_JSON="${bindir}/BENCH_topk_smoke.json" \
             "${bindir}/bench/ablation_topk" --smoke
     fi
+    # Cluster-serving smoke: the loopback scenario grid's bit-identity
+    # leg (cluster gather vs in-process ShardedEngine, every precision)
+    # and its failover leg (no accepted request lost across injected
+    # disconnects) both exit nonzero on violation.
+    if [ -x "${bindir}/bench/serving_cluster" ]; then
+        echo "==> preset: ${preset} (cluster serving smoke)"
+        MNNFAST_BENCH_JSON="${bindir}/BENCH_cluster_smoke.json" \
+            "${bindir}/bench/serving_cluster" --smoke
+    fi
+    # Cross-process cluster smoke: forks real ShardNode processes
+    # serving over TCP on 127.0.0.1 and requires the gathered batch to
+    # be bit-identical to the in-process ShardedEngine.
+    if [ -x "${bindir}/bench/cluster_smoke" ]; then
+        echo "==> preset: ${preset} (cross-process cluster smoke)"
+        "${bindir}/bench/cluster_smoke"
+    fi
     # Live-server smoke under the leak-checking build: a short
     # low-rate open-loop run whose shutdown must drain every accepted
     # request — ASan flags any promise/thread/arena leaked on the
