@@ -16,6 +16,15 @@
  * writes the bound port up a pipe, then serves until a Shutdown frame.
  * The parent connects a ClusterFrontEnd over TcpTransport, compares,
  * shuts the nodes down, and reaps them.
+ *
+ * Two legs per run:
+ *  - raw gather: one inferBatch through the front end, per precision;
+ *  - served: the full serving stack — LiveServer admission queue and
+ *    dynamic batcher dispatching through a pipelined (W=4)
+ *    ClusterFrontEnd to the forked nodes — with every answer
+ *    bit-compared against a per-question ShardedEngine reference and
+ *    the admission ledger checked (arrived == completed + rejected,
+ *    nothing failed).
  */
 
 #include <sys/wait.h>
@@ -34,6 +43,7 @@
 #include "net/cluster_frontend.hh"
 #include "net/tcp_transport.hh"
 #include "net/shard_node.hh"
+#include "serve/live_server.hh"
 #include "util/rng.hh"
 
 using namespace mnnfast;
@@ -102,11 +112,11 @@ childServe(size_t s, core::Precision prec, int port_fd)
     _exit(0);
 }
 
-/** One precision's round trip; returns mismatched value count. */
-size_t
-runOnePrecision(core::Precision prec, const char *name)
+/** Fork one ShardNode process per shard — before the parent spawns
+ *  any thread — and fill `ccfg.replicas` from their reported ports. */
+std::vector<pid_t>
+forkNodes(core::Precision prec, net::ClusterConfig &ccfg)
 {
-    // Fork every node before the parent creates any thread.
     std::vector<pid_t> pids;
     std::vector<int> portFds;
     for (size_t s = 0; s < kShards; ++s) {
@@ -125,7 +135,6 @@ runOnePrecision(core::Precision prec, const char *name)
         portFds.push_back(fds[0]);
     }
 
-    net::ClusterConfig ccfg;
     ccfg.requestTimeoutSeconds = 30.0;
     ccfg.connectTimeoutSeconds = 5.0;
     for (size_t s = 0; s < kShards; ++s) {
@@ -137,6 +146,34 @@ runOnePrecision(core::Precision prec, const char *name)
         ccfg.replicas.push_back(
             {"127.0.0.1:" + std::to_string(port)});
     }
+    return pids;
+}
+
+/** Reap the forked nodes; returns the abnormal-exit count. */
+size_t
+reapNodes(const std::vector<pid_t> &pids, const char *name)
+{
+    size_t abnormal = 0;
+    for (pid_t pid : pids) {
+        int status = 0;
+        if (waitpid(pid, &status, 0) != pid)
+            fatal("waitpid failed");
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "%s: node process exited abnormally\n",
+                         name);
+            ++abnormal;
+        }
+    }
+    return abnormal;
+}
+
+/** One precision's round trip; returns mismatched value count. */
+size_t
+runOnePrecision(core::Precision prec, const char *name)
+{
+    net::ClusterConfig ccfg;
+    const std::vector<pid_t> pids = forkNodes(prec, ccfg);
 
     // Reference answer, fully in process.
     const core::KnowledgeBase kb = buildKb(prec);
@@ -173,22 +210,112 @@ runOnePrecision(core::Precision prec, const char *name)
         fe.shutdownNodes(2.0);
     }
 
-    for (pid_t pid : pids) {
-        int status = 0;
-        if (waitpid(pid, &status, 0) != pid)
-            fatal("waitpid failed");
-        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-            std::fprintf(stderr,
-                         "%s: node process exited abnormally\n",
-                         name);
-            ++mismatches;
-        }
-    }
+    mismatches += reapNodes(pids, name);
 
     std::printf("%-5s: %zu shard processes over TCP, %zu values, "
                 "%zu mismatches\n",
                 name, kShards, expect.size(), mismatches);
     return mismatches;
+}
+
+/**
+ * The full serving stack over real processes: LiveServer (bounded
+ * queue + dynamic batcher) dispatching through a pipelined (W=4)
+ * ClusterFrontEnd to the forked TCP nodes. Every answer is
+ * bit-compared against a per-question in-process ShardedEngine
+ * reference — the dynamic batcher composes batches by arrival timing,
+ * so this also proves the gather is batch-composition-independent —
+ * and the admission ledger must balance. Returns the defect count.
+ */
+size_t
+runServedLeg(core::Precision prec, const char *name)
+{
+    constexpr size_t kServedQuestions = 64;
+
+    net::ClusterConfig ccfg;
+    ccfg.pipelineDepth = 4;
+    const std::vector<pid_t> pids = forkNodes(prec, ccfg);
+
+    const core::KnowledgeBase kb = buildKb(prec);
+    const core::ShardedKnowledgeBase skb(kb, kChunk, kShards);
+    core::EngineConfig ecfg;
+    ecfg.chunkSize = kChunk;
+    core::ShardedEngine reference(skb, ecfg);
+
+    XorShiftRng rng(47);
+    std::vector<float> u(kServedQuestions * kDim);
+    for (float &x : u)
+        x = rng.uniformRange(-1.f, 1.f);
+    std::vector<float> expect(kServedQuestions * kDim);
+    for (size_t q = 0; q < kServedQuestions; ++q)
+        reference.inferBatch(u.data() + q * kDim, 1,
+                            expect.data() + q * kDim);
+
+    size_t defects = 0;
+    {
+        net::TcpTransport transport;
+        net::ClusterFrontEnd fe(transport, ccfg);
+
+        serve::LiveServerConfig lcfg;
+        lcfg.maxBatch = 4;
+        lcfg.batchTimeout = 1e-3;
+        lcfg.queueCapacity = 128;
+        serve::LiveServer server(fe, kDim, lcfg);
+
+        std::vector<serve::Ticket> tickets;
+        tickets.reserve(kServedQuestions);
+        for (size_t q = 0; q < kServedQuestions; ++q)
+            tickets.push_back(server.submit(u.data() + q * kDim));
+
+        size_t mismatches = 0;
+        for (size_t q = 0; q < kServedQuestions; ++q) {
+            if (tickets[q].status != serve::SubmitStatus::Accepted) {
+                ++defects;
+                continue;
+            }
+            serve::Answer a = tickets[q].answer.get();
+            if (a.failed || a.o.size() != kDim) {
+                ++defects;
+                continue;
+            }
+            for (size_t e = 0; e < kDim; ++e)
+                if (f32Bits(a.o[e]) != f32Bits(expect[q * kDim + e]))
+                    ++mismatches;
+        }
+        defects += mismatches;
+
+        server.shutdown();
+        const serve::LatencySnapshot snap = server.snapshot();
+        if (snap.arrived != kServedQuestions
+            || snap.completed + snap.rejected != snap.arrived
+            || snap.failedBatches != 0
+            || snap.rpcShards.size() != kShards) {
+            std::fprintf(stderr,
+                         "%s served: ledger broken (arrived %llu, "
+                         "completed %llu, rejected %llu, failed "
+                         "batches %llu)\n",
+                         name,
+                         static_cast<unsigned long long>(snap.arrived),
+                         static_cast<unsigned long long>(
+                             snap.completed),
+                         static_cast<unsigned long long>(
+                             snap.rejected),
+                         static_cast<unsigned long long>(
+                             snap.failedBatches));
+            ++defects;
+        }
+
+        std::printf("%-5s served: %zu questions through LiveServer -> "
+                    "pipelined front end (W=%zu), %zu batches, "
+                    "%zu mismatches\n",
+                    name, kServedQuestions, fe.pipelineDepth(),
+                    static_cast<size_t>(snap.batches), mismatches);
+
+        fe.shutdownNodes(2.0);
+    }
+
+    defects += reapNodes(pids, name);
+    return defects;
 }
 
 } // namespace
@@ -203,6 +330,8 @@ main()
     mismatches += runOnePrecision(core::Precision::F32, "f32");
     mismatches += runOnePrecision(core::Precision::BF16, "bf16");
     mismatches += runOnePrecision(core::Precision::I8, "i8");
+    mismatches += runServedLeg(core::Precision::F32, "f32");
+    mismatches += runServedLeg(core::Precision::I8, "i8");
     if (mismatches != 0) {
         std::fprintf(stderr,
                      "FAIL: cross-process gather diverged from the "
@@ -210,6 +339,6 @@ main()
         return 1;
     }
     std::printf("OK: cross-process gather bit-identical to "
-                "ShardedEngine for every precision\n");
+                "ShardedEngine for every precision, raw and served\n");
     return 0;
 }

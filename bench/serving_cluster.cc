@@ -24,6 +24,16 @@
  *     partial answers disabled, every submitted request must still
  *     complete with all shards — replica failover may not lose an
  *     accepted request.
+ *  4. Pipelined vs serial (hard gate on clean + jitter): the same
+ *     window-saturated batch stream through a pipelineDepth-W front
+ *     end vs a serial (W = 1) one, over clean (constant small
+ *     latency, no faults), jittering, and straggling links. With
+ *     W >= 2 send-ahead puts batch k+1 on the wire while batch k
+ *     gathers, so neither the round trip nor the node compute
+ *     serializes the stream; the gate requires the pipelined run to
+ *     beat the serial run's throughput on the clean and jitter legs
+ *     (the straggler leg is reported but ungated — its tail is
+ *     fault-schedule noise).
  *
  * Emits BENCH_cluster.json (path overridable via MNNFAST_BENCH_JSON).
  *
@@ -257,6 +267,102 @@ runScenario(const Scenario &sc, bool hedging,
     return res;
 }
 
+struct PipelineLeg
+{
+    const char *name;
+    net::FaultSpec fault; ///< applied to every shard endpoint
+    bool gated;           ///< pipelined must beat serial here
+};
+
+struct PipelineLegResult
+{
+    const PipelineLeg *leg = nullptr;
+    size_t batches = 0;
+    double serialSeconds = 0.0;
+    double pipelinedSeconds = 0.0;
+    double serialQps = 0.0;
+    double pipelinedQps = 0.0;
+    double speedup = 0.0;
+    bool allComplete = true;
+};
+
+/**
+ * One window-saturated pass: `batches` identical batches pushed as
+ * fast as the in-flight window admits them, retired in submission
+ * order. Returns the makespan (first submit to last retire). The
+ * deadline is deliberately generous — this leg measures pipelining,
+ * not deadline policy, and a sanitizer-slowed run must not turn a
+ * throughput comparison into a partial-answer scramble.
+ */
+double
+runPipelinePass(const net::FaultSpec &fault, size_t depth,
+                const core::ShardedKnowledgeBase &skb,
+                const core::EngineConfig &ecfg, size_t batches,
+                size_t nq, uint64_t seed, bool &allComplete)
+{
+    const size_t ed = skb.parent().dim();
+    net::LoopbackNetwork netns;
+    net::LoopbackTransport transport(netns, fault, seed);
+
+    NodeSet nodeSet;
+    net::ClusterConfig ccfg;
+    ccfg.onlineNormalize = ecfg.onlineNormalize;
+    ccfg.requestTimeoutSeconds = 30.0;
+    ccfg.hedging = false; // isolate pipelining from hedging
+    ccfg.pipelineDepth = depth;
+    for (size_t s = 0; s < skb.shardCount(); ++s) {
+        const std::string ep = "p" + std::to_string(s);
+        nodeSet.add(skb.shard(s), ecfg, static_cast<uint32_t>(s),
+                    transport, ep);
+        ccfg.replicas.push_back({ep});
+    }
+    net::ClusterFrontEnd fe(transport, ccfg);
+
+    const std::vector<float> u = makeQuestions(nq, ed, seed + 5);
+    std::vector<std::vector<float>> o(depth,
+                                      std::vector<float>(nq * ed));
+    std::vector<uint64_t> tickets(batches);
+
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    const size_t prime = std::min(depth, batches);
+    for (size_t k = 0; k < prime; ++k)
+        tickets[k] = fe.submitBatch(u.data(), nq, ed,
+                                    o[k % depth].data());
+    for (size_t k = 0; k < batches; ++k) {
+        const net::BatchResult r = fe.waitBatch(tickets[k]);
+        if (!r.complete)
+            allComplete = false;
+        if (k + depth < batches)
+            tickets[k + depth] = fe.submitBatch(
+                u.data(), nq, ed, o[(k + depth) % depth].data());
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+PipelineLegResult
+runPipelineLeg(const PipelineLeg &leg, size_t depth,
+               const core::ShardedKnowledgeBase &skb,
+               const core::EngineConfig &ecfg, size_t batches,
+               size_t nq, uint64_t seed)
+{
+    PipelineLegResult res;
+    res.leg = &leg;
+    res.batches = batches;
+    res.serialSeconds = runPipelinePass(leg.fault, 1, skb, ecfg,
+                                        batches, nq, seed,
+                                        res.allComplete);
+    res.pipelinedSeconds = runPipelinePass(leg.fault, depth, skb,
+                                           ecfg, batches, nq, seed,
+                                           res.allComplete);
+    res.serialQps =
+        static_cast<double>(batches * nq) / res.serialSeconds;
+    res.pipelinedQps =
+        static_cast<double>(batches * nq) / res.pipelinedSeconds;
+    res.speedup = res.serialSeconds / res.pipelinedSeconds;
+    return res;
+}
+
 /** Lossless cluster vs in-process ShardedEngine, bitwise. */
 size_t
 bitIdentityMismatches(size_t shards, core::Precision prec, size_t ns,
@@ -427,6 +533,61 @@ main(int argc, char **argv)
                     ? stragglerP99Unhedged / stragglerP99Hedged
                     : 0.0);
 
+    // ---- Leg 4: pipelined vs serial -------------------------------
+    const size_t pipelineDepth = 4;
+    const size_t pipelineBatches = smoke ? 64 : 256;
+    // "clean" is a clean *network*, not a zero-cost one: a constant
+    // per-message latency and nothing else. On a zero-latency wire
+    // the window has no round trip to hide and the comparison just
+    // measures scheduler noise; with a real (if small) RTT the serial
+    // front end must pay it per batch while send-ahead overlaps it
+    // with node compute — the deterministic speedup this leg gates.
+    const PipelineLeg pipelineLegs[] = {
+        {"clean",
+         {/*base*/ 1e-3, 0.0, 0.0, 0.0, 0.0, 0.0}, true},
+        {"jitter",
+         {/*base*/ 5e-4, /*jitter*/ 1e-3, 0.0, 0.0, 0.0, 0.0}, true},
+        {"straggler",
+         {1e-4, 0.0, /*stragglerProb*/ 0.08, straggle, 0.0, 0.0},
+         false},
+    };
+    std::vector<PipelineLegResult> pipelineResults;
+    bool pipelineGateOk = true;
+    for (const PipelineLeg &leg : pipelineLegs) {
+        PipelineLegResult r =
+            runPipelineLeg(leg, pipelineDepth, skb, ecfg,
+                           pipelineBatches, nq, seed);
+        if (!r.allComplete) {
+            std::fprintf(stderr,
+                         "FAIL: pipeline leg %s lost batches\n",
+                         leg.name);
+            pipelineGateOk = false;
+        }
+        if (leg.gated && r.speedup <= 1.0) {
+            std::fprintf(stderr,
+                         "FAIL: pipelined (W=%zu) did not beat serial "
+                         "on %s: %.1f q/s vs %.1f q/s\n",
+                         pipelineDepth, leg.name, r.pipelinedQps,
+                         r.serialQps);
+            pipelineGateOk = false;
+        }
+        pipelineResults.push_back(r);
+    }
+
+    std::printf("\npipelined vs serial (W=%zu, %zu batches x %zu "
+                "questions):\n",
+                pipelineDepth, pipelineBatches, nq);
+    stats::Table ptable({"leg", "serial q/s", "pipelined q/s",
+                         "speedup", "gate"});
+    for (const PipelineLegResult &r : pipelineResults)
+        ptable.addRow({r.leg->name,
+                       stats::Table::num(r.serialQps, 1),
+                       stats::Table::num(r.pipelinedQps, 1),
+                       stats::Table::num(r.speedup, 2),
+                       r.leg->gated ? (r.speedup > 1.0 ? "ok" : "FAIL")
+                                    : "-"});
+    ptable.print();
+
     // ---- JSON -----------------------------------------------------
     bench::JsonWriter json(
         bench::benchJsonPath("BENCH_cluster.json"));
@@ -484,6 +645,27 @@ main(int argc, char **argv)
     json.field("straggler_p99_unhedged_seconds",
                stragglerP99Unhedged);
     json.field("failover_gate_ok", failoverGateOk);
+    json.key("pipeline");
+    json.beginObject();
+    json.field("depth", pipelineDepth);
+    json.field("batches", pipelineBatches);
+    json.key("legs");
+    json.beginArray();
+    for (const PipelineLegResult &r : pipelineResults) {
+        json.beginObject();
+        json.field("name", r.leg->name);
+        json.field("gated", r.leg->gated);
+        json.field("serial_seconds", r.serialSeconds);
+        json.field("pipelined_seconds", r.pipelinedSeconds);
+        json.field("serial_qps", r.serialQps);
+        json.field("pipelined_qps", r.pipelinedQps);
+        json.field("speedup", r.speedup);
+        json.field("all_complete", r.allComplete);
+        json.endObject();
+    }
+    json.endArray();
+    json.field("gate_ok", pipelineGateOk);
+    json.endObject();
     json.endObject();
 
     std::printf("\nwrote %s (%zu scenario points)\n",
@@ -492,9 +674,11 @@ main(int argc, char **argv)
                 "scenario while unhedged straggler/loss runs pay the "
                 "injected tail or the full deadline; the disconnect "
                 "scenario shows failover recovering every request "
-                "without partial answers\n");
+                "without partial answers; the pipeline legs show a "
+                "W-deep window overlapping scatter and gather to beat "
+                "the serial front end's throughput\n");
 
-    if (!failoverGateOk)
+    if (!failoverGateOk || !pipelineGateOk)
         return 1;
     return 0;
 }

@@ -251,8 +251,14 @@ LoopbackChannel::recv(Frame &out, NetClock::time_point deadline)
             }
             if (now >= deadline)
                 return RecvStatus::Timeout;
-            recvPipe->cv.wait_until(lock,
-                                    std::min(head.deliverAt, deadline));
+            // Copy the wake time before waiting: wait_until keeps a
+            // *reference* to its time_point across the unlocked wait,
+            // and std::min would hand it one inside the multiset node
+            // — which a concurrent close() (it clears the queue) can
+            // free mid-wait.
+            const NetClock::time_point wake =
+                std::min(head.deliverAt, deadline);
+            recvPipe->cv.wait_until(lock, wake);
             continue;
         }
         if (recvPipe->closed)

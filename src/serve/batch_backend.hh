@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The serving-side contract for a pipelined batch execution backend —
+ * the seam that lets serve::LiveServer dispatch through a remote
+ * cluster front end without the serve library depending on net/.
+ *
+ * A BatchBackend executes question batches asynchronously with a
+ * bounded in-flight window:
+ *
+ *   submitBatch() hands over a batch and returns a ticket, blocking
+ *   only while the backend's window is full — that block is the
+ *   serving-side backpressure that keeps the bounded admission queue
+ *   upstream absorbing (and eventually refusing) arrivals.
+ *
+ *   waitBatch() blocks until the ticket's batch has settled and
+ *   reports what happened; tickets MUST be waited in submission
+ *   order (the window is a FIFO: completion order is delivery order,
+ *   whatever order the shards answered in).
+ *
+ * The canonical implementation is net::ClusterFrontEnd, whose
+ * lossless path is bit-identical to an in-process ShardedEngine over
+ * the same partition; LiveServer's dispatch/retire loops are written
+ * against this interface only.
+ *
+ * Threading contract: one thread submits, one thread waits — the two
+ * may be (and in LiveServer are) different threads, overlapping the
+ * scatter of batch k+1 with the gather of batch k.
+ */
+
+#ifndef MNNFAST_SERVE_BATCH_BACKEND_HH
+#define MNNFAST_SERVE_BATCH_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/latency_recorder.hh"
+
+namespace mnnfast::serve {
+
+/** Outcome of one batch. */
+struct BatchResult
+{
+    /** Every shard contributed (bit-identity holds iff true). */
+    bool complete = false;
+    /** Shards merged into the answer; 0 means the batch failed and
+     *  the output buffer was not written. */
+    uint32_t shardsAnswered = 0;
+    /** Bit s set = shard s contributed to the merged answer. */
+    uint32_t shardMask = 0;
+};
+
+/** Asynchronous batch executor with a bounded window. See header. */
+class BatchBackend
+{
+  public:
+    virtual ~BatchBackend() = default;
+
+    /**
+     * Submit one batch: `u` (nq x ed questions, row-major) to be
+     * answered into `o` (nq x ed). Both buffers must stay valid until
+     * the returned ticket is waited. Blocks while the in-flight
+     * window is full.
+     */
+    virtual uint64_t submitBatch(const float *u, size_t nq, size_t ed,
+                                 float *o) = 0;
+
+    /**
+     * Block until `ticket`'s batch settled; `o` is written iff
+     * shardsAnswered > 0. Tickets must be waited in submission order.
+     */
+    virtual BatchResult waitBatch(uint64_t ticket) = 0;
+
+    /** The in-flight window size W (>= 1). */
+    virtual size_t pipelineDepth() const = 0;
+
+    /**
+     * Fold the backend's *counters* — per-shard RPC counters, partial
+     * answers, failed batches — into `acc` without touching its
+     * histograms, so a serving layer can compose a snapshot from a
+     * recorder of different histogram geometry. Thread-safe.
+     */
+    virtual void countersInto(LatencyRecorder &acc) const = 0;
+};
+
+} // namespace mnnfast::serve
+
+#endif // MNNFAST_SERVE_BATCH_BACKEND_HH

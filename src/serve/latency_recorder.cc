@@ -50,11 +50,18 @@ LatencyRecorder::mergeInto(LatencyRecorder &acc) const
     acc.endToEndMax = std::max(acc.endToEndMax, endToEndMax);
     acc.batchCount += batchCount;
     acc.questionCount += questionCount;
+    mergeCountersInto(acc);
+}
+
+void
+LatencyRecorder::mergeCountersInto(LatencyRecorder &acc) const
+{
     if (acc.rpcShardCounters.size() < rpcShardCounters.size())
         acc.rpcShardCounters.resize(rpcShardCounters.size());
     for (size_t s = 0; s < rpcShardCounters.size(); ++s)
         acc.rpcShardCounters[s].addFrom(rpcShardCounters[s]);
     acc.partialAnswerCount += partialAnswerCount;
+    acc.failedBatchCount += failedBatchCount;
 }
 
 LatencyQuantiles
@@ -84,6 +91,7 @@ LatencyRecorder::snapshot() const
     s.endToEnd = quantilesOf(endToEndHist, endToEndMax);
     s.rpcShards = rpcShardCounters;
     s.partialAnswers = partialAnswerCount;
+    s.failedBatches = failedBatchCount;
     return s;
 }
 
@@ -165,6 +173,9 @@ LatencySnapshot::toJson(int indent) const
         std::snprintf(buf, sizeof(buf), "%llu",
                       static_cast<unsigned long long>(partialAnswers));
         out += in2 + "\"partial_answers\": " + buf + ",\n";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(failedBatches));
+        out += in2 + "\"failed_batches\": " + buf + ",\n";
         out += in2 + "\"totals\": " + rpcCountersJson(rpcTotals()) + ",\n";
         out += in2 + "\"per_shard\": [";
         for (size_t s = 0; s < rpcShards.size(); ++s) {

@@ -93,6 +93,14 @@ struct LatencySnapshot
     std::vector<RpcShardCounters> rpcShards;
     /** Questions answered from a strict subset of the shards. */
     uint64_t partialAnswers = 0;
+    /**
+     * Batches that failed closed (no shard subset merged, output
+     * untouched). Their timings are deliberately *absent* from the
+     * latency histograms above: a deadline-capped failure recorded as
+     * a "completion" would pin the success quantiles at the deadline
+     * exactly when the tail matters most.
+     */
+    uint64_t failedBatches = 0;
 
     /** Sum of rpcShards (all shards). */
     RpcShardCounters rpcTotals() const;
@@ -134,8 +142,22 @@ class LatencyRecorder
     /** Record `n` questions answered without every shard. */
     void recordPartialAnswers(uint64_t n) { partialAnswerCount += n; }
 
-    /** Fold this recorder into an accumulating snapshot builder. */
+    /** Record one batch that failed closed (kept out of the latency
+     *  histograms — see LatencySnapshot::failedBatches). */
+    void recordFailedBatch() { ++failedBatchCount; }
+
+    /** Fold this recorder into an accumulating snapshot builder.
+     *  Histogram geometries must match (Histogram::merge checks). */
     void mergeInto(LatencyRecorder &acc) const;
+
+    /**
+     * Fold only the monotone counters — per-shard RPC counters,
+     * partial answers, failed batches — into `acc`, leaving its
+     * histograms and batch totals untouched. This is how a serving
+     * layer composes a snapshot from a backend whose recorder has a
+     * different histogram geometry (see BatchBackend::countersInto).
+     */
+    void mergeCountersInto(LatencyRecorder &acc) const;
 
     /** Render the merged quantile views. */
     LatencySnapshot snapshot() const;
@@ -157,6 +179,7 @@ class LatencyRecorder
     uint64_t questionCount = 0;
     std::vector<RpcShardCounters> rpcShardCounters;
     uint64_t partialAnswerCount = 0;
+    uint64_t failedBatchCount = 0;
 };
 
 } // namespace mnnfast::serve

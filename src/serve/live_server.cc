@@ -20,7 +20,7 @@ secondsBetween(std::chrono::steady_clock::time_point a,
 
 LiveServer::LiveServer(const core::KnowledgeBase &kb,
                        const LiveServerConfig &cfg)
-    : kb(kb), cfg(cfg),
+    : kb(&kb), backend(nullptr), ed(kb.dim()), cfg(cfg),
       timeoutNs(std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::duration<double>(cfg.batchTimeout))),
       queue(cfg.queueCapacity),
@@ -56,6 +56,28 @@ LiveServer::LiveServer(const core::KnowledgeBase &kb,
         pool.submit([this, i] { workerLoop(i); });
 }
 
+LiveServer::LiveServer(BatchBackend &backend_, size_t embedding_dim,
+                       const LiveServerConfig &cfg)
+    : kb(nullptr), backend(&backend_), ed(embedding_dim), cfg(cfg),
+      timeoutNs(std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::duration<double>(cfg.batchTimeout))),
+      queue(cfg.queueCapacity),
+      pool(2) // dispatch + retire
+{
+    if (cfg.maxBatch == 0)
+        fatal("live server needs a nonzero batch cap");
+    if (cfg.batchTimeout < 0.0)
+        fatal("batch timeout must be non-negative");
+    if (ed == 0)
+        fatal("cluster live server needs a nonzero embedding dim");
+
+    // One engine-less slot holds the retire loop's recorder so
+    // snapshot() composes identically across modes.
+    workerSlots.push_back(std::make_unique<Worker>(nullptr, cfg));
+    pool.submit([this] { dispatchLoop(); });
+    pool.submit([this] { retireLoop(); });
+}
+
 LiveServer::~LiveServer()
 {
     shutdown();
@@ -73,7 +95,7 @@ LiveServer::submit(const float *u)
     }
 
     Request req;
-    req.u.assign(u, u + kb.dim());
+    req.u.assign(u, u + ed);
     std::future<Answer> answer = req.promise.get_future();
     if (!queue.tryPush(std::move(req))) {
         // Full queue or a close that raced with the stopping check;
@@ -99,7 +121,6 @@ LiveServer::workerLoop(size_t slot)
 {
     Worker &w = *workerSlots[slot];
     core::InferenceEngine &engine = *w.engine;
-    const size_t ed = kb.dim();
     std::vector<RequestQueue<Request>::Entry> batch;
     std::vector<float> uflat;
     std::vector<float> oflat;
@@ -161,6 +182,99 @@ LiveServer::workerLoop(size_t slot)
 }
 
 void
+LiveServer::dispatchLoop()
+{
+    std::vector<RequestQueue<Request>::Entry> batch;
+    while (queue.popBatch(cfg.maxBatch, timeoutNs, batch)) {
+        auto pb = std::make_unique<PendingBatch>();
+        pb->dispatched = std::chrono::steady_clock::now();
+        pb->entries = std::move(batch);
+        const size_t n = pb->entries.size();
+        pb->uflat.resize(n * ed);
+        pb->oflat.resize(n * ed);
+        for (size_t i = 0; i < n; ++i)
+            std::memcpy(pb->uflat.data() + i * ed,
+                        pb->entries[i].item.u.data(),
+                        ed * sizeof(float));
+        // Blocks while the backend's in-flight window is full — the
+        // backpressure that lets the bounded queue fill and refuse.
+        pb->ticket =
+            backend->submitBatch(pb->uflat.data(), n, ed,
+                                 pb->oflat.data());
+        {
+            std::lock_guard<std::mutex> lock(retireMutex);
+            retireQueue.push_back(std::move(pb));
+        }
+        retireCv.notify_one();
+    }
+    {
+        std::lock_guard<std::mutex> lock(retireMutex);
+        dispatchDone = true;
+    }
+    retireCv.notify_all();
+}
+
+void
+LiveServer::retireLoop()
+{
+    Worker &w = *workerSlots[0];
+    std::vector<double> waits;
+    for (;;) {
+        std::unique_ptr<PendingBatch> pb;
+        {
+            std::unique_lock<std::mutex> lock(retireMutex);
+            retireCv.wait(lock, [this] {
+                return dispatchDone || !retireQueue.empty();
+            });
+            if (retireQueue.empty())
+                break; // dispatchDone and nothing left to retire
+            pb = std::move(retireQueue.front());
+            retireQueue.pop_front();
+        }
+
+        // Submission-order wait: the retire queue is FIFO over the
+        // dispatch loop's submit order, which is exactly the ticket
+        // order the backend requires.
+        const BatchResult r = backend->waitBatch(pb->ticket);
+        const double service =
+            secondsBetween(pb->dispatched,
+                           std::chrono::steady_clock::now());
+        const size_t n = pb->entries.size();
+        waits.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            waits[i] = secondsBetween(pb->entries[i].enqueued,
+                                      pb->dispatched);
+
+        const bool failed = r.shardsAnswered == 0;
+        for (size_t i = 0; i < n; ++i) {
+            Answer a;
+            if (!failed)
+                a.o.assign(pb->oflat.data() + i * ed,
+                           pb->oflat.data() + (i + 1) * ed);
+            a.batchSize = n;
+            a.queueWaitSeconds = waits[i];
+            a.serviceSeconds = service;
+            a.failed = failed;
+            a.shardMask = r.shardMask;
+            pb->entries[i].item.promise.set_value(std::move(a));
+        }
+
+        // Every fulfilled future is a completion — failed batches
+        // included, so `completed + rejected == arrived` holds exactly
+        // after shutdown (the Answer::failed flag carries the quality
+        // signal; the backend's own recorder is where fail-closed
+        // timings stay out of the success histograms).
+        {
+            std::lock_guard<std::mutex> lock(w.recorderMutex);
+            w.recorder.recordBatch(n);
+            for (size_t i = 0; i < n; ++i)
+                w.recorder.recordRequest(waits[i], service,
+                                         waits[i] + service);
+        }
+    }
+}
+
+void
 LiveServer::shutdown()
 {
     std::call_once(shutdownOnce, [this] {
@@ -193,6 +307,8 @@ LiveServer::snapshot() const
         std::lock_guard<std::mutex> lock(w->recorderMutex);
         w->recorder.mergeInto(merged);
     }
+    if (backend)
+        backend->countersInto(merged);
     LatencySnapshot s = merged.snapshot();
     s.arrived = a;
     s.rejectedFull = rf;

@@ -28,7 +28,9 @@
  * one workload through both and compare the model against wall-clock
  * reality.
  *
- * Execution has two modes, selected by LiveServerConfig::shards:
+ * Execution has three modes — two in-process (selected by
+ * LiveServerConfig::shards) and one remote (selected by constructing
+ * over a BatchBackend):
  *
  *  - Replicated (shards <= 1): each of the `workers` dispatch loops
  *    owns a private ColumnEngine over the whole (read-only) KB, so
@@ -44,6 +46,23 @@
  *    same batch, each KB byte streamed once per batch — and the
  *    answers are bit-identical to the replicated mode's (see
  *    sharded_engine.hh).
+ *  - Cluster (the BatchBackend constructor): the same bounded queue
+ *    and dynamic batcher feed a remote scatter/gather backend —
+ *    canonically a net::ClusterFrontEnd over shard node processes —
+ *    through two loops: a *dispatch* loop that pops batches,
+ *    flattens them, and submits into the backend's in-flight window
+ *    (blocking only when the window is full — that is the
+ *    backpressure that keeps the bounded queue absorbing and
+ *    eventually refusing arrivals), and a *retire* loop that waits
+ *    tickets in submission order and fulfills the promises. With a
+ *    window W >= 2, batch k+1 scatters while batch k gathers. The
+ *    backend's lossless path is bit-identical to the in-process
+ *    sharded mode over the same partition; a batch the backend fails
+ *    closed still fulfills its futures — with Answer::failed set and
+ *    an empty output — so accepted-request conservation holds under
+ *    every fault. Per-shard RPC counters, partial-answer and
+ *    failed-batch totals are threaded into snapshot() via
+ *    BatchBackend::countersInto.
  *
  * Engines hold scratch state and are not thread-safe, but the KB is
  * immutable while serving, so workers scale without locking. Worker
@@ -66,16 +85,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
+
+#include <deque>
 
 #include "core/column_engine.hh"
 #include "core/knowledge_base.hh"
 #include "core/sharded_engine.hh"
 #include "core/sharded_knowledge_base.hh"
 #include "runtime/thread_pool.hh"
+#include "serve/batch_backend.hh"
 #include "serve/latency_recorder.hh"
 #include "serve/request_queue.hh"
 
@@ -95,6 +118,12 @@ struct Answer
     size_t batchSize = 0;          ///< size of the batch it rode in
     double queueWaitSeconds = 0.0; ///< enqueue -> batch dispatch
     double serviceSeconds = 0.0;   ///< the engine call (batch-shared)
+    /** Cluster mode only: the batch failed closed (no shard subset
+     *  merged) and `o` is empty. In-process modes never fail. */
+    bool failed = false;
+    /** Cluster mode only: bit s set = shard s contributed to `o`.
+     *  Zero for in-process modes and failed batches. */
+    uint32_t shardMask = 0;
 };
 
 /** submit() result: a status and, when accepted, the answer future. */
@@ -155,6 +184,18 @@ class LiveServer
     LiveServer(const core::KnowledgeBase &kb,
                const LiveServerConfig &cfg);
 
+    /**
+     * Cluster mode: dispatch batches through `backend` (canonically a
+     * net::ClusterFrontEnd) instead of in-process engines. The
+     * backend must outlive the server and be used by nothing else
+     * while serving (the server owns its submit/wait threads).
+     * `embedding_dim` is the question width submit() expects;
+     * cfg.workers/shards/engine are ignored (execution lives behind
+     * the backend).
+     */
+    LiveServer(BatchBackend &backend, size_t embedding_dim,
+               const LiveServerConfig &cfg);
+
     LiveServer(const LiveServer &) = delete;
     LiveServer &operator=(const LiveServer &) = delete;
 
@@ -192,7 +233,7 @@ class LiveServer
     LatencySnapshot snapshot() const;
 
     /** Embedding dimension submit() expects. */
-    size_t embeddingDim() const { return kb.dim(); }
+    size_t embeddingDim() const { return ed; }
 
     /** False once shutdown has begun. */
     bool accepting() const { return !stopping.load(); }
@@ -200,7 +241,11 @@ class LiveServer
     /** True when batches are scattered across a sharded KB. */
     bool sharded() const { return cfg.shards >= 2; }
 
-    /** Dispatch loops: cfg.workers replicated slots, or 1 sharded. */
+    /** True when batches dispatch through a remote BatchBackend. */
+    bool remote() const { return backend != nullptr; }
+
+    /** Dispatch loops: cfg.workers replicated slots, or 1 sharded /
+     *  cluster recording slot. */
     size_t engineSlots() const { return workerSlots.size(); }
 
     const LiveServerConfig &config() const { return cfg; }
@@ -226,9 +271,25 @@ class LiveServer
         std::mutex recorderMutex; ///< worker writes vs snapshot reads
     };
 
-    void workerLoop(size_t slot);
+    /** One dispatched-but-unretired cluster batch: the flattened
+     *  question/answer buffers must stay stable from submitBatch to
+     *  waitBatch, so each batch owns heap storage. */
+    struct PendingBatch
+    {
+        std::vector<RequestQueue<Request>::Entry> entries;
+        std::vector<float> uflat;
+        std::vector<float> oflat;
+        uint64_t ticket = 0;
+        std::chrono::steady_clock::time_point dispatched;
+    };
 
-    const core::KnowledgeBase &kb;
+    void workerLoop(size_t slot);
+    void dispatchLoop(); ///< cluster: queue -> backend window
+    void retireLoop();   ///< cluster: backend -> promises, in order
+
+    const core::KnowledgeBase *kb; ///< null in cluster mode
+    BatchBackend *backend;         ///< null in in-process modes
+    size_t ed;                     ///< question width
     LiveServerConfig cfg;
     std::chrono::nanoseconds timeoutNs;
 
@@ -236,6 +297,13 @@ class LiveServer
     /** The shard partition (sharded mode only; engines point at it). */
     std::unique_ptr<core::ShardedKnowledgeBase> sharding;
     std::vector<std::unique_ptr<Worker>> workerSlots;
+
+    /** Cluster mode: submitted batches awaiting retirement, oldest
+     *  first — the dispatch loop pushes, the retire loop pops. */
+    std::deque<std::unique_ptr<PendingBatch>> retireQueue;
+    std::mutex retireMutex;
+    std::condition_variable retireCv;
+    bool dispatchDone = false; ///< guarded by retireMutex
 
     std::atomic<uint64_t> arrived{0};
     std::atomic<uint64_t> rejectedFull{0};

@@ -16,7 +16,9 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <limits>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "net/shard_node.hh"
 #include "net/tcp_transport.hh"
 #include "net/wire.hh"
+#include "serve/live_server.hh"
 #include "util/rng.hh"
 
 namespace mnnfast {
@@ -935,6 +938,586 @@ TEST(ClusterFrontEnd, PartialAnswerPolicyIsExplicit)
                   std::string::npos);
         EXPECT_NE(json.find("\"deadline_misses\""), std::string::npos);
     }
+}
+
+TEST(ClusterFrontEnd, SnapshotHistogramRangeFollowsTheRequestTimeout)
+{
+    // Regression: snapshot() used to build its merge accumulator with
+    // a hardcoded 1 s histogram range, so any batch slower than 1 s
+    // clamped every latency quantile to 1.0 no matter how generous the
+    // configured timeout was. The range now derives from
+    // requestTimeoutSeconds x (pipelineDepth + 1).
+    const size_t ns = 256, ed = 8, nq = 2, chunk = 64;
+    const core::KnowledgeBase kb = makeKb(ns, ed);
+    core::EngineConfig cfg;
+    cfg.chunkSize = chunk;
+
+    LoopbackNetwork netns;
+    LoopbackTransport t(netns);
+    // Every message to/from the single shard straggles 0.6 s, so the
+    // request + response round trip is >= 1.2 s — past the old 1 s
+    // ceiling but well inside the 3 s timeout.
+    FaultSpec slow;
+    slow.stragglerProb = 1.0;
+    slow.stragglerLatencySeconds = 0.6;
+    t.setEndpointFaults("s0", slow);
+
+    const core::ShardedKnowledgeBase skb(kb, chunk, 2);
+    NodeSet set;
+    set.add(skb.shard(0), cfg, 0, t, "s0");
+
+    ClusterConfig ccfg;
+    ccfg.replicas = {{"s0"}};
+    ccfg.requestTimeoutSeconds = 3.0;
+    ClusterFrontEnd fe(t, ccfg);
+
+    const std::vector<float> u = makeQuestions(nq, ed);
+    std::vector<float> got(nq * ed);
+    const net::BatchResult r =
+        fe.inferBatch(u.data(), nq, ed, got.data());
+    ASSERT_TRUE(r.complete);
+
+    const serve::LatencySnapshot snap = fe.snapshot();
+    ASSERT_EQ(snap.completed, 1u);
+    EXPECT_GT(snap.endToEnd.p50, 1.05)
+        << "a >1.2 s batch must not be clamped to the old 1 s range";
+    EXPECT_LT(snap.endToEnd.p50, 6.1); // inside the derived range
+}
+
+TEST(ClusterFrontEnd, FailClosedBatchesAreCountedNotTimed)
+{
+    // Regression: a batch that failed closed used to be recorded into
+    // the *success* latency histograms (its value pinned at the
+    // deadline), silently dragging the reported tail to the timeout.
+    // Failed batches now get their own counter and stay out of the
+    // histograms entirely.
+    const size_t ns = 256, ed = 8, nq = 3, chunk = 64;
+    const core::KnowledgeBase kb = makeKb(ns, ed);
+    core::EngineConfig cfg;
+    cfg.chunkSize = chunk;
+
+    const core::ShardedKnowledgeBase skb(kb, chunk, 2);
+    LoopbackNetwork netns;
+    LoopbackTransport t(netns);
+    NodeSet set;
+    set.add(skb.shard(0), cfg, 0, t, "s0");
+    // Shard 1 is dark: "s1" never gets a listener.
+
+    ClusterConfig ccfg;
+    ccfg.replicas = {{"s0"}, {"s1"}};
+    ccfg.requestTimeoutSeconds = 0.3;
+    ClusterFrontEnd fe(t, ccfg);
+
+    const std::vector<float> u = makeQuestions(nq, ed);
+    std::vector<float> got(nq * ed, 0.f);
+    const net::BatchResult r =
+        fe.inferBatch(u.data(), nq, ed, got.data());
+    EXPECT_FALSE(r.complete);
+    EXPECT_EQ(r.shardsAnswered, 0u);
+    EXPECT_EQ(r.shardMask, 0u);
+
+    const serve::LatencySnapshot snap = fe.snapshot();
+    EXPECT_EQ(snap.failedBatches, 1u);
+    EXPECT_EQ(snap.completed, 0u); // not in the success histograms
+    EXPECT_EQ(snap.batches, 0u);
+    EXPECT_EQ(snap.endToEnd.count, 0u);
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"failed_batches\": 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Scripted transport: deterministic send/connect accounting
+// ---------------------------------------------------------------
+
+/**
+ * A fully scripted endpoint for retry-policy tests: counts connects
+ * and sends exactly, and either answers every scatter request with a
+ * canned partial or plays a fixed recv script (N timeouts, then a
+ * delayed close) so failure interleavings are deterministic instead
+ * of fault-schedule-dependent.
+ */
+struct ScriptedEndpoint
+{
+    /** >= 0: recv returns Timeout this many times, then Closed (the
+     *  endpoint never answers). < 0: answer every request. */
+    int timeoutsThenClose = -1;
+    /** Sleep before returning the scripted Closed. */
+    double closeDelaySeconds = 0.0;
+    /** Delay between a request's send and its response's arrival. */
+    double answerDelaySeconds = 0.0;
+
+    std::atomic<int> connects{0};
+    std::atomic<int> sends{0};
+};
+
+class ScriptedChannel final : public net::Channel
+{
+  public:
+    explicit ScriptedChannel(ScriptedEndpoint &ep) : ep(ep) {}
+
+    bool
+    send(const Frame &frame) override
+    {
+        ep.sends.fetch_add(1);
+        net::ScatterRequest req;
+        if (ep.timeoutsThenClose < 0
+            && decodeScatterRequest(frame, req) == WireStatus::Ok) {
+            net::PartialResponse resp;
+            resp.requestId = req.requestId;
+            resp.shard = req.shard;
+            resp.nq = req.nq;
+            resp.ed = req.ed;
+            resp.partial.nq = req.nq;
+            resp.partial.runMax.assign(
+                req.nq, -std::numeric_limits<float>::infinity());
+            resp.partial.expSum.assign(req.nq, 1.0);
+            resp.partial.o.assign(size_t(req.nq) * req.ed, 0.f);
+            pending.push_back(encodePartialResponse(resp));
+            readyAt = net::deadlineIn(ep.answerDelaySeconds);
+        }
+        return true;
+    }
+
+    RecvStatus
+    recv(Frame &out, net::NetClock::time_point deadline) override
+    {
+        if (ep.timeoutsThenClose >= 0) {
+            if (recvCalls++ < ep.timeoutsThenClose) {
+                std::this_thread::sleep_until(deadline);
+                return RecvStatus::Timeout;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(ep.closeDelaySeconds));
+            return RecvStatus::Closed;
+        }
+        if (!pending.empty() && readyAt <= deadline) {
+            std::this_thread::sleep_until(readyAt);
+            out = pending.front();
+            pending.pop_front();
+            return RecvStatus::Ok;
+        }
+        std::this_thread::sleep_until(deadline);
+        return RecvStatus::Timeout;
+    }
+
+    void
+    close() override
+    {
+    }
+
+  private:
+    ScriptedEndpoint &ep;
+    int recvCalls = 0;
+    std::deque<Frame> pending;
+    net::NetClock::time_point readyAt;
+};
+
+class ScriptedTransport final : public net::Transport
+{
+  public:
+    std::map<std::string, ScriptedEndpoint *> endpoints;
+
+    std::unique_ptr<net::Channel>
+    connect(const std::string &endpoint,
+            net::NetClock::time_point) override
+    {
+        auto it = endpoints.find(endpoint);
+        if (it == endpoints.end())
+            return nullptr;
+        it->second->connects.fetch_add(1);
+        return std::make_unique<ScriptedChannel>(*it->second);
+    }
+
+    std::unique_ptr<net::Listener>
+    listen(const std::string &) override
+    {
+        return nullptr;
+    }
+};
+
+TEST(ClusterFrontEnd, DeadPrimaryPromotesTheHedgeInsteadOfResending)
+{
+    // Regression: when the primary connection died while a hedge was
+    // outstanding, the fetch used to reconnect and resend — putting a
+    // duplicate request on a connection that already carried it and
+    // double-counting rpcs. The hedge must be *promoted* instead:
+    // exactly one connect and one send on the backup.
+    ScriptedEndpoint primary;
+    primary.timeoutsThenClose = 1; // silent past the hedge point,
+                                   // then drops the connection
+    ScriptedEndpoint backup; // answer ready immediately — but the
+                             // race polls the primary first, so the
+                             // death is observed before the answer
+
+    ScriptedTransport t;
+    t.endpoints = {{"prim", &primary}, {"back", &backup}};
+
+    ClusterConfig ccfg;
+    ccfg.replicas = {{"prim", "back"}};
+    ccfg.requestTimeoutSeconds = 2.0;
+    ccfg.hedging = true;
+    ccfg.hedgeMinSeconds = 1e-3;
+    ClusterFrontEnd fe(t, ccfg);
+
+    const size_t nq = 2, ed = 4;
+    const std::vector<float> u = makeQuestions(nq, ed);
+    std::vector<float> got(nq * ed);
+    const net::BatchResult r =
+        fe.inferBatch(u.data(), nq, ed, got.data());
+    ASSERT_TRUE(r.complete);
+
+    EXPECT_EQ(primary.connects.load(), 1);
+    EXPECT_EQ(primary.sends.load(), 1);
+    EXPECT_EQ(backup.connects.load(), 1);
+    EXPECT_EQ(backup.sends.load(), 1) << "promotion must not resend";
+
+    const serve::LatencySnapshot snap = fe.snapshot();
+    EXPECT_EQ(snap.rpcShards[0].rpcs, 2u); // primary + hedge, no more
+    EXPECT_EQ(snap.rpcShards[0].hedgesFired, 1u);
+    EXPECT_EQ(snap.rpcShards[0].failovers, 1u);
+}
+
+TEST(ClusterFrontEnd, HedgeDelayRecoversAfterATransientFailover)
+{
+    // Regression: the rpc stopwatch was only reset at the *first*
+    // send, so the attempt that succeeded after a failover was timed
+    // from the dead replica's send — reconnect and dead-wait
+    // included — and one incident inflated the latency quantile that
+    // schedules hedges long after the cluster recovered. Every
+    // attempt now carries its own stopwatch.
+    ScriptedEndpoint flaky;
+    flaky.timeoutsThenClose = 0;   // dies on first use...
+    flaky.closeDelaySeconds = 0.3; // ...after a long silent stall
+    ScriptedEndpoint healthy;      // answers instantly
+
+    ScriptedTransport t;
+    t.endpoints = {{"flaky", &flaky}, {"healthy", &healthy}};
+
+    ClusterConfig ccfg;
+    ccfg.replicas = {{"flaky", "healthy"}};
+    ccfg.requestTimeoutSeconds = 2.0;
+    ccfg.hedging = false; // isolate the failover path
+    ClusterFrontEnd fe(t, ccfg);
+
+    const size_t nq = 1, ed = 4;
+    const std::vector<float> u = makeQuestions(nq, ed);
+    std::vector<float> got(nq * ed);
+    const size_t batches = 20;
+    for (size_t k = 0; k < batches; ++k)
+        ASSERT_TRUE(fe.inferBatch(u.data(), nq, ed, got.data())
+                        .complete);
+
+    // One failover happened (batch 1), then 20 instant responses from
+    // the healthy replica. Timed per attempt, even the slowest sample
+    // is far under the 0.3 s stall the old accounting would have
+    // charged to the first post-failover response.
+    EXPECT_EQ(flaky.sends.load(), 1);
+    EXPECT_EQ(healthy.connects.load(), 1); // kept alive across jobs
+    EXPECT_EQ(healthy.sends.load(), int(batches));
+    EXPECT_LT(fe.shardRpcLatencyQuantile(0, 1.0), 0.1);
+}
+
+// ---------------------------------------------------------------
+// Pipelined window
+// ---------------------------------------------------------------
+
+TEST(ClusterFrontEnd, PipelinedWindowDeliversInOrderBitIdenticalToSerial)
+{
+    // A window of 4 over jittering, straggling, hedge-inducing
+    // replicas: completions must come back in submission order and
+    // every batch must be bit-identical to both the serial front end
+    // and the in-process ShardedEngine.
+    const size_t ns = 700, ed = 16, nq = 3, chunk = 64;
+    const size_t kBatches = 8, kWindow = 4;
+    const core::KnowledgeBase kb = makeKb(ns, ed);
+    core::EngineConfig cfg;
+    cfg.chunkSize = chunk;
+
+    const core::ShardedKnowledgeBase skb(kb, chunk, 2);
+    core::ShardedEngine reference(skb, cfg);
+    std::vector<std::vector<float>> questions, expect;
+    for (size_t k = 0; k < kBatches; ++k) {
+        questions.push_back(makeQuestions(nq, ed, 100 + k));
+        expect.emplace_back(nq * ed);
+        reference.inferBatch(questions[k].data(), nq,
+                             expect[k].data());
+    }
+
+    // Stragglers delay ~half the messages by 50 ms — enough to shake
+    // up shard completion order and fire hedges — but nothing is
+    // lost, so every batch completes.
+    FaultSpec shaky;
+    shaky.jitterSeconds = 2e-3;
+    shaky.stragglerProb = 0.5;
+    shaky.stragglerLatencySeconds = 0.05;
+
+    LoopbackNetwork netns;
+    LoopbackTransport t(netns, shaky, 4242);
+    NodeSet set;
+    set.add(skb.shard(0), cfg, 0, t, "s0-a");
+    set.add(skb.shard(0), cfg, 0, t, "s0-b");
+    set.add(skb.shard(1), cfg, 1, t, "s1-a");
+    set.add(skb.shard(1), cfg, 1, t, "s1-b");
+
+    ClusterConfig ccfg;
+    ccfg.replicas = {{"s0-a", "s0-b"}, {"s1-a", "s1-b"}};
+    ccfg.requestTimeoutSeconds = 30.0;
+    ccfg.hedging = true;
+    ccfg.hedgeMinSeconds = 0.005;
+
+    // Serial pass first: one batch at a time through its own front
+    // end (the same nodes serve both passes).
+    std::vector<std::vector<float>> serialGot(
+        kBatches, std::vector<float>(nq * ed));
+    {
+        ClusterConfig serial = ccfg;
+        serial.pipelineDepth = 1;
+        ClusterFrontEnd fe(t, serial);
+        EXPECT_EQ(fe.pipelineDepth(), 1u);
+        for (size_t k = 0; k < kBatches; ++k)
+            ASSERT_TRUE(fe.inferBatch(questions[k].data(), nq, ed,
+                                      serialGot[k].data())
+                            .complete);
+    }
+
+    // Pipelined pass: keep the window full, retire in order.
+    ClusterConfig piped = ccfg;
+    piped.pipelineDepth = kWindow;
+    ClusterFrontEnd fe(t, piped);
+    EXPECT_EQ(fe.pipelineDepth(), kWindow);
+    std::vector<std::vector<float>> pipedGot(
+        kBatches, std::vector<float>(nq * ed));
+    std::vector<uint64_t> tickets(kBatches);
+    for (size_t k = 0; k < kWindow; ++k)
+        tickets[k] = fe.submitBatch(questions[k].data(), nq, ed,
+                                    pipedGot[k].data());
+    for (size_t k = 0; k < kBatches; ++k) {
+        const net::BatchResult r = fe.waitBatch(tickets[k]);
+        ASSERT_TRUE(r.complete) << "batch " << k;
+        EXPECT_EQ(r.shardMask, 0b11u);
+        if (k + kWindow < kBatches)
+            tickets[k + kWindow] =
+                fe.submitBatch(questions[k + kWindow].data(), nq, ed,
+                               pipedGot[k + kWindow].data());
+    }
+
+    for (size_t k = 0; k < kBatches; ++k)
+        for (size_t i = 0; i < nq * ed; ++i) {
+            ASSERT_EQ(f32Bits(pipedGot[k][i]), f32Bits(expect[k][i]))
+                << "batch " << k << " i=" << i << " vs engine";
+            ASSERT_EQ(f32Bits(pipedGot[k][i]),
+                      f32Bits(serialGot[k][i]))
+                << "batch " << k << " i=" << i << " vs serial";
+        }
+}
+
+TEST(ClusterFrontEnd, MidWindowPartialAnswerRetiresInOrderAndRecovers)
+{
+    // Two batches share the window while shard 1 is dark: both retire
+    // in order as partials whose merged bits equal a single-shard
+    // gather. Once shard 1 comes up, the next batch is whole again.
+    const size_t ns = 512, ed = 8, nq = 3, chunk = 64;
+    const core::KnowledgeBase kb = makeKb(ns, ed);
+    core::EngineConfig cfg;
+    cfg.chunkSize = chunk;
+
+    const core::ShardedKnowledgeBase skb(kb, chunk, 2);
+    core::ShardedEngine reference(skb, cfg);
+
+    LoopbackNetwork netns;
+    LoopbackTransport t(netns);
+    NodeSet set;
+    set.add(skb.shard(0), cfg, 0, t, "s0");
+    // "s1" stays unregistered until the recovery phase below.
+
+    ClusterConfig ccfg;
+    ccfg.replicas = {{"s0"}, {"s1"}};
+    ccfg.requestTimeoutSeconds = 0.3;
+    ccfg.allowPartial = true;
+    ccfg.pipelineDepth = 2;
+    ClusterFrontEnd fe(t, ccfg);
+
+    // The expected partial: exactly shard 0's normalized gather.
+    const auto shard0Expect = [&](const std::vector<float> &u) {
+        core::EngineConfig solo = cfg;
+        solo.scheduleGroups = 1;
+        core::ColumnEngine engine0(skb.shard(0), solo);
+        core::StreamPartial part;
+        engine0.inferPartial(u.data(), nq, part);
+        const core::StreamPartial *pp = &part;
+        std::vector<float> out(nq * ed);
+        core::mergeStreamPartials(&pp, 1, nq, ed, false, out.data());
+        return out;
+    };
+
+    const std::vector<float> u0 = makeQuestions(nq, ed, 301);
+    const std::vector<float> u1 = makeQuestions(nq, ed, 302);
+    std::vector<float> got0(nq * ed), got1(nq * ed);
+    const uint64_t t0 = fe.submitBatch(u0.data(), nq, ed, got0.data());
+    const uint64_t t1 = fe.submitBatch(u1.data(), nq, ed, got1.data());
+
+    // Batch 0 retires partial while batch 1 is still in the window.
+    const net::BatchResult r0 = fe.waitBatch(t0);
+    EXPECT_FALSE(r0.complete);
+    EXPECT_EQ(r0.shardMask, 0b01u);
+    const net::BatchResult r1 = fe.waitBatch(t1);
+    EXPECT_FALSE(r1.complete);
+    EXPECT_EQ(r1.shardMask, 0b01u);
+    const std::vector<float> e0 = shard0Expect(u0);
+    const std::vector<float> e1 = shard0Expect(u1);
+    for (size_t i = 0; i < nq * ed; ++i) {
+        ASSERT_EQ(f32Bits(got0[i]), f32Bits(e0[i])) << "i=" << i;
+        ASSERT_EQ(f32Bits(got1[i]), f32Bits(e1[i])) << "i=" << i;
+    }
+
+    // Shard 1 comes back: the same front end serves whole batches
+    // again, bit-identical to the in-process reference.
+    set.add(skb.shard(1), cfg, 1, t, "s1");
+    std::vector<float> got2(nq * ed), expect2(nq * ed);
+    reference.inferBatch(u0.data(), nq, expect2.data());
+    const net::BatchResult r2 =
+        fe.inferBatch(u0.data(), nq, ed, got2.data());
+    EXPECT_TRUE(r2.complete);
+    EXPECT_EQ(r2.shardMask, 0b11u);
+    for (size_t i = 0; i < nq * ed; ++i)
+        ASSERT_EQ(f32Bits(got2[i]), f32Bits(expect2[i])) << "i=" << i;
+
+    const serve::LatencySnapshot snap = fe.snapshot();
+    EXPECT_EQ(snap.partialAnswers, 2 * nq);
+    EXPECT_EQ(snap.failedBatches, 0u);
+    EXPECT_GE(snap.rpcShards[1].deadlineMisses, 2u);
+}
+
+// ---------------------------------------------------------------
+// LiveServer over a cluster backend
+// ---------------------------------------------------------------
+
+TEST(LiveServerCluster, AnswersBitIdenticalToShardedEngine)
+{
+    const size_t ns = 700, ed = 16, chunk = 64;
+    const core::KnowledgeBase kb = makeKb(ns, ed);
+    core::EngineConfig cfg;
+    cfg.chunkSize = chunk;
+
+    const core::ShardedKnowledgeBase skb(kb, chunk, 2);
+    core::ShardedEngine reference(skb, cfg);
+
+    LoopbackNetwork netns;
+    LoopbackTransport t(netns);
+    NodeSet set;
+    set.add(skb.shard(0), cfg, 0, t, "s0");
+    set.add(skb.shard(1), cfg, 1, t, "s1");
+
+    ClusterConfig ccfg;
+    ccfg.replicas = {{"s0"}, {"s1"}};
+    ccfg.requestTimeoutSeconds = 30.0;
+    ccfg.pipelineDepth = 2;
+    ClusterFrontEnd fe(t, ccfg);
+
+    serve::LiveServerConfig lcfg;
+    lcfg.maxBatch = 4;
+    lcfg.batchTimeout = 1e-3;
+    lcfg.queueCapacity = 64;
+    serve::LiveServer server(fe, ed, lcfg);
+    EXPECT_TRUE(server.remote());
+    EXPECT_EQ(server.embeddingDim(), ed);
+
+    const size_t kRequests = 24;
+    std::vector<std::vector<float>> questions;
+    std::vector<serve::Ticket> tickets;
+    for (size_t i = 0; i < kRequests; ++i) {
+        questions.push_back(makeQuestions(1, ed, 500 + i));
+        tickets.push_back(server.submit(questions[i].data()));
+        ASSERT_TRUE(tickets[i].accepted());
+    }
+
+    for (size_t i = 0; i < kRequests; ++i) {
+        serve::Answer a = tickets[i].answer.get();
+        EXPECT_FALSE(a.failed);
+        EXPECT_EQ(a.shardMask, 0b11u);
+        ASSERT_EQ(a.o.size(), ed);
+        // Per-question results are batch-composition-independent, so
+        // a single-question reference inference predicts the bits no
+        // matter how the dynamic batcher grouped the request.
+        std::vector<float> expect(ed);
+        reference.inferBatch(questions[i].data(), 1, expect.data());
+        for (size_t e = 0; e < ed; ++e)
+            ASSERT_EQ(f32Bits(a.o[e]), f32Bits(expect[e]))
+                << "request " << i << " e=" << e;
+    }
+
+    server.shutdown();
+    const serve::LatencySnapshot snap = server.snapshot();
+    EXPECT_EQ(snap.arrived, kRequests);
+    EXPECT_EQ(snap.completed, kRequests);
+    EXPECT_EQ(snap.rejected, 0u);
+    // The backend's per-shard RPC counters ride along in the serving
+    // snapshot: one rpc per shard per dispatched batch at least.
+    ASSERT_EQ(snap.rpcShards.size(), 2u);
+    EXPECT_GE(snap.rpcShards[0].rpcs, snap.batches);
+    EXPECT_GE(snap.rpcShards[1].rpcs, snap.batches);
+    EXPECT_EQ(snap.failedBatches, 0u);
+}
+
+TEST(LiveServerCluster, FloodAndShutdownAnswersEveryAcceptedRequest)
+{
+    const size_t ns = 256, ed = 8, chunk = 64;
+    const core::KnowledgeBase kb = makeKb(ns, ed);
+    core::EngineConfig cfg;
+    cfg.chunkSize = chunk;
+
+    const core::ShardedKnowledgeBase skb(kb, chunk, 2);
+    LoopbackNetwork netns;
+    LoopbackTransport t(netns);
+    NodeSet set;
+    set.add(skb.shard(0), cfg, 0, t, "s0");
+    set.add(skb.shard(1), cfg, 1, t, "s1");
+
+    ClusterConfig ccfg;
+    ccfg.replicas = {{"s0"}, {"s1"}};
+    ccfg.requestTimeoutSeconds = 30.0;
+    ccfg.pipelineDepth = 2;
+    ClusterFrontEnd fe(t, ccfg);
+
+    serve::LiveServerConfig lcfg;
+    lcfg.maxBatch = 4;
+    lcfg.batchTimeout = 1e-4;
+    lcfg.queueCapacity = 8; // small: the flood must hit backpressure
+    serve::LiveServer server(fe, ed, lcfg);
+
+    const size_t kThreads = 4, kPerThread = 50;
+    const std::vector<float> u = makeQuestions(1, ed);
+    std::atomic<uint64_t> accepted{0}, rejected{0}, answered{0};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kThreads; ++c)
+        clients.emplace_back([&] {
+            for (size_t i = 0; i < kPerThread; ++i) {
+                serve::Ticket tk = server.submit(u.data());
+                if (!tk.accepted()) {
+                    rejected.fetch_add(1);
+                    continue;
+                }
+                accepted.fetch_add(1);
+                // Every accepted future must become ready — even the
+                // ones caught mid-flight by the shutdown below.
+                serve::Answer a = tk.answer.get();
+                EXPECT_FALSE(a.failed);
+                answered.fetch_add(1);
+            }
+        });
+    // Shut down while the flood is still arriving: requests already
+    // accepted must drain through the cluster exactly once.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.shutdown();
+    for (std::thread &c : clients)
+        c.join();
+
+    EXPECT_EQ(answered.load(), accepted.load());
+    const serve::LatencySnapshot snap = server.snapshot();
+    EXPECT_EQ(snap.arrived, kThreads * kPerThread);
+    EXPECT_EQ(snap.completed, accepted.load());
+    EXPECT_EQ(snap.rejected, rejected.load());
+    EXPECT_EQ(snap.arrived, snap.completed + snap.rejected);
 }
 
 TEST(ClusterFrontEnd, ShutdownNodesStopsEveryReplica)

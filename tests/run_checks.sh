@@ -77,9 +77,12 @@ for preset in "${presets[@]}"; do
             "${bindir}/bench/ablation_topk" --smoke
     fi
     # Cluster-serving smoke: the loopback scenario grid's bit-identity
-    # leg (cluster gather vs in-process ShardedEngine, every precision)
-    # and its failover leg (no accepted request lost across injected
-    # disconnects) both exit nonzero on violation.
+    # leg (cluster gather vs in-process ShardedEngine, every
+    # precision), its failover leg (no accepted request lost across
+    # injected disconnects), and the pipelined leg (a W=4 window with
+    # send-ahead must beat the serial front end on the clean and
+    # jittery networks, every batch complete) all exit nonzero on
+    # violation.
     if [ -x "${bindir}/bench/serving_cluster" ]; then
         echo "==> preset: ${preset} (cluster serving smoke)"
         MNNFAST_BENCH_JSON="${bindir}/BENCH_cluster_smoke.json" \
@@ -87,7 +90,10 @@ for preset in "${presets[@]}"; do
     fi
     # Cross-process cluster smoke: forks real ShardNode processes
     # serving over TCP on 127.0.0.1 and requires the gathered batch to
-    # be bit-identical to the in-process ShardedEngine.
+    # be bit-identical to the in-process ShardedEngine — both a raw
+    # front-end gather per precision and the served leg (LiveServer
+    # dispatching through a pipelined W=4 front end, per-question
+    # bit-identity plus an exactly balanced admission ledger).
     if [ -x "${bindir}/bench/cluster_smoke" ]; then
         echo "==> preset: ${preset} (cross-process cluster smoke)"
         "${bindir}/bench/cluster_smoke"
